@@ -1,0 +1,123 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every ``test_fig*.py`` file regenerates one table/figure of the paper.
+Simulation runs are cached here (keyed by scheme/workload/protection/
+geometry) because many figures share their baselines — exactly like
+re-using gem5 checkpoints across plots.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_REQUESTS``  memory instructions per run (default 20000)
+``REPRO_BENCH_SWEEP_REQUESTS``  per-run length for dense parameter sweeps
+                                 (default REPRO_BENCH_REQUESTS // 2)
+``REPRO_BENCH_WORKLOADS`` comma list of workloads (default: all ten)
+``REPRO_BENCH_SEED``      workload/ORAM seed (default 1)
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.cpu.core import CpuConfig
+from repro.oram.config import OramConfig
+from repro.system.config import SystemConfig
+from repro.system.metrics import SimulationResult, geomean
+from repro.system.simulator import simulate
+from repro.workloads.spec import workload_names
+
+N_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "20000"))
+N_SWEEP = int(
+    os.environ.get("REPRO_BENCH_SWEEP_REQUESTS", str(max(4000, N_REQUESTS // 2)))
+)
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+DEFAULT_LEVELS = 14
+
+
+def bench_workloads() -> list[str]:
+    """Workloads the benchmarks sweep (env-overridable)."""
+    env = os.environ.get("REPRO_BENCH_WORKLOADS")
+    if env:
+        return [name.strip() for name in env.split(",") if name.strip()]
+    return workload_names()
+
+
+def make_config(
+    scheme: str,
+    tp: bool = False,
+    levels: int = DEFAULT_LEVELS,
+    treetop: int = 0,
+    xor: bool = False,
+    cpu: str = "inorder",
+) -> SystemConfig:
+    """Build a named experiment configuration.
+
+    ``scheme``: ``tiny`` | ``insecure`` | ``rd`` | ``hd`` |
+    ``static-<P>`` | ``dynamic-<W>``.
+    """
+    oram = OramConfig(
+        levels=levels,
+        utilization=0.25,
+        treetop_levels=treetop,
+        xor_compression=xor,
+    )
+    if scheme == "tiny":
+        cfg = SystemConfig.tiny(oram=oram)
+    elif scheme == "insecure":
+        cfg = SystemConfig.insecure_system(oram=oram)
+    elif scheme == "rd":
+        cfg = SystemConfig.rd_dup(oram=oram)
+    elif scheme == "hd":
+        cfg = SystemConfig.hd_dup(oram=oram)
+    elif scheme.startswith("static-"):
+        cfg = SystemConfig.static(int(scheme.split("-")[1]), oram=oram)
+    elif scheme.startswith("dynamic-"):
+        cfg = SystemConfig.dynamic(int(scheme.split("-")[1]), oram=oram)
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    if xor:
+        cfg = cfg.with_(name=f"{cfg.name}+XOR")
+    if treetop:
+        cfg = cfg.with_(name=f"{cfg.name}+Treetop-{treetop}")
+    if tp:
+        cfg = cfg.with_timing_protection()
+    if cpu == "o3":
+        cfg = cfg.with_(cpu=CpuConfig.out_of_order(cores=4))
+    return cfg
+
+
+@lru_cache(maxsize=None)
+def run(
+    scheme: str,
+    workload: str,
+    tp: bool = False,
+    levels: int = DEFAULT_LEVELS,
+    treetop: int = 0,
+    xor: bool = False,
+    cpu: str = "inorder",
+    num_requests: int | None = None,
+    record_progress: bool = False,
+) -> SimulationResult:
+    """Run (or fetch from cache) one simulation."""
+    config = make_config(scheme, tp=tp, levels=levels, treetop=treetop,
+                         xor=xor, cpu=cpu)
+    n = num_requests if num_requests is not None else N_REQUESTS
+    return simulate(
+        config, workload, num_requests=n, seed=SEED,
+        record_progress=record_progress,
+    )
+
+
+def gmean_over(values: list[float]) -> float:
+    """Geometric mean guarding against zero components."""
+    return geomean([max(v, 1e-9) for v in values])
+
+
+def normalized_parts(
+    result: SimulationResult, baseline: SimulationResult
+) -> tuple[float, float, float]:
+    """(interval, data, total) normalised to the baseline's total —
+    the stacked-bar encoding of Figures 8/9/13/14."""
+    total = result.total_cycles / baseline.total_cycles
+    data = result.data_access_cycles / baseline.total_cycles
+    return total - data, data, total

@@ -1,0 +1,83 @@
+"""Ablations of the shadow-block design choices (beyond the paper).
+
+DESIGN.md calls out three mechanisms whose contribution is worth
+isolating:
+
+* **shadow-stash read hits** — serving LLC read misses from a stashed
+  shadow copy without issuing an ORAM request (the HD-Dup payoff);
+* **stash-shadow recycling** — re-evicting stashed shadow copies as fresh
+  tree shadows during path writes (Section V-B-2's queue insertion of
+  evictable stash shadows);
+* **Hot Address Cache capacity** — the paper fixes 1 KB (~128 entries);
+  we sweep it.
+
+Each ablation runs dynamic-3 with timing protection on a reuse-heavy and
+a scan-heavy workload.
+"""
+
+import pytest
+
+from _support import N_SWEEP, make_config, run
+from repro.analysis.report import print_table
+from repro.core.controller import ShadowOramController
+from repro.system.simulator import simulate
+
+WORKLOADS = ["h264ref", "namd", "mcf"]
+
+
+def _run_variant(workload, shadow_overrides=None, recycle_cap=None):
+    config = make_config("dynamic-3", tp=True)
+    if shadow_overrides:
+        config = config.with_(shadow=config.shadow.with_(**shadow_overrides))
+    if recycle_cap is None:
+        return simulate(config, workload, num_requests=N_SWEEP, seed=1)
+    original = ShadowOramController._STASH_SHADOW_CANDIDATES
+    ShadowOramController._STASH_SHADOW_CANDIDATES = recycle_cap
+    try:
+        return simulate(config, workload, num_requests=N_SWEEP, seed=1)
+    finally:
+        ShadowOramController._STASH_SHADOW_CANDIDATES = original
+
+
+def _compute():
+    table = {}
+    for workload in WORKLOADS:
+        tiny = run("tiny", workload, tp=True, num_requests=N_SWEEP)
+        variants = {
+            "full design": _run_variant(workload),
+            "no shadow-stash hits": _run_variant(
+                workload, shadow_overrides={"serve_shadow_read_hits": False}
+            ),
+            "no stash-shadow recycling": _run_variant(workload, recycle_cap=0),
+            "hot cache 8 entries": _run_variant(
+                workload, shadow_overrides={"hot_cache_sets": 2, "hot_cache_ways": 4}
+            ),
+            "hot cache 512 entries": _run_variant(
+                workload,
+                shadow_overrides={"hot_cache_sets": 128, "hot_cache_ways": 4},
+            ),
+        }
+        table[workload] = {
+            name: r.total_cycles / tiny.total_cycles for name, r in variants.items()
+        }
+    return table
+
+
+def test_ablations(benchmark):
+    table = benchmark.pedantic(_compute, rounds=1, iterations=1)
+
+    variants = list(next(iter(table.values())))
+    rows = [[w, *[table[w][v] for v in variants]] for w in table]
+    print_table(
+        ["workload", *variants],
+        rows,
+        title="Ablations: total time vs Tiny (dynamic-3, timing protection)",
+    )
+
+    for workload in table:
+        full = table[workload]["full design"]
+        no_hits = table[workload]["no shadow-stash hits"]
+        # Disabling on-chip shadow hits must never help.
+        assert full <= no_hits * 1.02, workload
+    # On the reuse-heavy workloads the hits are a major contributor.
+    assert table["h264ref"]["no shadow-stash hits"] > table["h264ref"]["full design"]

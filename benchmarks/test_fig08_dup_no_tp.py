@@ -1,0 +1,55 @@
+"""Figure 8: normalized data access time and DRI, RD-Dup and HD-Dup vs
+Tiny ORAM, without timing protection.
+
+Paper reference: RD-Dup cuts DRI by 74% / total by 16% on average; HD-Dup
+cuts data access time by 12% / total by 15%.  Shapes to hold: both schemes
+beat Tiny; RD-Dup's advantage concentrates in the interval component,
+HD-Dup's in the data component.
+"""
+
+from _support import bench_workloads, gmean_over, normalized_parts, run
+from repro.analysis.report import print_table
+
+
+def _compute():
+    table = {}
+    for workload in bench_workloads():
+        tiny = run("tiny", workload)
+        table[workload] = {
+            "Tiny": normalized_parts(tiny, tiny),
+            "RD-Dup": normalized_parts(run("rd", workload), tiny),
+            "HD-Dup": normalized_parts(run("hd", workload), tiny),
+        }
+    return table
+
+
+def test_fig08_duplication_without_protection(benchmark):
+    table = benchmark.pedantic(_compute, rounds=1, iterations=1)
+
+    rows = []
+    for workload, schemes in table.items():
+        for scheme, (interval, data, total) in schemes.items():
+            rows.append([workload, scheme, interval, data, total])
+    for scheme in ("Tiny", "RD-Dup", "HD-Dup"):
+        rows.append([
+            "gmean",
+            scheme,
+            gmean_over([table[w][scheme][0] for w in table]),
+            gmean_over([table[w][scheme][1] for w in table]),
+            gmean_over([table[w][scheme][2] for w in table]),
+        ])
+    print_table(
+        ["workload", "scheme", "Interval", "Data", "Total"],
+        rows,
+        title="Figure 8: normalized time (no timing protection, Tiny = 1.0)",
+    )
+
+    rd_total = gmean_over([table[w]["RD-Dup"][2] for w in table])
+    hd_total = gmean_over([table[w]["HD-Dup"][2] for w in table])
+    assert rd_total < 1.0, "RD-Dup must beat Tiny on average"
+    assert hd_total < 1.0, "HD-Dup must beat Tiny on average"
+
+    # HD-Dup's edge is in the data component (paper Section VI-B).
+    hd_data = gmean_over([table[w]["HD-Dup"][1] for w in table])
+    tiny_data = gmean_over([table[w]["Tiny"][1] for w in table])
+    assert hd_data < tiny_data

@@ -1,0 +1,63 @@
+"""Figure 9: static partitioning-level sweep, without timing protection.
+
+The paper sweeps P from 0 to 25 and finds: data access time falls and DRI
+rises as P grows (more dummy slots handed to HD-Dup), with the gmean total
+minimised at an interior level (P = 7, total = 0.83x Tiny).  Shapes to
+hold: pure-RD (P = 0) and pure-HD (P = max) are both beaten or matched by
+an interior or boundary optimum, and the data component is non-increasing
+in P on HD-friendly workloads.
+"""
+
+from _support import DEFAULT_LEVELS, N_SWEEP, bench_workloads, gmean_over, normalized_parts, run
+from repro.analysis.report import print_table
+
+LEVELS = [0, 2, 4, 7, 10, 13, DEFAULT_LEVELS + 1]
+NAMED = ["sjeng", "h264ref", "namd"]
+
+
+def _compute():
+    workloads = bench_workloads()
+    table = {}
+    for workload in workloads:
+        tiny = run("tiny", workload, num_requests=N_SWEEP)
+        per_level = {}
+        for level in LEVELS:
+            result = run(f"static-{level}", workload, num_requests=N_SWEEP)
+            per_level[level] = normalized_parts(result, tiny)
+        table[workload] = per_level
+    return table
+
+
+def test_fig09_static_partitioning_sweep(benchmark):
+    table = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    workloads = list(table)
+
+    for workload in [w for w in NAMED if w in table]:
+        rows = [
+            [level, *table[workload][level]] for level in LEVELS
+        ]
+        print_table(
+            ["P", "Interval", "Data", "Total"],
+            rows,
+            title=f"Figure 9 ({workload}): static partitioning (no TP)",
+        )
+
+    gmean_rows = []
+    for level in LEVELS:
+        gmean_rows.append([
+            level,
+            gmean_over([table[w][level][0] for w in workloads]),
+            gmean_over([table[w][level][1] for w in workloads]),
+            gmean_over([table[w][level][2] for w in workloads]),
+        ])
+    print_table(
+        ["P", "Interval", "Data", "Total"],
+        gmean_rows,
+        title="Figure 9 (gmean): static partitioning (no TP)",
+    )
+
+    totals = {row[0]: row[3] for row in gmean_rows}
+    best_level = min(totals, key=totals.get)
+    print(f"best static partitioning level: {best_level} "
+          f"(total = {totals[best_level]:.3f}x Tiny; paper: P=7, 0.83x)")
+    assert totals[best_level] < 1.0

@@ -1,0 +1,63 @@
+"""Figure 10: DRI-counter width sweep for dynamic partitioning.
+
+The paper sweeps the counter width from 1 to 8 bits and finds the total
+execution time first drops, then rises, with the minimum at 3 bits (gmean
+total = 0.80x Tiny, no timing protection).  Shape to hold: dynamic
+partitioning beats Tiny for every width and a mid-range width is at least
+as good as the extremes.
+"""
+
+from _support import N_SWEEP, bench_workloads, gmean_over, normalized_parts, run
+from repro.analysis.report import print_table
+
+WIDTHS = list(range(1, 9))
+NAMED = ["sjeng", "h264ref", "namd"]
+
+
+def _compute():
+    workloads = bench_workloads()
+    table = {}
+    for workload in workloads:
+        tiny = run("tiny", workload, num_requests=N_SWEEP)
+        table[workload] = {
+            width: normalized_parts(
+                run(f"dynamic-{width}", workload, num_requests=N_SWEEP), tiny
+            )
+            for width in WIDTHS
+        }
+    return table
+
+
+def test_fig10_dri_counter_width_sweep(benchmark):
+    table = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    workloads = list(table)
+
+    for workload in [w for w in NAMED if w in table]:
+        rows = [[w_, *table[workload][w_]] for w_ in WIDTHS]
+        print_table(
+            ["width (bits)", "Interval", "Data", "Total"],
+            rows,
+            title=f"Figure 10 ({workload}): DRI counter width sweep",
+        )
+
+    gmean_rows = [
+        [
+            width,
+            gmean_over([table[w][width][0] for w in workloads]),
+            gmean_over([table[w][width][1] for w in workloads]),
+            gmean_over([table[w][width][2] for w in workloads]),
+        ]
+        for width in WIDTHS
+    ]
+    print_table(
+        ["width (bits)", "Interval", "Data", "Total"],
+        gmean_rows,
+        title="Figure 10 (gmean): DRI counter width sweep",
+    )
+
+    totals = {row[0]: row[3] for row in gmean_rows}
+    best = min(totals, key=totals.get)
+    print(f"best DRI counter width: {best} bits "
+          f"(total = {totals[best]:.3f}x Tiny; paper: 3 bits, 0.80x)")
+    assert all(t < 1.0 for t in totals.values())
+    assert min(totals[2], totals[3], totals[4]) <= min(totals[1], totals[8])

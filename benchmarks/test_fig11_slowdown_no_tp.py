@@ -1,0 +1,56 @@
+"""Figure 11: slowdown over the insecure system, without timing protection.
+
+Paper reference: Tiny ORAM averages 2.76x slowdown; static-7 and dynamic-3
+bring it to 2.35x and 2.21x (85% / 80% of Tiny).  mcf, libquantum and
+omnetpp show the largest slowdowns (high memory intensity).
+"""
+
+from _support import bench_workloads, gmean_over, run
+from repro.analysis.report import print_table
+
+SCHEMES = ["tiny", "static-7", "dynamic-3"]
+
+
+def _compute():
+    table = {}
+    for workload in bench_workloads():
+        insecure = run("insecure", workload)
+        table[workload] = {
+            scheme: run(scheme, workload).total_cycles / insecure.total_cycles
+            for scheme in SCHEMES
+        }
+    return table
+
+
+def test_fig11_slowdown_without_protection(benchmark):
+    table = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    workloads = list(table)
+
+    rows = [
+        [w, table[w]["tiny"], table[w]["static-7"], table[w]["dynamic-3"], 1.0]
+        for w in workloads
+    ]
+    rows.append([
+        "gmean",
+        *[gmean_over([table[w][s] for w in workloads]) for s in SCHEMES],
+        1.0,
+    ])
+    print_table(
+        ["workload", "Tiny", "static-7", "dynamic-3", "insecure"],
+        rows,
+        title="Figure 11: slowdown over insecure system (no timing protection)",
+        float_fmt="{:.2f}",
+    )
+
+    g = {s: gmean_over([table[w][s] for w in workloads]) for s in SCHEMES}
+    assert g["tiny"] > 1.5, "ORAM must cost a real slowdown"
+    assert g["dynamic-3"] < g["tiny"], "dynamic-3 must beat Tiny"
+    assert g["static-7"] < g["tiny"], "static-7 must beat Tiny"
+
+    # Memory-intensive workloads show the largest Tiny slowdowns.
+    intense = [w for w in ("mcf", "libquantum", "omnetpp") if w in table]
+    mild = [w for w in ("namd", "sjeng") if w in table]
+    if intense and mild:
+        assert min(table[w]["tiny"] for w in intense) > max(
+            table[w]["tiny"] for w in mild
+        ) * 0.8

@@ -1,0 +1,47 @@
+"""Figure 12: memory-system energy normalized to the insecure system.
+
+Paper reference: static-7 and dynamic-3 cut ORAM energy by 14% and 18%
+relative to Tiny (fewer ORAM requests + shorter execution time).
+Shape to hold: ORAM energy is an order of magnitude above insecure, and
+both partitioned schemes reduce it.
+"""
+
+from _support import bench_workloads, gmean_over, run
+from repro.analysis.report import print_table
+
+SCHEMES = ["tiny", "static-7", "dynamic-3"]
+
+
+def _compute():
+    table = {}
+    for workload in bench_workloads():
+        insecure = run("insecure", workload)
+        table[workload] = {
+            scheme: run(scheme, workload).energy_nj / insecure.energy_nj
+            for scheme in SCHEMES
+        }
+    return table
+
+
+def test_fig12_energy_normalized(benchmark):
+    table = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    workloads = list(table)
+
+    rows = [
+        [w, table[w]["tiny"], table[w]["static-7"], table[w]["dynamic-3"]]
+        for w in workloads
+    ]
+    rows.append(
+        ["gmean", *[gmean_over([table[w][s] for w in workloads]) for s in SCHEMES]]
+    )
+    print_table(
+        ["workload", "Tiny", "static-7", "dynamic-3"],
+        rows,
+        title="Figure 12: memory energy normalized to insecure (no TP)",
+        float_fmt="{:.2f}",
+    )
+
+    g = {s: gmean_over([table[w][s] for w in workloads]) for s in SCHEMES}
+    assert g["tiny"] > 3.0, "ORAM energy must far exceed insecure"
+    assert g["dynamic-3"] < g["tiny"]
+    assert g["static-7"] < g["tiny"]

@@ -1,0 +1,61 @@
+"""Figure 14: static partitioning sweep with timing protection.
+
+Paper reference: same trends as Figure 9, but the larger DRI share pushes
+the optimal level down to P = 4 (more dummy slots for RD-Dup).  Shape to
+hold: the best TP-mode level is <= the best no-TP level from Figure 9.
+"""
+
+from _support import DEFAULT_LEVELS, N_SWEEP, bench_workloads, gmean_over, normalized_parts, run
+from repro.analysis.report import print_table
+
+LEVELS = [0, 2, 4, 7, 10, 13, DEFAULT_LEVELS + 1]
+NAMED = ["sjeng", "h264ref", "namd"]
+
+
+def _compute():
+    workloads = bench_workloads()
+    table = {}
+    for workload in workloads:
+        tiny = run("tiny", workload, tp=True, num_requests=N_SWEEP)
+        table[workload] = {
+            level: normalized_parts(
+                run(f"static-{level}", workload, tp=True, num_requests=N_SWEEP),
+                tiny,
+            )
+            for level in LEVELS
+        }
+    return table
+
+
+def test_fig14_static_partitioning_sweep_tp(benchmark):
+    table = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    workloads = list(table)
+
+    for workload in [w for w in NAMED if w in table]:
+        rows = [[level, *table[workload][level]] for level in LEVELS]
+        print_table(
+            ["P", "Interval", "Data", "Total"],
+            rows,
+            title=f"Figure 14 ({workload}): static partitioning (with TP)",
+        )
+
+    gmean_rows = [
+        [
+            level,
+            gmean_over([table[w][level][0] for w in workloads]),
+            gmean_over([table[w][level][1] for w in workloads]),
+            gmean_over([table[w][level][2] for w in workloads]),
+        ]
+        for level in LEVELS
+    ]
+    print_table(
+        ["P", "Interval", "Data", "Total"],
+        gmean_rows,
+        title="Figure 14 (gmean): static partitioning (with TP)",
+    )
+
+    totals = {row[0]: row[3] for row in gmean_rows}
+    best = min(totals, key=totals.get)
+    print(f"best static level with TP: {best} "
+          f"(total = {totals[best]:.3f}x Tiny; paper: P=4)")
+    assert totals[best] < 1.0

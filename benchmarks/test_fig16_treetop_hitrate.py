@@ -1,0 +1,54 @@
+"""Figure 16: on-chip hit rate of stash + treetop caching, with and
+without shadow blocks (timing protection on).
+
+Paper reference: adding shadow blocks multiplies the treetop-3 and
+treetop-7 hit rates by roughly 2.2x and 2.17x on average, because shadow
+copies fill what used to be dummy space in the cached top levels and the
+stash.  Shape to hold: shadow blocks raise the on-chip hit rate for both
+treetop depths, and deeper treetops hit more than shallow ones.
+"""
+
+from _support import bench_workloads, run
+from repro.analysis.report import print_table
+from repro.analysis.stats import mean
+
+CONFIGS = [
+    ("Treetop-3", dict(scheme="tiny", treetop=3)),
+    ("Shadow+Treetop-3", dict(scheme="dynamic-3", treetop=3)),
+    ("Treetop-7", dict(scheme="tiny", treetop=7)),
+    ("Shadow+Treetop-7", dict(scheme="dynamic-3", treetop=7)),
+]
+
+
+def _compute():
+    table = {}
+    for workload in bench_workloads():
+        table[workload] = {
+            label: run(workload=workload, tp=True, **kwargs).onchip_hit_rate
+            for label, kwargs in CONFIGS
+        }
+    return table
+
+
+def test_fig16_onchip_hit_rate(benchmark):
+    table = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    workloads = list(table)
+    labels = [label for label, _ in CONFIGS]
+
+    rows = [[w, *[table[w][label] for label in labels]] for w in workloads]
+    rows.append(["mean", *[mean([table[w][label] for w in workloads])
+                            for label in labels]])
+    print_table(
+        ["workload", *labels],
+        rows,
+        title="Figure 16: on-chip (stash + treetop) hit rate, with TP",
+    )
+
+    means = {label: mean([table[w][label] for w in workloads]) for label in labels}
+    boost3 = (means["Shadow+Treetop-3"] + 1e-9) / (means["Treetop-3"] + 1e-9)
+    boost7 = (means["Shadow+Treetop-7"] + 1e-9) / (means["Treetop-7"] + 1e-9)
+    print(f"hit-rate boost from shadow blocks: treetop-3 x{boost3:.2f}, "
+          f"treetop-7 x{boost7:.2f} (paper: x2.20 / x2.17)")
+    assert means["Shadow+Treetop-3"] > means["Treetop-3"]
+    assert means["Shadow+Treetop-7"] > means["Treetop-7"]
+    assert means["Treetop-7"] >= means["Treetop-3"]

@@ -1,0 +1,57 @@
+"""Figure 17: speedup over Tiny ORAM — XOR compression vs shadow block vs
+shadow block combined with treetop caching (timing protection on).
+
+Paper reference: shadow block outperforms XOR compression by ~23% on
+average; combining shadow block with treetop-3 / treetop-7 adds another
+8.2% / 23%.  Shapes to hold: shadow > XOR everywhere that matters, and
+treetop combinations stack further gains.  (Our XOR absolute speedup runs
+below the paper's — see EXPERIMENTS.md for the arrival-distribution
+analysis.)
+"""
+
+from _support import bench_workloads, gmean_over, run
+from repro.analysis.report import print_table
+
+CONFIGS = [
+    ("XOR", dict(scheme="tiny", xor=True)),
+    ("Shadow", dict(scheme="dynamic-3")),
+    ("Shadow+Treetop-3", dict(scheme="dynamic-3", treetop=3)),
+    ("Shadow+Treetop-7", dict(scheme="dynamic-3", treetop=7)),
+]
+
+
+def _compute():
+    table = {}
+    for workload in bench_workloads():
+        tiny = run("tiny", workload, tp=True)
+        table[workload] = {
+            label: tiny.total_cycles
+            / run(workload=workload, tp=True, **kwargs).total_cycles
+            for label, kwargs in CONFIGS
+        }
+    return table
+
+
+def test_fig17_comparison_with_related_work(benchmark):
+    table = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    workloads = list(table)
+    labels = [label for label, _ in CONFIGS]
+
+    rows = [[w, *[table[w][label] for label in labels]] for w in workloads]
+    rows.append(
+        ["gmean", *[gmean_over([table[w][label] for w in workloads])
+                    for label in labels]]
+    )
+    print_table(
+        ["workload", *labels],
+        rows,
+        title="Figure 17: speedup over Tiny ORAM (with timing protection)",
+    )
+
+    g = {label: gmean_over([table[w][label] for w in workloads])
+         for label in labels}
+    print(f"shadow vs XOR advantage: {g['Shadow'] / g['XOR'] - 1:.1%} "
+          f"(paper: ~23%)")
+    assert g["Shadow"] > g["XOR"], "shadow block must outperform XOR compression"
+    assert g["Shadow+Treetop-3"] > g["Shadow"] * 0.98
+    assert g["Shadow+Treetop-7"] > g["Shadow"] * 0.98

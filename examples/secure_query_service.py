@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Domain example: an oblivious key-value lookup service.
+
+The scenario the paper's introduction motivates: a private program (here a
+tiny account database) runs on a secure processor whose memory traffic is
+visible to the host.  This example stores records behind the shadow-block
+ORAM controller, serves a skewed query stream, and shows
+
+* functional correctness (every query returns the latest balance),
+* the performance effect of shadow blocks (on-chip serves, advanced
+  accesses), and
+* what the adversary actually observes (uniform, uncorrelated path reads
+  regardless of which accounts are hot).
+"""
+
+from random import Random
+
+from repro.analysis.report import print_table
+from repro.core.config import ShadowConfig
+from repro.core.controller import ShadowOramController
+from repro.mem.dram import DramConfig, DramModel
+from repro.oram.config import OramConfig
+from repro.security.adversary import (
+    AccessPatternObserver,
+    chi_square_uniformity,
+    lag_autocorrelation,
+)
+
+NUM_ACCOUNTS = 2_000
+NUM_QUERIES = 6_000
+HOT_ACCOUNTS = 40  # a few celebrity accounts take most of the traffic
+
+
+def main() -> None:
+    oram = OramConfig(levels=12, utilization=0.25)
+    observer = AccessPatternObserver()
+    controller = ShadowOramController(
+        oram,
+        Random(2024),
+        ShadowConfig.dynamic_counter(3),
+        dram=DramModel(DramConfig(), oram.levels, oram.z),
+        observer=observer,
+    )
+    assert NUM_ACCOUNTS <= controller.num_blocks
+
+    # Load the database: account i -> balance.
+    balances = {}
+    now = 0.0
+    for account in range(NUM_ACCOUNTS):
+        balance = 1000 + account
+        r = controller.access(account, "write", payload=balance, now=now)
+        balances[account] = balance
+        now = r.finish
+
+    # Serve a skewed query stream (80% of queries hit the hot accounts).
+    rng = Random(7)
+    onchip = advanced = 0
+    for i in range(NUM_QUERIES):
+        if rng.random() < 0.8:
+            account = rng.randrange(HOT_ACCOUNTS)
+        else:
+            account = rng.randrange(NUM_ACCOUNTS)
+        if rng.random() < 0.25:  # deposits
+            balances[account] += 10
+            r = controller.access(account, "write", payload=balances[account], now=now)
+        else:
+            r = controller.access(account, "read", now=now)
+            assert r.value == balances[account], "stale read!"
+            if r.served_from in ("stash", "shadow_stash", "treetop"):
+                onchip += 1
+            elif r.served_from == "shadow_path":
+                advanced += 1
+        now = r.finish + rng.randrange(400)
+
+    print_table(
+        ["metric", "value"],
+        [
+            ["queries served", NUM_QUERIES],
+            ["correctness", "all reads returned the latest balance"],
+            ["served on chip (no ORAM request)", onchip],
+            ["advanced by a shadow copy on the path", advanced],
+            ["shadow blocks currently in tree", controller.tree.count_blocks()[1]],
+            ["peak stash occupancy (real blocks)", controller.stash.peak_real],
+        ],
+        title="Oblivious account service over Shadow Block ORAM",
+    )
+
+    # The adversary's view: path reads must look like independent uniform
+    # draws even though 80% of the queries touched 2% of the accounts.
+    reads = observer.read_leaves()
+    chi2 = chi_square_uniformity(reads, oram.num_leaves, bins=16)
+    rho = lag_autocorrelation(reads)
+    print(f"adversary view: {len(reads)} path reads, "
+          f"chi^2(15 dof) = {chi2:.1f} (99.9% quantile ~ 37.7), "
+          f"lag-1 autocorrelation = {rho:+.4f}")
+    if chi2 < 37.7 and abs(rho) < 0.05:
+        print("=> access pattern is statistically indistinguishable from "
+              "uniform random paths; the hot set is invisible.")
+
+
+if __name__ == "__main__":
+    main()

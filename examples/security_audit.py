@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Security audit: reproduce the paper's Section III security argument.
+
+Three demonstrations:
+
+1. **Why naive reordering is broken.**  If the intended block were always
+   read first, the attacker could count Read-Recent-Written-Path (RRWP-k)
+   events and tell a cyclic access sequence from a linear scan of the
+   same length — a direct ORAM-definition violation.
+2. **Why shadow blocks are safe.**  With duplication the bus trace of the
+   shadow controller is *bit-identical* to Tiny ORAM's for the same
+   request sequence (shadow hits disabled), and statistically uniform
+   with hits enabled.
+3. **Ciphertext indistinguishability.**  Re-encrypted dummy, shadow and
+   data blocks are the same width and look uniformly random.
+"""
+
+from random import Random
+
+from repro.analysis.report import print_table
+from repro.core.config import ShadowConfig
+from repro.core.controller import ShadowOramController
+from repro.oram.config import OramConfig
+from repro.oram.tiny import TinyOramController
+from repro.security.adversary import (
+    AccessPatternObserver,
+    chi_square_uniformity,
+)
+from repro.security.crypto import CounterOtp, serialize_block
+from repro.security.distinguisher import distinguishing_gap
+
+CONFIG = OramConfig(levels=8, utilization=0.25, stash_capacity=300)
+
+
+def tiny_factory(observer):
+    return TinyOramController(CONFIG, Random(99), observer=observer)
+
+
+def shadow_factory(observer, hits=True):
+    cfg = ShadowConfig.static(4).with_(serve_shadow_read_hits=hits)
+    return ShadowOramController(CONFIG, Random(99), cfg, observer=observer)
+
+
+def main() -> None:
+    # 1. The naive-advance leak distinguishes scan vs cyclic sequences.
+    scan_rate, cyclic_rate = distinguishing_gap(
+        tiny_factory, CONFIG.num_blocks, length=400, cycle=8, k=16, warmup=50
+    )
+    print_table(
+        ["sequence", "RRWP-16 rate under naive advancing"],
+        [["scan a1..aN", scan_rate], ["cyclic a1..a8 repeated", cyclic_rate]],
+        title="1) Naive reordering leaks (Section III)",
+    )
+    print(f"=> gap of {cyclic_rate - scan_rate:.2f}: the sequences are "
+          "trivially distinguishable if access order changes.\n")
+
+    # 2. Shadow-block traces are identical to Tiny ORAM's.
+    rng = Random(5)
+    requests = [rng.randrange(CONFIG.num_blocks) for _ in range(800)]
+    obs_tiny, obs_shadow = AccessPatternObserver(), AccessPatternObserver()
+    tiny = tiny_factory(obs_tiny)
+    shadow = shadow_factory(obs_shadow, hits=False)
+    for addr in requests:
+        tiny.access(addr, "read")
+        shadow.access(addr, "read")
+    identical = [(k, l) for k, l, _ in obs_tiny.events] == [
+        (k, l) for k, l, _ in obs_shadow.events
+    ]
+    print(f"2) Same 800 requests through Tiny and Shadow controllers: "
+          f"bus traces identical = {identical} "
+          f"({len(obs_tiny.events)} events each)")
+
+    obs_hot = AccessPatternObserver()
+    hot_ctl = shadow_factory(obs_hot, hits=True)
+    for addr in (rng.randrange(16) for _ in range(800)):
+        hot_ctl.access(addr, "read")
+    reads = obs_hot.read_leaves()
+    chi2 = chi_square_uniformity(reads, CONFIG.num_leaves, bins=16)
+    print(f"   with shadow hits enabled on a hot set: {len(reads)} path reads, "
+          f"chi^2 = {chi2:.1f} (uniform if < ~37.7)\n")
+
+    # 3. Ciphertext indistinguishability of dummy / shadow / data blocks.
+    otp = CounterOtp(b"controller-secret")
+    samples = {
+        "dummy": serialize_block(0xFFFFFFFF, 0, False, 0),
+        "data": serialize_block(1234, 77, False, 0xCAFE),
+        "shadow": serialize_block(1234, 77, True, 0xCAFE),
+    }
+    rows = []
+    for kind, plaintext in samples.items():
+        _pad, ct = otp.encrypt(plaintext)
+        rows.append([kind, len(ct), ct[:8].hex()])
+    print_table(
+        ["block kind", "ciphertext bytes", "first 8 bytes"],
+        rows,
+        title="3) Probabilistic encryption: all block kinds look alike",
+    )
+    print("=> same width, fresh pad per write: the shadow bit is invisible "
+          "on the bus.")
+
+
+if __name__ == "__main__":
+    main()

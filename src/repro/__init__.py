@@ -1,0 +1,69 @@
+"""repro: reproduction of "Shadow Block: Accelerating ORAM Accesses with
+Data Duplication" (Zhang et al., MICRO 2018).
+
+The package provides:
+
+* a functional + timed Tiny ORAM (RAW Path ORAM) controller;
+* the paper's shadow-block mechanism (RD-Dup, HD-Dup, static/dynamic
+  partitioning) on top of it;
+* the substrates the evaluation needs: a DDR3 timing model, a two-level
+  cache hierarchy, CPU issue models and ten synthetic SPEC-like workloads;
+* a full-system simulator plus the security harness used to validate the
+  obliviousness arguments.
+
+Quickstart::
+
+    from repro import SystemConfig, simulate
+    tiny = simulate(SystemConfig.tiny(), "mcf", num_requests=20_000)
+    shadow = simulate(SystemConfig.dynamic(3), "mcf", num_requests=20_000)
+    print(tiny.total_cycles / shadow.total_cycles)  # speedup
+"""
+
+from repro.core.config import ShadowConfig
+from repro.core.controller import ShadowOramController
+from repro.cpu.cache import CacheConfig, CacheHierarchy
+from repro.cpu.core import CpuConfig
+from repro.cpu.trace import LlcMiss, MemoryRequest, MissTrace
+from repro.mem.dram import DramConfig, DramModel
+from repro.oram.block import Block
+from repro.oram.config import OramConfig
+from repro.oram.stash import Stash, StashOverflowError
+from repro.oram.tiny import AccessResult, TinyOramController
+from repro.oram.tree import OramTree
+from repro.system.config import SystemConfig, TimingProtectionConfig
+from repro.system.metrics import NormalizedResult, SimulationResult, geomean
+from repro.system.simulator import SystemSimulator, build_miss_trace, simulate
+from repro.workloads.spec import WORKLOADS, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessResult",
+    "Block",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CpuConfig",
+    "DramConfig",
+    "DramModel",
+    "LlcMiss",
+    "MemoryRequest",
+    "MissTrace",
+    "NormalizedResult",
+    "OramConfig",
+    "OramTree",
+    "ShadowConfig",
+    "ShadowOramController",
+    "SimulationResult",
+    "Stash",
+    "StashOverflowError",
+    "SystemConfig",
+    "SystemSimulator",
+    "TimingProtectionConfig",
+    "TinyOramController",
+    "WORKLOADS",
+    "build_miss_trace",
+    "geomean",
+    "get_workload",
+    "simulate",
+    "workload_names",
+]

@@ -1,0 +1,17 @@
+"""Analysis helpers: statistics, sweeps and table rendering."""
+
+from repro.analysis.report import format_table, print_table
+from repro.analysis.stats import geometric_mean, intervals, mean, percentile, stdev
+from repro.analysis.sweep import SweepResult, run_sweep
+
+__all__ = [
+    "SweepResult",
+    "format_table",
+    "geometric_mean",
+    "intervals",
+    "mean",
+    "percentile",
+    "print_table",
+    "run_sweep",
+    "stdev",
+]

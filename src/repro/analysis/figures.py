@@ -1,0 +1,110 @@
+"""Plain-text figure rendering (bar charts and line series).
+
+The benchmark harness and examples run in terminals without plotting
+libraries; these helpers render the paper's bar/line figures as aligned
+ASCII so the *shape* of each result is visible directly in test output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("bar chart needs at least one positive value")
+    label_w = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{str(label).ljust(label_w)}  {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """Grouped horizontal bars: one block per group, one bar per series.
+
+    Mirrors the paper's per-workload multi-scheme bar figures.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(f"series {name!r} has {len(values)} values "
+                             f"for {len(groups)} groups")
+    peak = max(max(values) for values in series.values())
+    if peak <= 0:
+        raise ValueError("grouped bars need a positive maximum")
+    name_w = max(len(name) for name in series)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for gi, group in enumerate(groups):
+        lines.append(str(group))
+        for name, values in series.items():
+            bar = "#" * max(0, round(width * values[gi] / peak))
+            lines.append(f"  {name.ljust(name_w)}  {bar} {values[gi]:.3g}")
+    return "\n".join(lines)
+
+
+def line_series(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    height: int = 12,
+    width: int = 64,
+) -> str:
+    """Coarse ASCII line plot of one or more series over shared x values.
+
+    Used for the sweep figures (partition level, counter width, ORAM
+    size): each series gets a marker character; points land on a
+    ``height`` x ``width`` grid scaled to the data range.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "ox+*@%&$"
+    all_vals = [v for values in series.values() for v in values]
+    lo, hi = min(all_vals), max(all_vals)
+    span = hi - lo or 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = x_hi - x_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for (name, values), marker in zip(series.items(), markers):
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(xs, values):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - lo) / span * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:.3g} +" + "-" * width)
+    for row in grid:
+        lines.append("      |" + "".join(row))
+    lines.append(f"{lo:.3g} +" + "-" * width)
+    lines.append(f"       x: {x_lo:g} .. {x_hi:g}   " + "   ".join(legend))
+    return "\n".join(lines)

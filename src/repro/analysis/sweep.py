@@ -1,0 +1,77 @@
+"""Parameter-sweep drivers used by the figure benchmarks.
+
+Every figure in the paper's evaluation is a sweep over either workloads,
+partition levels, counter widths, CPU types or ORAM sizes; this module
+centralises the looping/normalisation so each benchmark file stays a
+declarative description of its figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.system.config import SystemConfig
+from repro.system.metrics import NormalizedResult, SimulationResult, geomean
+from repro.system.simulator import simulate
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """All runs of one sweep, indexed by (workload, scheme)."""
+
+    results: dict[tuple[str, str], SimulationResult]
+
+    def get(self, workload: str, scheme: str) -> SimulationResult:
+        return self.results[(workload, scheme)]
+
+    def schemes(self) -> list[str]:
+        return sorted({scheme for _w, scheme in self.results})
+
+    def workloads(self) -> list[str]:
+        seen: list[str] = []
+        for workload, _s in self.results:
+            if workload not in seen:
+                seen.append(workload)
+        return seen
+
+    def normalized(self, baseline_scheme: str) -> dict[tuple[str, str], NormalizedResult]:
+        """Normalise every run to ``baseline_scheme`` on the same workload."""
+        out = {}
+        for (workload, scheme), result in self.results.items():
+            base = self.results[(workload, baseline_scheme)]
+            out[(workload, scheme)] = result.normalized_to(base)
+        return out
+
+    def geomean_normalized(self, scheme: str, baseline_scheme: str) -> NormalizedResult:
+        """Geometric-mean normalised metrics of ``scheme`` across workloads."""
+        normalized = self.normalized(baseline_scheme)
+        rows = [normalized[(w, scheme)] for w in self.workloads()]
+        return NormalizedResult(
+            workload="gmean",
+            scheme=scheme,
+            baseline=baseline_scheme,
+            total=geomean([r.total for r in rows]),
+            data=geomean([max(r.data, 1e-9) for r in rows]),
+            interval=geomean([max(r.interval, 1e-9) for r in rows]),
+            energy=geomean([max(r.energy, 1e-9) for r in rows]),
+            speedup=geomean([r.speedup for r in rows]),
+        )
+
+
+def run_sweep(
+    configs: Sequence[SystemConfig],
+    workloads: Iterable[str],
+    num_requests: int,
+    seed: int = 1,
+    hook: Callable[[str, str, SimulationResult], None] | None = None,
+) -> SweepResult:
+    """Run every (config, workload) pair and collect the results."""
+    results: dict[tuple[str, str], SimulationResult] = {}
+    for workload in workloads:
+        for config in configs:
+            result = simulate(config, workload, num_requests=num_requests, seed=seed)
+            results[(workload, config.name)] = result
+            if hook is not None:
+                hook(workload, config.name, result)
+    return SweepResult(results)

@@ -1,0 +1,195 @@
+"""Command-line interface for running Shadow Block ORAM experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro run --scheme dynamic-3 --workload mcf --requests 20000
+    python -m repro compare --workload h264ref --timing-protection
+    python -m repro workloads
+    python -m repro overhead
+
+The CLI is a thin layer over :func:`repro.system.simulator.simulate`; it
+exists so downstream users can explore configurations without writing
+Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table
+from repro.core.config import ShadowConfig
+from repro.oram.config import OramConfig
+from repro.system.config import SystemConfig
+from repro.system.overhead import estimate_overhead
+from repro.system.simulator import simulate
+from repro.workloads.spec import WORKLOADS, workload_names
+
+KNOWN_SCHEMES = (
+    "tiny", "insecure", "rd-dup", "hd-dup", "static-<P>", "dynamic-<W>",
+)
+
+
+def build_config(args: argparse.Namespace) -> SystemConfig:
+    """Translate CLI flags into a :class:`SystemConfig`."""
+    oram = OramConfig(
+        levels=args.levels,
+        utilization=args.utilization,
+        treetop_levels=args.treetop,
+        xor_compression=args.xor,
+    )
+    scheme = args.scheme.lower()
+    if scheme == "tiny":
+        config = SystemConfig.tiny(oram=oram)
+    elif scheme == "insecure":
+        config = SystemConfig.insecure_system(oram=oram)
+    elif scheme in ("rd", "rd-dup"):
+        config = SystemConfig.rd_dup(oram=oram)
+    elif scheme in ("hd", "hd-dup"):
+        config = SystemConfig(
+            name="HD-Dup", oram=oram, shadow=ShadowConfig.hd_only(oram.levels)
+        )
+    elif scheme.startswith("static-"):
+        config = SystemConfig.static(int(scheme.split("-", 1)[1]), oram=oram)
+    elif scheme.startswith("dynamic-"):
+        config = SystemConfig.dynamic(int(scheme.split("-", 1)[1]), oram=oram)
+    else:
+        raise SystemExit(
+            f"unknown scheme {args.scheme!r}; known: {', '.join(KNOWN_SCHEMES)}"
+        )
+    if args.timing_protection:
+        config = config.with_timing_protection(args.rate)
+    return config.with_(seed=args.seed)
+
+
+def _result_rows(result) -> list[list[object]]:
+    return [
+        ["workload", result.workload],
+        ["scheme", result.scheme],
+        ["LLC misses", result.llc_misses],
+        ["total cycles", f"{result.total_cycles:,.0f}"],
+        ["data access cycles", f"{result.data_access_cycles:,.0f}"],
+        ["DRI cycles", f"{result.dri_cycles:,.0f}"],
+        ["real / dummy ORAM requests",
+         f"{result.real_requests} / {result.dummy_requests}"],
+        ["on-chip hit rate", f"{result.onchip_hit_rate:.1%}"],
+        ["advanced (shadow on path)", result.shadow_path_serves],
+        ["mean data latency", f"{result.mean_data_latency:,.0f} cycles"],
+        ["energy", f"{result.energy_nj / 1e3:,.1f} uJ"],
+        ["peak stash (real blocks)", result.stash_peak],
+    ]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = build_config(args)
+    print(f"config: {config.describe()}")
+    result = simulate(config, args.workload, num_requests=args.requests,
+                      seed=args.seed)
+    print(format_table(["metric", "value"], _result_rows(result),
+                       title="Simulation result"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    schemes = ["insecure", "tiny", "rd-dup", "hd-dup", f"dynamic-{args.width}"]
+    rows = []
+    tiny_total = None
+    for scheme in schemes:
+        sub = argparse.Namespace(**vars(args))
+        sub.scheme = scheme
+        if scheme == "insecure":
+            sub.timing_protection = False
+        result = simulate(build_config(sub), args.workload,
+                          num_requests=args.requests, seed=args.seed)
+        if scheme == "tiny":
+            tiny_total = result.total_cycles
+        speedup = tiny_total / result.total_cycles if tiny_total else float("nan")
+        rows.append([
+            result.scheme,
+            result.total_cycles / 1e6,
+            speedup,
+            result.onchip_hit_rate,
+            result.shadow_path_serves,
+        ])
+    print(format_table(
+        ["scheme", "Mcycles", "speedup vs Tiny", "on-chip hits", "advanced"],
+        rows,
+        title=f"Scheme comparison on {args.workload}",
+    ))
+    return 0
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = [
+        [name, WORKLOADS[name].memory_intensity, WORKLOADS[name].description]
+        for name in workload_names()
+    ]
+    print(format_table(["name", "intensity", "behaviour"], rows,
+                       title="Available workloads"))
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    oram = OramConfig(levels=args.levels, utilization=args.utilization)
+    report = estimate_overhead(oram, ShadowConfig())
+    rows = [
+        ["shadow bits (DRAM)", f"{report.shadow_bits_bytes:,} B"],
+        ["Hot Address Cache (on chip)", f"{report.hot_cache_bytes:,} B"],
+        ["RD+HD queue entries", report.queue_entries],
+        ["queue gate count (paper synthesis)", f"~{report.queue_gate_count:,}"],
+        ["extra registers", f"{report.extra_registers_bits} bits"],
+        ["total extra on-chip storage", f"{report.total_onchip_bytes:,} B"],
+    ]
+    print(format_table(["component", "cost"], rows,
+                       title=f"Shadow Block overhead (L={args.levels})"))
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Shadow Block ORAM (MICRO 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", default="h264ref",
+                       choices=workload_names())
+        p.add_argument("--requests", type=int, default=20_000)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--levels", type=int, default=14)
+        p.add_argument("--utilization", type=float, default=0.25)
+        p.add_argument("--treetop", type=int, default=0)
+        p.add_argument("--xor", action="store_true")
+        p.add_argument("--timing-protection", action="store_true")
+        p.add_argument("--rate", type=float, default=800.0,
+                       help="timing protection slot length (cycles)")
+
+    run_p = sub.add_parser("run", help="run one configuration")
+    common(run_p)
+    run_p.add_argument("--scheme", default="dynamic-3")
+    run_p.set_defaults(fn=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="compare all schemes on a workload")
+    common(cmp_p)
+    cmp_p.add_argument("--width", type=int, default=3,
+                       help="DRI counter width for the dynamic scheme")
+    cmp_p.set_defaults(fn=cmd_compare)
+
+    wl_p = sub.add_parser("workloads", help="list available workloads")
+    wl_p.set_defaults(fn=cmd_workloads)
+
+    ov_p = sub.add_parser("overhead", help="print Section V-C overhead numbers")
+    ov_p.add_argument("--levels", type=int, default=14)
+    ov_p.add_argument("--utilization", type=float, default=0.25)
+    ov_p.set_defaults(fn=cmd_overhead)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Configuration of the Shadow Block mechanism."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True, slots=True)
+class ShadowConfig:
+    """Parameters of the shadow-block duplication layer.
+
+    Attributes:
+        dynamic: Use the DRI-counter-driven dynamic partitioning instead of
+            a fixed level.
+        partition_level: Static partitioning level ``P`` (dummy slots at
+            levels ``< P`` use HD-Dup, levels ``>= P`` use RD-Dup).  With
+            ``dynamic=True`` this is only the starting level (``None``
+            picks the middle of the tree).
+        dri_counter_bits: Width of the saturating DRI counter (paper's
+            sweep in Figure 10 finds 3 bits best).
+        hot_cache_sets / hot_cache_ways: Geometry of the Hot Address Cache
+            (1 KB in the paper -> 32 x 4 entries by default).
+        serve_shadow_read_hits: Serve LLC *read* misses that hit a shadow
+            block in the stash without issuing an ORAM request (the HD-Dup
+            benefit).  Writes always issue a full ORAM access so a single
+            authoritative version of each block exists (DESIGN.md).
+        dummy_threshold: Idle-gap length (cycles) treated as a virtual
+            dummy request by dynamic partitioning when timing protection is
+            off.  Defaults to the paper's 800-cycle static rate.
+    """
+
+    dynamic: bool = False
+    partition_level: int | None = None
+    dri_counter_bits: int = 3
+    hot_cache_sets: int = 32
+    hot_cache_ways: int = 4
+    serve_shadow_read_hits: bool = True
+    dummy_threshold: float = 800.0
+
+    # ------------------------------------------------------------------
+    # Convenience constructors matching the paper's named configurations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def rd_only() -> "ShadowConfig":
+        """Pure RD-Dup: every dummy slot uses rear-data duplication."""
+        return ShadowConfig(dynamic=False, partition_level=0)
+
+    @staticmethod
+    def hd_only(levels: int) -> "ShadowConfig":
+        """Pure HD-Dup for a tree with leaf level ``levels``."""
+        return ShadowConfig(dynamic=False, partition_level=levels + 1)
+
+    @staticmethod
+    def static(partition_level: int) -> "ShadowConfig":
+        """Static partitioning at ``P = partition_level`` (e.g. static-7)."""
+        return ShadowConfig(dynamic=False, partition_level=partition_level)
+
+    @staticmethod
+    def dynamic_counter(bits: int = 3) -> "ShadowConfig":
+        """Dynamic partitioning with a ``bits``-wide DRI counter."""
+        return ShadowConfig(dynamic=True, dri_counter_bits=bits)
+
+    def with_(self, **changes: object) -> "ShadowConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,257 @@
+"""Shadow-block ORAM controller: the paper's primary contribution.
+
+:class:`ShadowOramController` extends the Tiny ORAM baseline with the
+mechanisms of Sections IV and V:
+
+* **shadow generation** during path writes (Algorithm 1): dummy slots are
+  filled with re-encrypted copies of blocks just evicted on the same path,
+  selected by RD-Dup or HD-Dup according to the partitioning level;
+* **early forwarding** during path reads (Algorithm 2): the first arriving
+  copy of the intended block — usually a root-ward shadow — un-stalls the
+  CPU, while the access pattern seen by the adversary stays bit-identical
+  to Tiny ORAM;
+* **shadow stash hits**: read misses whose data sits in a stashed shadow
+  block are served on chip without issuing an ORAM request at all (the
+  HD-Dup payoff);
+* the **Hot Address Cache**, **RD/HD queues** and the **DRI-counter
+  partitioning** (static or dynamic).
+
+The external behaviour (which paths are read/written and when) is
+unchanged from the baseline — the security tests in
+``tests/security`` verify this trace-for-trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from repro.core.config import ShadowConfig
+from repro.core.hot_cache import HotAddressCache
+from repro.core.partition import (
+    DUMMY,
+    REAL,
+    DynamicPartitionPolicy,
+    PartitionPolicy,
+)
+from repro.core.queues import DupCandidate, hd_queue, rd_queue
+from repro.mem.dram import DramModel
+from repro.oram.block import Block
+from repro.oram.config import OramConfig
+from repro.oram.tiny import (
+    SERVED_SHADOW_STASH,
+    AccessResult,
+    Observer,
+    TinyOramController,
+)
+
+
+@dataclass(slots=True)
+class ShadowStats:
+    """Counters specific to the duplication machinery."""
+
+    rd_shadows: int = 0
+    hd_shadows: int = 0
+    stash_shadow_reevictions: int = 0
+    dummy_slots_seen: int = 0
+    dummy_slots_filled: int = 0
+
+
+class ShadowOramController(TinyOramController):
+    """Tiny ORAM controller augmented with shadow-block duplication.
+
+    Class attribute ``_STASH_SHADOW_CANDIDATES`` bounds how many stashed
+    shadow blocks are considered for re-eviction per path write, modelling
+    the fixed-size hardware queues of Section V-B-2.
+
+    Args:
+        config: Baseline ORAM geometry/protocol parameters.
+        rng: Randomness source shared with the baseline.
+        shadow_config: Duplication parameters (partitioning mode, queues,
+            hot cache geometry).
+        dram: Optional timing model.
+        observer: Optional adversary-view callback.
+    """
+
+    _STASH_SHADOW_CANDIDATES = 32
+
+    def __init__(
+        self,
+        config: OramConfig,
+        rng: Random,
+        shadow_config: ShadowConfig | None = None,
+        dram: DramModel | None = None,
+        observer: Observer | None = None,
+    ) -> None:
+        super().__init__(config, rng, dram=dram, observer=observer)
+        self.shadow_config = shadow_config or ShadowConfig()
+        self.hot_cache = HotAddressCache(
+            self.shadow_config.hot_cache_sets, self.shadow_config.hot_cache_ways
+        )
+        self.partition = self._build_partition_policy()
+        self.shadow_stats = ShadowStats()
+        # Track the level each shadow block was stored at so a re-evicted
+        # stash shadow keeps satisfying Rule-2 (strictly root-ward of its
+        # original); maps addr -> source level.
+        self._shadow_source_level: dict[int, int] = {}
+
+    def _build_partition_policy(self) -> PartitionPolicy:
+        max_level = self.config.levels + 1
+        cfg = self.shadow_config
+        if cfg.dynamic:
+            initial = cfg.partition_level
+            return DynamicPartitionPolicy(
+                max_level, counter_bits=cfg.dri_counter_bits, initial_level=initial
+            )
+        level = cfg.partition_level
+        if level is None:
+            level = max_level // 2
+        return PartitionPolicy(min(level, max_level), max_level)
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _try_onchip(
+        self, addr: int, op: str, payload: object, now: float
+    ) -> AccessResult | None:
+        self.hot_cache.touch(addr)
+        hit = super()._try_onchip(addr, op, payload, now)
+        if hit is not None:
+            return hit
+        if op != "read" or not self.shadow_config.serve_shadow_read_hits:
+            return None
+        shadow = self.stash.lookup_shadow(addr)
+        if shadow is None:
+            return None
+        # A stashed shadow holds data identical to the tree's original (the
+        # single-version argument of Section IV-A), so a read can be served
+        # on chip; no ORAM request is issued, exactly like a stash hit.
+        self.stats.shadow_stash_hits += 1
+        self.stats.onchip_serves += 1
+        ready = now + self.config.onchip_latency
+        return AccessResult(
+            addr=addr,
+            op=op,
+            served_from=SERVED_SHADOW_STASH,
+            issue=now,
+            data_ready=ready,
+            finish=ready,
+            value=shadow.payload,
+            version=shadow.version,
+        )
+
+    def peek_onchip(self, addr: int, op: str) -> bool:
+        if super().peek_onchip(addr, op):
+            return True
+        return (
+            op == "read"
+            and self.shadow_config.serve_shadow_read_hits
+            and self.stash.lookup_shadow(addr) is not None
+        )
+
+    def _oram_access(
+        self,
+        addr: int,
+        op: str,
+        payload: object,
+        leaf: int,
+        new_leaf: int,
+        now: float,
+    ) -> AccessResult:
+        self.partition.observe(REAL)
+        return super()._oram_access(addr, op, payload, leaf, new_leaf, now)
+
+    def dummy_access(self, now: float = 0.0) -> AccessResult:
+        self.partition.observe(DUMMY)
+        return super().dummy_access(now)
+
+    def note_idle_gap(self, gap: float) -> None:
+        """Report CPU idle time between requests (no-timing-protection mode).
+
+        Dynamic partitioning converts long gaps into virtual dummy-request
+        observations for its DRI counter; see :mod:`repro.core.partition`.
+        """
+        self.partition.observe_idle_gap(gap, self.shadow_config.dummy_threshold)
+
+    # ------------------------------------------------------------------
+    # Shadow bookkeeping on path reads
+    # ------------------------------------------------------------------
+    def _stash_insert(self, blk: Block, level: int) -> None:
+        super()._stash_insert(blk, level)
+        if blk.is_shadow:
+            if self.stash.lookup_shadow(blk.addr) is blk:
+                # The shadow survived the merge rules: remember the level it
+                # came from, which bounds where a re-evicted copy may go
+                # (Rule-2: strictly root-ward of the original).
+                self._shadow_source_level[blk.addr] = level
+        elif self.stash.lookup_shadow(blk.addr) is None:
+            # A real arrival merged away any stashed shadow of this addr.
+            self._shadow_source_level.pop(blk.addr, None)
+
+    # ------------------------------------------------------------------
+    # Shadow generation on path writes (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _fill_dummies(
+        self,
+        leaf: int,
+        contents: dict[tuple[int, int], Block],
+        fill: list[int],
+        placed: list[tuple[Block, int]],
+    ) -> None:
+        cfg = self.config
+        rd = rd_queue()
+        hd = hd_queue()
+        # Blocks written back on this very path: automatically Rule-1-safe.
+        for blk, level in placed:
+            cand = DupCandidate(
+                block=blk,
+                level_bound=level,
+                hotness=self.hot_cache.hotness(blk.addr),
+            )
+            rd.push(cand)
+            hd.push(cand)
+        # Evictable shadow blocks from the stash (Section V-B-2).  The
+        # hardware queues are small, so cap the stash-shadow candidates to
+        # the hottest few that can actually land on this path.
+        stash_shadow_cands: list[DupCandidate] = []
+        eligible_shadows = [
+            (self.hot_cache.hotness(sblk.addr), sblk)
+            for sblk in self.stash.shadow_blocks()
+            if self._shadow_source_level.get(sblk.addr, 0) > 0
+        ]
+        eligible_shadows.sort(key=lambda hs: -hs[0])
+        for hotness, sblk in eligible_shadows[: self._STASH_SHADOW_CANDIDATES]:
+            cand = DupCandidate(
+                block=sblk,
+                level_bound=self._shadow_source_level.get(sblk.addr, 0),
+                hotness=hotness,
+                from_stash_shadow=True,
+            )
+            rd.push(cand)
+            hd.push(cand)
+            stash_shadow_cands.append(cand)
+
+        for level in range(cfg.levels, -1, -1):
+            free = cfg.z - fill[level]
+            if free <= 0:
+                continue
+            self.shadow_stats.dummy_slots_seen += free
+            use_hd = self.partition.uses_hd(level)
+            queue = hd if use_hd else rd
+            chosen = queue.select_many(level, free, leaf, cfg.levels)
+            for offset, cand in enumerate(chosen):
+                copy = cand.block.shadow_copy()
+                contents[(level, fill[level] + offset)] = copy
+                self.shadow_stats.dummy_slots_filled += 1
+                if use_hd:
+                    self.shadow_stats.hd_shadows += 1
+                else:
+                    self.shadow_stats.rd_shadows += 1
+
+        # A stash shadow that produced at least one tree copy has been
+        # "evicted": drop the on-chip copy (its slot becomes free).
+        for cand in stash_shadow_cands:
+            if cand.used:
+                self.stash.remove_shadow(cand.block.addr)
+                self._shadow_source_level.pop(cand.block.addr, None)
+                self.shadow_stats.stash_shadow_reevictions += 1

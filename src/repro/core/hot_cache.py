@@ -1,0 +1,68 @@
+"""Hot Address Cache: on-chip access counters for HD-Dup (Section V-B-1).
+
+A small set-associative structure tagged by program address.  Every LLC
+miss that reaches the ORAM controller touches it; a hit increments the
+stored counter, a miss inserts the address, evicting the Least Frequently
+Used way of its set.  HD-Dup consults it during path writes to pick the
+hottest duplication candidate.
+
+The paper sizes it at 1 KB; with an 8-byte tag+counter entry that is 128
+entries, our default of 32 sets x 4 ways.
+"""
+
+from __future__ import annotations
+
+
+class HotAddressCache:
+    """Set-associative LFU counter cache.
+
+    Args:
+        sets: Number of sets (power of two recommended).
+        ways: Associativity.
+    """
+
+    def __init__(self, sets: int = 32, ways: int = 4) -> None:
+        if sets < 1 or ways < 1:
+            raise ValueError(f"cache geometry must be positive, got {sets}x{ways}")
+        self.sets = sets
+        self.ways = ways
+        self._lines: list[dict[int, int]] = [{} for _ in range(sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.sets * self.ways
+
+    def _set_of(self, addr: int) -> dict[int, int]:
+        return self._lines[addr % self.sets]
+
+    def touch(self, addr: int) -> int:
+        """Record one LLC miss to ``addr``; return its updated counter."""
+        line = self._set_of(addr)
+        if addr in line:
+            line[addr] += 1
+            self.hits += 1
+            return line[addr]
+        self.misses += 1
+        if len(line) >= self.ways:
+            victim = min(line, key=line.__getitem__)
+            del line[victim]
+            self.evictions += 1
+        line[addr] = 1
+        return 1
+
+    def hotness(self, addr: int) -> int:
+        """Access count of ``addr``; 0 when the address is not tracked.
+
+        The paper: "if a candidate is not in the access counter cache,
+        priority of this block is set to zero."
+        """
+        return self._set_of(addr).get(addr, 0)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._set_of(addr)
+
+    def __len__(self) -> int:
+        return sum(len(line) for line in self._lines)

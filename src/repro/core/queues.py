@@ -1,0 +1,138 @@
+"""RD-queue and HD-queue: duplication candidate selection (Section V-B-2).
+
+During a path write the controller collects every block it writes back to
+the tree (plus evictable shadow blocks from the stash) as *duplication
+candidates*.  When a slot would otherwise hold a dummy, the head of the
+appropriate queue is copied into it as a shadow block:
+
+* the **RD-queue** ranks candidates by *level* — the deepest-placed (rear)
+  block has the highest priority, because it is the one whose access a
+  future path read would otherwise serve last;
+* the **HD-queue** ranks candidates by their Hot Address Cache counter.
+
+Both queues are rebuilt for every path write and cleared afterwards, as in
+the hardware design.  Selection must honour the shadow-block rules of
+Section IV-A: a copy may only be written strictly root-ward of the
+candidate's current lowest copy (Rule-2), and only into a bucket that lies
+on the candidate's own path (Rule-1) — automatic for blocks evicted onto
+this very path, checked explicitly for re-evicted stash shadows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.oram.block import Block
+from repro.oram.tree import OramTree
+
+
+@dataclass(slots=True)
+class DupCandidate:
+    """A block eligible for duplication during the current path write.
+
+    Attributes:
+        block: The candidate block (its ``leaf`` / ``payload`` / ``version``
+            are what the shadow copy will carry).
+        level_bound: Level of the candidate's current root-most copy on
+            this path; a new shadow must go to a strictly smaller level
+            (Rule-2).  Updated every time the candidate is duplicated,
+            which is what makes Figure 4(b)'s "Data-A's level changed to 1
+            after duplication" behaviour fall out naturally.
+        hotness: Hot Address Cache counter snapshot (HD-queue priority).
+        from_stash_shadow: Whether the candidate is a shadow block being
+            re-evicted from the stash (needs the explicit Rule-1 check).
+        used: Set once the candidate produced at least one shadow copy.
+    """
+
+    block: Block
+    level_bound: int
+    hotness: int = 0
+    from_stash_shadow: bool = False
+    used: bool = False
+
+    def eligible(self, slot_level: int, evict_leaf: int, levels: int) -> bool:
+        """Whether this candidate may be copied into ``slot_level``."""
+        if slot_level >= self.level_bound:
+            return False
+        if self.from_stash_shadow:
+            # Rule-1: the slot's bucket must lie on the candidate's path.
+            if OramTree.common_level(self.block.leaf, evict_leaf, levels) < slot_level:
+                return False
+        return True
+
+
+class DuplicationQueue:
+    """Priority queue over :class:`DupCandidate` for one path write.
+
+    Queues are tiny (at most one entry per path slot) so selection is a
+    linear scan, mirroring the CAM-style hardware structure.
+    """
+
+    def __init__(self, key: str) -> None:
+        if key not in ("level_bound", "hotness"):
+            raise ValueError(f"unknown priority key {key!r}")
+        self._key = key
+        self._candidates: list[DupCandidate] = []
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def push(self, candidate: DupCandidate) -> None:
+        self._candidates.append(candidate)
+
+    def select(
+        self, slot_level: int, evict_leaf: int, levels: int
+    ) -> DupCandidate | None:
+        """Pick the highest-priority candidate eligible for ``slot_level``.
+
+        Returns ``None`` when no candidate satisfies the shadow rules; the
+        slot then stays a plain dummy.  The chosen candidate's
+        ``level_bound`` is updated to the slot level.
+        """
+        chosen = self.select_many(slot_level, 1, evict_leaf, levels)
+        return chosen[0] if chosen else None
+
+    def select_many(
+        self, slot_level: int, count: int, evict_leaf: int, levels: int
+    ) -> list[DupCandidate]:
+        """Pick up to ``count`` distinct candidates for one bucket's dummies.
+
+        A single scan suffices for a whole bucket: once selected, a
+        candidate's ``level_bound`` drops to ``slot_level``, making it
+        ineligible for further slots at the same level (Rule-2 is strict),
+        so the top-``count`` eligible candidates are exactly what per-slot
+        selection would have produced.
+        """
+        if count <= 0:
+            return []
+        key = self._key
+        # (priority, candidate) of current best picks, lowest priority first.
+        best: list[tuple[int, DupCandidate]] = []
+        for cand in self._candidates:
+            if not cand.eligible(slot_level, evict_leaf, levels):
+                continue
+            priority = getattr(cand, key)
+            if len(best) < count:
+                best.append((priority, cand))
+                best.sort(key=lambda pc: pc[0])
+            elif priority > best[0][0]:
+                best[0] = (priority, cand)
+                best.sort(key=lambda pc: pc[0])
+        chosen = [cand for _p, cand in sorted(best, key=lambda pc: -pc[0])]
+        for cand in chosen:
+            cand.level_bound = slot_level
+            cand.used = True
+        return chosen
+
+    def clear(self) -> None:
+        self._candidates.clear()
+
+
+def rd_queue() -> DuplicationQueue:
+    """Rear-Data queue: priority = current level (deepest wins)."""
+    return DuplicationQueue("level_bound")
+
+
+def hd_queue() -> DuplicationQueue:
+    """Hot-Data queue: priority = Hot Address Cache counter."""
+    return DuplicationQueue("hotness")

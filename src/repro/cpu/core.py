@@ -1,0 +1,104 @@
+"""Core models: in-order (Table I) and out-of-order window (Section VI-E).
+
+The paper's two CPU configurations differ, for ORAM purposes, in how many
+LLC misses may be outstanding and how tightly misses are spaced:
+
+* the **in-order single-core Alpha** stalls on every miss — the next miss
+  issues only ``gap`` cycles after the previous miss's data returned;
+* the **4-core 8-way O3** sustains several independent misses, shrinking
+  the effective data request interval (the paper notes this makes RD-Dup
+  less effective, Figure 18).
+
+We model the O3 core as a miss window: up to ``window`` independent misses
+may be in flight, and dependent misses still serialize on their producer.
+Multi-core is modelled by interleaving per-core streams (the paper simply
+duplicates the benchmark per core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.trace import LlcMiss
+
+IN_ORDER = "inorder"
+OUT_OF_ORDER = "o3"
+
+
+@dataclass(frozen=True, slots=True)
+class CpuConfig:
+    """Core-model parameters.
+
+    Attributes:
+        core_type: ``"inorder"`` or ``"o3"``.
+        cores: Number of cores (paper: 1 in-order, 4 O3).
+        window: Maximum outstanding independent misses per core (O3 only).
+        frequency_ghz: Core clock (Table I: 2 GHz).
+    """
+
+    core_type: str = IN_ORDER
+    cores: int = 1
+    window: int = 8
+    frequency_ghz: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.core_type not in (IN_ORDER, OUT_OF_ORDER):
+            raise ValueError(f"unknown core type {self.core_type!r}")
+        if self.cores < 1:
+            raise ValueError(f"need at least one core, got {self.cores}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+    @staticmethod
+    def in_order() -> "CpuConfig":
+        """Table I in-order single-core configuration."""
+        return CpuConfig(core_type=IN_ORDER, cores=1)
+
+    @staticmethod
+    def out_of_order(cores: int = 4, window: int = 8) -> "CpuConfig":
+        """Table I O3 configuration (4 cores, 8-way issue)."""
+        return CpuConfig(core_type=OUT_OF_ORDER, cores=cores, window=window)
+
+
+class MissIssuePolicy:
+    """Decides when the core is ready to issue each LLC miss.
+
+    The simulator drives this one miss at a time, telling it when each
+    miss's data came back; the policy answers when the *next* miss becomes
+    ready, which encodes the in-order/O3 difference.
+    """
+
+    def __init__(self, config: CpuConfig) -> None:
+        self.config = config
+        # Completion times of recent misses, newest last (for the window).
+        self._completions: list[float] = []
+        self._last_completion = 0.0
+        self._last_issue = 0.0
+
+    def ready_time(self, miss: LlcMiss) -> float:
+        """Earliest cycle at which ``miss`` can be issued to the ORAM.
+
+        In-order cores (and dependent misses on any core) wait for the
+        previous miss's data plus the compute gap.  Independent misses on
+        the O3 core only wait for the issue stage to reach them (previous
+        issue + gap) and for a miss-window slot to free up.
+        """
+        if self.config.core_type == IN_ORDER or miss.dependent:
+            return self._last_completion + miss.gap
+        window = self.config.window
+        if len(self._completions) >= window:
+            window_anchor = self._completions[-window]
+        else:
+            window_anchor = 0.0
+        return max(self._last_issue + miss.gap, window_anchor)
+
+    def issued(self, time: float) -> None:
+        """Record the actual issue time of the miss just started."""
+        self._last_issue = time
+
+    def complete(self, miss: LlcMiss, data_ready: float) -> None:
+        """Record that ``miss``'s data arrived at ``data_ready``."""
+        self._last_completion = data_ready
+        self._completions.append(data_ready)
+        if len(self._completions) > 4 * self.config.window:
+            del self._completions[: 2 * self.config.window]

@@ -1,0 +1,91 @@
+"""Trace types exchanged between workloads, caches and the simulator.
+
+The full-system flow is::
+
+    workload generator --MemoryRequest*--> cache hierarchy --LlcMiss*--> ORAM
+
+A :class:`MemoryRequest` is one memory instruction of the program; the
+cache hierarchy filters hits and produces the LLC-miss trace the ORAM
+controller serves.  Each :class:`LlcMiss` carries the *gap*: the on-chip
+cycles (cache hits + compute) separating it from the moment the previous
+miss's data returned.  The gap is exactly what determines the paper's Data
+Request Interval once ORAM latencies are added, so it is the one quantity
+our CPU substitution must preserve (DESIGN.md substitution 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class MemoryRequest:
+    """One memory instruction at cache-line granularity.
+
+    Attributes:
+        addr: Cache-line (block) address.
+        op: ``"read"`` or ``"write"``.
+        work: Compute cycles the core spends before issuing this request
+            (after the previous instruction retired, for the in-order core).
+        dependent: Whether this request consumes the result of the previous
+            *miss* (e.g. pointer chasing).  Independent requests may overlap
+            in the out-of-order model.
+    """
+
+    addr: int
+    op: str = "read"
+    work: int = 0
+    dependent: bool = True
+
+
+@dataclass(slots=True)
+class LlcMiss:
+    """One LLC miss as presented to the ORAM controller.
+
+    Attributes:
+        addr: Block address requested from the ORAM.
+        op: ``"read"`` or ``"write"``.
+        gap: On-chip cycles between the previous miss's data return and
+            this miss's issue (compute + cache-hit servicing).
+        dependent: Whether this miss needed the previous miss's data.
+        writeback_addr: Dirty LLC victim to write back, if any (``None``
+            unless writeback modelling is enabled).
+    """
+
+    addr: int
+    op: str
+    gap: float
+    dependent: bool = True
+    writeback_addr: int | None = None
+
+
+@dataclass(slots=True)
+class MissTrace:
+    """LLC-miss trace plus provenance metadata."""
+
+    workload: str
+    misses: list[LlcMiss]
+    raw_requests: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+
+    def __len__(self) -> int:
+        return len(self.misses)
+
+    @property
+    def miss_rate(self) -> float:
+        """LLC misses per memory instruction."""
+        if self.raw_requests == 0:
+            return 0.0
+        return len(self.misses) / self.raw_requests
+
+    @property
+    def mean_gap(self) -> float:
+        """Average on-chip gap between consecutive misses (cycles)."""
+        if not self.misses:
+            return 0.0
+        return sum(m.gap for m in self.misses) / len(self.misses)
+
+    def address_footprint(self) -> int:
+        """Number of distinct block addresses missed."""
+        return len({m.addr for m in self.misses})

@@ -1,0 +1,296 @@
+"""Analytic DDR3 timing model for ORAM path accesses.
+
+This replaces DRAMSim2 in the paper's toolchain (see DESIGN.md substitution
+3).  Instead of simulating individual DRAM commands we model a path access
+as a two-stage pipeline:
+
+1. **Internal stage** — buckets stream out of the DRAM devices.  Each
+   channel serves its buckets in root-to-leaf order; the first bucket of
+   each row group pays the activation latency (tRP + tRCD + tCAS), the rest
+   stream at the burst rate.
+2. **Bus stage** — blocks cross the shared CPU-memory link in logical
+   root-to-leaf order.  This stage is what XOR compression removes (it
+   sends a single XORed block instead of the whole path), so it is modelled
+   explicitly.
+
+The quantity the Shadow Block technique exploits — the arrival time of each
+individual block at the ORAM controller — falls straight out of this model:
+root-ward blocks arrive first, leaf-ward blocks arrive last, with realistic
+spacing derived from DDR3-1333 parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.layout import SubtreeLayout
+
+
+@dataclass(frozen=True, slots=True)
+class DramConfig:
+    """DDR3-1333 dual-channel configuration (Table I).
+
+    All ``*_ns`` values are converted to CPU cycles at ``cpu_freq_ghz``.
+    """
+
+    cpu_freq_ghz: float = 2.0
+    tck_ns: float = 1.5  # DDR3-1333 clock period
+    channels: int = 2
+    subtree_levels: int = 4
+    block_bytes: int = 64
+    io_bits: int = 64  # channel data width
+    t_cas_ns: float = 13.5
+    t_rcd_ns: float = 13.5
+    t_rp_ns: float = 13.5
+    # Shared CPU<->memory link: slightly slower than the two channels'
+    # aggregate internal rate, so the bus contributes (but does not
+    # dominate) path latency.  This is what gives XOR compression its
+    # modest-but-real benefit (Section IV-E / Figure 17).
+    bus_ns_per_block: float = 5.5
+    aes_latency_cycles: int = 32  # AES-128 pipeline (Table I)
+    controller_latency_cycles: int = 20
+
+    @property
+    def cycles_per_ns(self) -> float:
+        return self.cpu_freq_ghz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        return ns * self.cycles_per_ns
+
+    @property
+    def block_transfer_cycles(self) -> float:
+        """CPU cycles to burst one 64B block on one channel."""
+        beats = self.block_bytes * 8 / self.io_bits  # 8 beats for 64B / 64-bit
+        ns = beats * self.tck_ns / 2  # DDR: two beats per clock
+        return self.ns_to_cycles(ns)
+
+    @property
+    def activation_cycles(self) -> float:
+        """Row-miss penalty: precharge + activate + CAS."""
+        return self.ns_to_cycles(self.t_rp_ns + self.t_rcd_ns + self.t_cas_ns)
+
+    @property
+    def bus_cycles_per_block(self) -> float:
+        return self.ns_to_cycles(self.bus_ns_per_block)
+
+
+@dataclass(slots=True)
+class PathTiming:
+    """Timing of a single path access.
+
+    Arrival times are stored as offsets from ``start`` so the model can
+    share one offset template across every access of the same geometry;
+    use :meth:`arrival` (or the :attr:`arrivals` view) to read them.
+
+    Attributes:
+        start: Cycle the access began.
+        internal_finish: Cycle the DRAM internal stage drained.
+        finish: Cycle the whole access (including bus) completed.
+        activations: Number of row activations performed (for energy).
+        blocks_on_bus: Blocks that crossed the CPU-memory link.
+    """
+
+    start: float
+    arrival_offsets: list[list[float]]
+    internal_finish: float
+    finish: float
+    activations: int
+    blocks_on_bus: int
+
+    def arrival(self, level: int, slot: int) -> float:
+        """Arrival cycle of the block at ``(level, slot)`` (reads only)."""
+        return self.start + self.arrival_offsets[level][slot]
+
+    @property
+    def arrivals(self) -> list[list[float]]:
+        """Absolute arrival times indexed ``[level][slot]``."""
+        return [
+            [self.start + off for off in bucket] for bucket in self.arrival_offsets
+        ]
+
+
+class DramModel:
+    """Per-access DDR3 timing calculator for a fixed ORAM geometry.
+
+    Args:
+        config: DRAM timing parameters.
+        levels: Leaf level ``L`` of the ORAM tree served.
+        z: Slots per bucket.
+    """
+
+    def __init__(self, config: DramConfig, levels: int, z: int) -> None:
+        self.config = config
+        self.levels = levels
+        self.z = z
+        self.layout = SubtreeLayout(config.channels, config.subtree_levels)
+        # Precompute the per-block internal completion offsets for a full
+        # path access starting at cycle 0: they are identical for every
+        # access to a tree of this geometry.
+        self._internal_offsets = self._compute_internal_offsets(first_level=0)
+        self._offset_cache: dict[int, list[list[float]]] = {0: self._internal_offsets}
+        self._read_templates: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    def _compute_internal_offsets(self, first_level: int) -> list[list[float]]:
+        """Internal-stage completion offset of each block, per level/slot.
+
+        ``first_level`` > 0 models treetop caching, where the top levels are
+        served on-chip and never touch DRAM.
+        """
+        cfg = self.config
+        channel_time = [0.0] * cfg.channels
+        channel_group: list[int | None] = [None] * cfg.channels
+        offsets: list[list[float]] = []
+        for level in range(first_level, self.levels + 1):
+            chan = self.layout.channel_of(level)
+            group = self.layout.row_group_of(level)
+            if channel_group[chan] != group:
+                channel_time[chan] += cfg.activation_cycles
+                channel_group[chan] = group
+            bucket_offsets = []
+            for _slot in range(self.z):
+                channel_time[chan] += cfg.block_transfer_cycles
+                bucket_offsets.append(channel_time[chan])
+            offsets.append(bucket_offsets)
+        return offsets
+
+    def _offsets_from(self, first_level: int) -> list[list[float]]:
+        cached = self._offset_cache.get(first_level)
+        if cached is None:
+            cached = self._compute_internal_offsets(first_level)
+            self._offset_cache[first_level] = cached
+        return cached
+
+    def activations_from(self, first_level: int) -> int:
+        """Row activations for a path access skipping the top levels."""
+        num_levels = self.levels + 1 - first_level
+        return self.layout.activations_for_path(num_levels)
+
+    # ------------------------------------------------------------------
+    def read_path(self, start: float, first_level: int = 0) -> PathTiming:
+        """Timing of a path read beginning at cycle ``start``.
+
+        Blocks cross the bus in root-to-leaf logical order; a block may only
+        start its bus transfer once its internal stage finished and the bus
+        is free.  Arrival includes AES decryption and controller overhead.
+        The whole schedule is start-invariant, so it is computed once per
+        ``first_level`` and shared as offsets.
+        """
+        template = self._read_template(first_level)
+        return PathTiming(
+            start=start,
+            arrival_offsets=template[0],
+            internal_finish=start + template[1],
+            finish=start + template[2],
+            activations=template[3],
+            blocks_on_bus=template[4],
+        )
+
+    def _read_template(
+        self, first_level: int
+    ) -> tuple[list[list[float]], float, float, int, int]:
+        cached = self._read_templates.get(first_level)
+        if cached is not None:
+            return cached
+        cfg = self.config
+        internal = self._offsets_from(first_level)
+        pipe = cfg.aes_latency_cycles + cfg.controller_latency_cycles
+        bus_free = 0.0
+        offsets: list[list[float]] = [[] for _ in range(first_level)]
+        internal_finish = 0.0
+        blocks = 0
+        for bucket_offsets in internal:
+            bucket_arrivals = []
+            for off in bucket_offsets:
+                internal_finish = max(internal_finish, off)
+                bus_free = max(bus_free, off) + cfg.bus_cycles_per_block
+                bucket_arrivals.append(bus_free + pipe)
+                blocks += 1
+            offsets.append(bucket_arrivals)
+        finish = bus_free + pipe
+        template = (
+            offsets,
+            internal_finish,
+            finish,
+            self.activations_from(first_level),
+            blocks,
+        )
+        self._read_templates[first_level] = template
+        return template
+
+    def read_path_xor(self, start: float, first_level: int = 0) -> PathTiming:
+        """Timing of a path read under XOR compression (Section IV-E).
+
+        The memory still reads every block internally, XORs them, and sends
+        a single block across the bus.  The intended data therefore becomes
+        available only after the *entire* internal stage finished — XOR
+        compression cannot advance the access, which is the paper's core
+        argument for why Shadow Block is complementary and stronger.
+        """
+        cfg = self.config
+        internal = self._offsets_from(first_level)
+        pipe = cfg.aes_latency_cycles + cfg.controller_latency_cycles
+        internal_finish = start
+        for bucket_offsets in internal:
+            for off in bucket_offsets:
+                internal_finish = max(internal_finish, start + off)
+        finish = internal_finish + cfg.bus_cycles_per_block + pipe
+        offsets = [
+            [finish - start] * self.z for _ in range(self.levels + 1 - first_level)
+        ]
+        offsets = [[] for _ in range(first_level)] + offsets
+        return PathTiming(
+            start=start,
+            arrival_offsets=offsets,
+            internal_finish=internal_finish,
+            finish=finish,
+            activations=self.activations_from(first_level),
+            blocks_on_bus=1,
+        )
+
+    def write_path(self, start: float, first_level: int = 0) -> PathTiming:
+        """Timing of a path write (re-encryption + streaming back).
+
+        Writes mirror reads: blocks cross the bus root-to-leaf and drain
+        into the open rows.  Finish is when the last block is written.
+        """
+        cfg = self.config
+        internal = self._offsets_from(first_level)
+        # On a write the bus leads and the internal stage follows; with the
+        # same per-stage rates the drain time equals the read time.
+        last_off = internal[-1][-1] if internal else 0.0
+        blocks = sum(len(b) for b in internal)
+        bus_time = blocks * cfg.bus_cycles_per_block
+        finish = start + max(last_off, bus_time) + cfg.controller_latency_cycles
+        return PathTiming(
+            start=start,
+            arrival_offsets=[],
+            internal_finish=finish,
+            finish=finish,
+            activations=self.activations_from(first_level),
+            blocks_on_bus=blocks,
+        )
+
+    # ------------------------------------------------------------------
+    def single_block_access(self, start: float) -> PathTiming:
+        """Timing of one insecure (non-ORAM) 64B DRAM access.
+
+        Used by the insecure baseline of Figures 11/15: a row activation, a
+        burst, the bus, no AES.
+        """
+        cfg = self.config
+        done = (
+            start
+            + cfg.activation_cycles
+            + cfg.block_transfer_cycles
+            + cfg.bus_cycles_per_block
+            + cfg.controller_latency_cycles
+        )
+        return PathTiming(
+            start=start,
+            arrival_offsets=[[done - start]],
+            internal_finish=done,
+            finish=done,
+            activations=1,
+            blocks_on_bus=1,
+        )

@@ -1,0 +1,70 @@
+"""Subtree-based DRAM layout for the ORAM tree.
+
+Ren et al. ("Design space exploration and optimization of Path ORAM", the
+paper's [11]) pack ``k`` consecutive tree levels of a path into the same
+DRAM row so a path read opens few rows, and stripe buckets across channels
+to use both channels' bandwidth.  The paper adopts this layout ("a sub-tree
+layout is derived [11]", Section VI-A); so do we.
+
+The layout class answers the two questions the timing and energy models
+need:
+
+* which *channel* serves the bucket at a given level, and
+* which buckets share a *row* (so only the first access pays an activation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SubtreeLayout:
+    """Static mapping of tree levels to DRAM channels and rows.
+
+    Args:
+        channels: Number of independent memory channels (paper: 2).
+        subtree_levels: Levels packed per subtree, i.e. per DRAM row group
+            (Ren et al. use subtrees a few levels deep; default 4).
+    """
+
+    channels: int = 2
+    subtree_levels: int = 4
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ValueError(f"need at least one channel, got {self.channels}")
+        if self.subtree_levels < 1:
+            raise ValueError(
+                f"subtree must span at least one level, got {self.subtree_levels}"
+            )
+
+    def channel_of(self, level: int) -> int:
+        """Channel serving the bucket at ``level`` along any path.
+
+        Subtrees (not single levels) are striped across channels so that a
+        whole row lives in one channel: the channel alternates per subtree
+        group with the level-within-group breaking ties, which in practice
+        interleaves consecutive levels of a path across channels.
+        """
+        return level % self.channels
+
+    def row_group_of(self, level: int) -> int:
+        """Row group (subtree index along the path) of ``level``.
+
+        Buckets of the same path that share a row group and channel stream
+        from an open row; the first access of the group pays the activation.
+        """
+        return level // self.subtree_levels
+
+    def activations_for_path(self, num_levels: int) -> int:
+        """Total row activations needed to read/write one full path."""
+        activations = 0
+        for channel in range(self.channels):
+            groups = {
+                self.row_group_of(level)
+                for level in range(num_levels)
+                if self.channel_of(level) == channel
+            }
+            activations += len(groups)
+        return activations

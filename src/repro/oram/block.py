@@ -1,0 +1,67 @@
+"""Memory block model for Path-ORAM-family protocols.
+
+The paper (Section V-A, Figure 7a) stores each block in the ORAM tree and the
+stash as the tuple ``(shadow bit, data, label, addr)``.  We mirror that layout
+exactly.  A *dummy* slot is represented by ``None`` in a bucket rather than by
+an explicit dummy block: the distinction between "dummy holding useless data"
+and "dummy holding a shadow copy" is precisely the shadow bit, so the only
+objects we materialise are real blocks and shadow blocks.
+
+Blocks carry a monotonically increasing ``version`` so the functional test
+harness can prove single-version consistency: every read of an address must
+observe the version written by the most recent write to that address, no
+matter how many shadow copies exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class Block:
+    """One 64-byte memory block as seen by the ORAM controller.
+
+    Attributes:
+        addr: Program (cache-line) address of the data this block holds.
+        leaf: Current leaf label of the *original* data block.  A shadow
+            copy always carries the same leaf as its original, which is what
+            keeps every copy on a common path (Rule-1 of Section IV-A).
+        version: Write version of the payload, used for consistency checks.
+        payload: Opaque data carried by the block.  The simulator does not
+            need real bytes; experiments leave it ``None`` while functional
+            tests store sentinel values.
+        is_shadow: The paper's shadow bit.  ``True`` marks a duplicated copy
+            living in what would otherwise be a dummy slot.
+    """
+
+    addr: int
+    leaf: int
+    version: int = 0
+    payload: object = None
+    is_shadow: bool = False
+
+    def shadow_copy(self) -> "Block":
+        """Return a shadow duplicate of this block (Section IV-A).
+
+        The copy shares address, leaf label, version and payload; only the
+        shadow bit differs.  Encrypted under a fresh one-time pad it is
+        indistinguishable from any other block, dummy or real.
+        """
+        return Block(
+            addr=self.addr,
+            leaf=self.leaf,
+            version=self.version,
+            payload=self.payload,
+            is_shadow=True,
+        )
+
+    def promote(self) -> "Block":
+        """Return a real (non-shadow) block with identical contents."""
+        return Block(
+            addr=self.addr,
+            leaf=self.leaf,
+            version=self.version,
+            payload=self.payload,
+            is_shadow=False,
+        )

@@ -1,0 +1,172 @@
+"""Integrity verification for the ORAM tree (Merkle-style hash tree).
+
+Tiny ORAM's hardware design ("RAW Path ORAM: a low-latency, low-area
+hardware ORAM controller **with integrity verification**") authenticates
+every block it reads so a tampering memory cannot return stale or forged
+ciphertexts.  The classic construction maps naturally onto the ORAM tree:
+every bucket stores a digest of its contents plus its children's digests,
+the controller keeps only the root digest on chip, and a path read can be
+verified (and a path write re-hashed) touching exactly the path plus its
+siblings — the same buckets the ORAM already moves.
+
+This module provides that layer for the simulator: a
+:class:`MerkleTree` keyed by the ORAM tree geometry, with
+``verify_path`` / ``update_path`` operations and a tamper-detection
+guarantee exercised by the test suite.  It is functional (no timing): the
+paper's evaluation does not include integrity latency, and neither do our
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.oram.block import Block
+from repro.oram.tree import OramTree
+
+
+class IntegrityError(RuntimeError):
+    """Raised when a path's contents do not match the trusted root digest."""
+
+
+def _hash_bucket(blocks: list[Block | None]) -> bytes:
+    """Digest of one bucket's logical contents.
+
+    Dummies hash as a fixed marker; blocks hash their full identity
+    (address, leaf, version, shadow bit, payload repr) so any stale or
+    forged replacement changes the digest.
+    """
+    h = hashlib.sha256()
+    for blk in blocks:
+        if blk is None:
+            h.update(b"\x00dummy")
+        else:
+            h.update(b"\x01")
+            h.update(blk.addr.to_bytes(8, "little", signed=False))
+            h.update(blk.leaf.to_bytes(8, "little", signed=False))
+            h.update(blk.version.to_bytes(8, "little", signed=False))
+            h.update(b"\x01" if blk.is_shadow else b"\x00")
+            h.update(repr(blk.payload).encode())
+    return h.digest()
+
+
+class MerkleTree:
+    """Hash tree mirroring an :class:`~repro.oram.tree.OramTree`.
+
+    Node digest = H(bucket contents || left child digest || right child
+    digest).  Only :attr:`root` needs trusted storage; the per-node
+    digests live (conceptually) in untrusted memory alongside the buckets.
+
+    Args:
+        tree: The ORAM tree to authenticate.  The Merkle tree reads bucket
+            contents directly from it on (re)hashing.
+    """
+
+    def __init__(self, tree: OramTree) -> None:
+        self.tree = tree
+        self._digests: list[bytes] = [b""] * tree.num_buckets
+        self._rebuild_all()
+
+    @property
+    def root(self) -> bytes:
+        """The trusted on-chip root digest."""
+        return self._digests[0]
+
+    # ------------------------------------------------------------------
+    def _children(self, index: int) -> tuple[int | None, int | None]:
+        left = 2 * index + 1
+        right = 2 * index + 2
+        if left >= self.tree.num_buckets:
+            return None, None
+        return left, right
+
+    def _node_digest(self, index: int) -> bytes:
+        h = hashlib.sha256()
+        h.update(_hash_bucket(self.tree.bucket(index)))
+        left, right = self._children(index)
+        if left is not None:
+            h.update(self._digests[left])
+            h.update(self._digests[right])
+        return h.digest()
+
+    def _rebuild_all(self) -> None:
+        for index in range(self.tree.num_buckets - 1, -1, -1):
+            self._digests[index] = self._node_digest(index)
+
+    # ------------------------------------------------------------------
+    def verify_path(self, leaf: int) -> None:
+        """Authenticate path ``leaf`` against the trusted root.
+
+        Recomputes each path node's digest from the (untrusted) bucket
+        contents and the stored child digests; any mismatch along the way
+        — a tampered bucket, a stale digest, a forged sibling — raises
+        :class:`IntegrityError`.
+        """
+        path = self.tree.path_indices(leaf)
+        for index in reversed(path):
+            expected = self._digests[index]
+            actual = self._node_digest(index)
+            if actual != expected:
+                level = self.tree.level_of_bucket(index)
+                raise IntegrityError(
+                    f"integrity violation at bucket {index} (level {level}) "
+                    f"on path {leaf}"
+                )
+
+    def update_path(self, leaf: int) -> bytes:
+        """Re-hash path ``leaf`` after a path write; returns the new root.
+
+        Only the path nodes change (their buckets were rewritten); sibling
+        digests are reused, so the cost is O(L) hashes — the standard
+        Merkle update the hardware performs during Step-6.
+        """
+        path = self.tree.path_indices(leaf)
+        for index in reversed(path):
+            self._digests[index] = self._node_digest(index)
+        return self.root
+
+
+class VerifiedOram:
+    """Controller wrapper enforcing Merkle verification per access.
+
+    Wraps a :class:`~repro.oram.tiny.TinyOramController` or
+    :class:`~repro.core.controller.ShadowOramController` so that every
+    access first authenticates the path it is about to read and re-hashes
+    whatever it rewrote::
+
+        controller = ShadowOramController(cfg, rng, shadow_cfg)
+        secured = VerifiedOram(controller)
+        secured.access(addr, "read")
+
+    Implemented as a wrapper (not a subclass) so it composes with both
+    controller types.
+    """
+
+    def __init__(self, controller) -> None:
+        self.controller = controller
+        self.merkle = MerkleTree(controller.tree)
+        self.verified_paths = 0
+
+    @property
+    def num_blocks(self) -> int:
+        return self.controller.num_blocks
+
+    def access(self, addr: int, op: str = "read", payload: object = None,
+               now: float = 0.0):
+        """Verify-before-read, re-hash-after-write, then serve the access."""
+        leaf = self.controller.posmap.lookup(addr)
+        self.merkle.verify_path(leaf)
+        self.verified_paths += 1
+        result = self.controller.access(addr, op, payload=payload, now=now)
+        # Any bucket the access rewrote lies on one of the touched paths;
+        # re-hash conservatively: the read path and (if an eviction ran)
+        # the whole tree's dirty region is bounded by the eviction path.
+        self.merkle.update_path(leaf)
+        if result.evicted:
+            self.merkle._rebuild_all()
+        return result
+
+    def tamper(self, bucket_index: int, blk: Block | None) -> None:
+        """Adversarial mutation of untrusted memory (for tests/demos)."""
+        bucket = self.controller.tree.bucket(bucket_index)
+        bucket[0] = blk

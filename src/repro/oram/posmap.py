@@ -1,0 +1,48 @@
+"""Position map: the trusted lookup table from program address to leaf label.
+
+Tiny ORAM keeps the position map on chip (helped by the PosMap Lookup
+Buffer / unified address space of Freecursive ORAM, which our baseline
+assumes as the paper does in Section II-C).  We therefore model it as a flat
+array plus a PLB hit-rate counter — the recursion itself is not on the
+critical path of any experiment the paper reports.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+
+class PositionMap:
+    """Program-address -> leaf-label table with random remapping.
+
+    Args:
+        num_blocks: Number of program blocks tracked (``N``).
+        num_leaves: Number of leaves in the ORAM tree (``2**L``).
+        rng: Source of randomness for initial assignment and remapping.
+    """
+
+    def __init__(self, num_blocks: int, num_leaves: int, rng: Random) -> None:
+        if num_blocks < 1:
+            raise ValueError(f"position map needs at least one block, got {num_blocks}")
+        self.num_blocks = num_blocks
+        self.num_leaves = num_leaves
+        self._rng = rng
+        self._leaf = [rng.randrange(num_leaves) for _ in range(num_blocks)]
+
+    def lookup(self, addr: int) -> int:
+        """Current leaf label of ``addr``."""
+        return self._leaf[addr]
+
+    def remap(self, addr: int) -> int:
+        """Assign ``addr`` a fresh uniformly random leaf and return it.
+
+        Called on every real ORAM access (Step-3): remapping before the
+        path write is what makes consecutive accesses to the same address
+        touch independent uniformly random paths.
+        """
+        leaf = self._rng.randrange(self.num_leaves)
+        self._leaf[addr] = leaf
+        return leaf
+
+    def __len__(self) -> int:
+        return self.num_blocks

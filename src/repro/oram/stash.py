@@ -1,0 +1,162 @@
+"""On-chip stash with shadow-block awareness.
+
+The stash is a small content-addressable memory inside the trusted ORAM
+controller (Section II-C).  It temporarily holds real data blocks between a
+path read and a later eviction.  Shadow-block support (Section V-A) changes
+it in two ways:
+
+* a shadow block loaded from the tree is kept, but marked *replaceable*
+  (Rule-3): it behaves as a free slot and may be silently dropped whenever a
+  real block needs the space.  Overflow is therefore determined by real
+  blocks only — exactly as in Tiny ORAM, which is the paper's stash-overflow
+  security argument (Section IV-B-2).
+* a *merge* operation resolves multiple copies of the same address: a real
+  block always wins over its shadows; several shadows collapse into one.
+
+The class tracks the peak number of real blocks so tests can compare
+occupancy distributions against the baseline.
+"""
+
+from __future__ import annotations
+
+from repro.oram.block import Block
+
+
+class StashOverflowError(RuntimeError):
+    """Raised when more real blocks are inserted than the stash can hold.
+
+    With the configurations used in the paper (and in our defaults) this is
+    a negligible-probability event; seeing it in a simulation means the
+    ORAM was configured with too much load (utilization) for its stash.
+    """
+
+
+class Stash:
+    """Bounded stash holding real blocks plus replaceable shadow blocks.
+
+    Args:
+        capacity: Maximum number of *real* blocks (paper: ``M``, e.g. 200).
+            Shadow blocks squat in whatever space is left and are evicted
+            FIFO when a real block needs their slot.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"stash capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._real: dict[int, Block] = {}
+        self._shadow: dict[int, Block] = {}
+        self.peak_real = 0
+        self.shadow_drops = 0
+        self.merges = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._real)
+
+    @property
+    def real_count(self) -> int:
+        """Number of real (non-replaceable) blocks held."""
+        return len(self._real)
+
+    @property
+    def shadow_count(self) -> int:
+        """Number of shadow (replaceable) blocks held."""
+        return len(self._shadow)
+
+    def lookup(self, addr: int) -> Block | None:
+        """Return the block for ``addr`` preferring the real copy."""
+        blk = self._real.get(addr)
+        if blk is not None:
+            return blk
+        return self._shadow.get(addr)
+
+    def lookup_real(self, addr: int) -> Block | None:
+        """Return the real block for ``addr`` if present."""
+        return self._real.get(addr)
+
+    def lookup_shadow(self, addr: int) -> Block | None:
+        """Return the shadow block for ``addr`` if present."""
+        return self._shadow.get(addr)
+
+    def real_blocks(self) -> list[Block]:
+        """Snapshot of all real blocks (eviction candidates)."""
+        return list(self._real.values())
+
+    def shadow_blocks(self) -> list[Block]:
+        """Snapshot of all shadow blocks (re-duplication candidates)."""
+        return list(self._shadow.values())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, blk: Block) -> None:
+        """Insert a block arriving from a path read, applying merge rules.
+
+        Merge semantics (Section IV-A):
+
+        * incoming real + stashed shadow -> shadows discarded, real kept;
+        * incoming shadow + stashed real -> incoming discarded;
+        * incoming shadow + stashed shadow -> merged into a single shadow.
+        """
+        if blk.is_shadow:
+            if blk.addr in self._real:
+                self.merges += 1
+                return
+            if blk.addr in self._shadow:
+                self.merges += 1
+                return
+            self._make_room_for_shadow()
+            self._shadow[blk.addr] = blk
+            return
+
+        shadowed = self._shadow.pop(blk.addr, None)
+        if shadowed is not None:
+            self.merges += 1
+        if blk.addr in self._real:
+            raise StashOverflowError(
+                f"duplicate real block for addr {blk.addr}: the single-version "
+                "invariant was violated upstream"
+            )
+        if len(self._real) >= self.capacity:
+            raise StashOverflowError(
+                f"stash overflow: capacity {self.capacity} exceeded"
+            )
+        self._real[blk.addr] = blk
+        if len(self._real) + len(self._shadow) > self.capacity:
+            self._drop_one_shadow()
+        self.peak_real = max(self.peak_real, len(self._real))
+
+    def remove_real(self, addr: int) -> Block:
+        """Remove and return the real block for ``addr`` (after eviction).
+
+        The paper marks evicted blocks *replaceable* and reuses their slots;
+        dropping the entry entirely is the equivalent software model — the
+        authoritative copy now lives in the tree.
+        """
+        return self._real.pop(addr)
+
+    def remove_shadow(self, addr: int) -> Block | None:
+        """Remove and return the shadow block for ``addr`` if present."""
+        return self._shadow.pop(addr, None)
+
+    def discard(self, addr: int) -> None:
+        """Drop every copy of ``addr`` (used when data is invalidated)."""
+        self._real.pop(addr, None)
+        self._shadow.pop(addr, None)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _make_room_for_shadow(self) -> None:
+        if len(self._real) + len(self._shadow) + 1 > self.capacity:
+            self._drop_one_shadow()
+
+    def _drop_one_shadow(self) -> None:
+        if not self._shadow:
+            return
+        oldest = next(iter(self._shadow))
+        del self._shadow[oldest]
+        self.shadow_drops += 1

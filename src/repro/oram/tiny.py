@@ -1,0 +1,475 @@
+"""Tiny ORAM baseline controller (Section II-C).
+
+Tiny ORAM is the RAW-style Path ORAM the paper builds on: every LLC miss
+becomes a read-only (RO) path access that absorbs the path into the stash,
+and after every ``A`` RO accesses the controller performs one read-write
+(RW) eviction along the next path in reverse-lexicographic order.
+
+The controller here is *functional and timed*: block movement, stash state,
+position-map remapping and (optional) payload versions are simulated
+exactly, while per-access timing comes from an attached
+:class:`~repro.mem.dram.DramModel`.  Passing ``dram=None`` runs the
+controller in pure functional mode (all timestamps zero), which the
+security and correctness test suites use for speed.
+
+Every externally observable action — which path was touched, when, and in
+which direction — is reported to an optional observer, which is exactly the
+adversary's view in the paper's threat model (Section II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Callable
+
+from repro.mem.dram import DramModel, PathTiming
+from repro.oram.block import Block
+from repro.oram.config import OramConfig
+from repro.oram.posmap import PositionMap
+from repro.oram.stash import Stash
+from repro.oram.tree import OramTree
+
+ObservedEvent = tuple[str, int, float]
+Observer = Callable[[ObservedEvent], None]
+
+
+def _zero_timing(now: float, config: OramConfig) -> PathTiming:
+    """Functional-mode timing: every block arrives instantly."""
+    return PathTiming(
+        start=now,
+        arrival_offsets=[[0.0] * config.z for _ in range(config.levels + 1)],
+        internal_finish=now,
+        finish=now,
+        activations=0,
+        blocks_on_bus=0,
+    )
+
+# Where an access was served from. "path" = the real block arriving along
+# the read path; "shadow_path" = a shadow copy arriving earlier on the read
+# path; "stash"/"shadow_stash" = on-chip hits; "treetop" = the serving block
+# lived in the on-chip treetop levels.
+SERVED_STASH = "stash"
+SERVED_SHADOW_STASH = "shadow_stash"
+SERVED_PATH = "path"
+SERVED_SHADOW_PATH = "shadow_path"
+SERVED_TREETOP = "treetop"
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Outcome of one ORAM request.
+
+    Attributes:
+        addr: Requested program address (``-1`` for dummy requests).
+        op: ``"read"`` or ``"write"`` (``"dummy"`` for dummy requests).
+        served_from: One of the ``SERVED_*`` constants, or ``None`` for a
+            dummy request.
+        issue: Cycle the request entered the controller.
+        data_ready: Cycle the intended data reached the LLC (``None`` for
+            dummies).  This is the moment the CPU un-stalls — the quantity
+            Shadow Block advances.
+        finish: Cycle the controller became free again (includes the RW
+            eviction when this request triggered one).
+        value: Payload returned on a read.
+        version: Payload version returned on a read (consistency checks).
+        evicted: Whether this request triggered the RW eviction phase.
+        path_accesses: Number of full path accesses performed (0 for
+            on-chip hits, 1 for RO, 3 for RO + eviction read + write).
+    """
+
+    addr: int
+    op: str
+    served_from: str | None
+    issue: float
+    data_ready: float | None
+    finish: float
+    value: object = None
+    version: int = -1
+    evicted: bool = False
+    path_accesses: int = 0
+
+
+@dataclass(slots=True)
+class OramStats:
+    """Running counters the experiment harness aggregates."""
+
+    accesses: int = 0
+    dummy_accesses: int = 0
+    stash_hits: int = 0
+    shadow_stash_hits: int = 0
+    shadow_path_serves: int = 0
+    treetop_serves: int = 0
+    path_reads: int = 0
+    path_writes: int = 0
+    evictions: int = 0
+    activations: int = 0
+    blocks_on_bus: int = 0
+    blocks_internal: int = 0
+    onchip_serves: int = 0
+
+
+class TinyOramController:
+    """Baseline Tiny ORAM controller.
+
+    Args:
+        config: Protocol geometry and parameters.
+        rng: Randomness source (position map init and remapping, dummy
+            request leaves).  Supplying a seeded :class:`random.Random`
+            makes a whole simulation deterministic.
+        dram: Timing model, or ``None`` for pure functional simulation.
+        observer: Optional callback receiving ``(kind, leaf, time)`` for
+            every externally visible path access (``kind`` is ``"read"`` or
+            ``"write"``).  This is the adversary's trace.
+    """
+
+    def __init__(
+        self,
+        config: OramConfig,
+        rng: Random,
+        dram: DramModel | None = None,
+        observer: Observer | None = None,
+    ) -> None:
+        self.config = config
+        self.rng = rng
+        self.dram = dram
+        self.observer = observer
+        self.tree = OramTree(config.levels, config.z)
+        self.stash = Stash(config.stash_capacity)
+        self.posmap = PositionMap(config.num_blocks, config.num_leaves, rng)
+        self.stats = OramStats()
+        self._ro_since_eviction = 0
+        self._eviction_counter = 0
+        self._bootstrap()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        """Number of program addresses this ORAM serves."""
+        return self.config.num_blocks
+
+    def access(
+        self, addr: int, op: str = "read", payload: object = None, now: float = 0.0
+    ) -> AccessResult:
+        """Serve one LLC miss: the paper's Step-1 .. Step-6 sequence."""
+        if not 0 <= addr < self.config.num_blocks:
+            raise ValueError(
+                f"address {addr} outside ORAM space 0..{self.config.num_blocks - 1}"
+            )
+        if op not in ("read", "write"):
+            raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+        self.stats.accesses += 1
+
+        hit = self._try_onchip(addr, op, payload, now)
+        if hit is not None:
+            return hit
+
+        leaf = self.posmap.lookup(addr)
+        new_leaf = self.posmap.remap(addr)
+        result = self._oram_access(addr, op, payload, leaf, new_leaf, now)
+        return result
+
+    def peek_onchip(self, addr: int, op: str) -> bool:
+        """Whether ``access(addr, op)`` would be served on chip right now.
+
+        The request scheduler uses this to decide if a miss needs an ORAM
+        launch slot; it performs no state changes.
+        """
+        return self.stash.lookup_real(addr) is not None
+
+    def dummy_access(self, now: float = 0.0) -> AccessResult:
+        """Issue a dummy ORAM request (timing protection, Section II-B).
+
+        A dummy request reads a uniformly random path — indistinguishable
+        from a real request — and participates in the eviction schedule.
+        """
+        self.stats.dummy_accesses += 1
+        leaf = self.rng.randrange(self.config.num_leaves)
+        _, _, read_timing = self._path_read(leaf, now, intended_addr=None)
+        finish, evicted, extra_paths = self._maybe_evict(read_timing.finish)
+        return AccessResult(
+            addr=-1,
+            op="dummy",
+            served_from=None,
+            issue=now,
+            data_ready=None,
+            finish=finish,
+            evicted=evicted,
+            path_accesses=1 + extra_paths,
+        )
+
+    # ------------------------------------------------------------------
+    # On-chip hit handling (Step-1)
+    # ------------------------------------------------------------------
+    def _try_onchip(
+        self, addr: int, op: str, payload: object, now: float
+    ) -> AccessResult | None:
+        blk = self.stash.lookup_real(addr)
+        if blk is None:
+            return None
+        if op == "write":
+            blk.payload = payload
+            blk.version += 1
+        self.stats.stash_hits += 1
+        self.stats.onchip_serves += 1
+        ready = now + self.config.onchip_latency
+        return AccessResult(
+            addr=addr,
+            op=op,
+            served_from=SERVED_STASH,
+            issue=now,
+            data_ready=ready,
+            finish=ready,
+            value=blk.payload,
+            version=blk.version,
+        )
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    def _oram_access(
+        self,
+        addr: int,
+        op: str,
+        payload: object,
+        leaf: int,
+        new_leaf: int,
+        now: float,
+    ) -> AccessResult:
+        data_ready, served_from, timing = self._path_read(leaf, now, intended_addr=addr)
+        blk = self.stash.lookup_real(addr)
+        if blk is None:
+            raise RuntimeError(
+                f"Path ORAM invariant violated: addr {addr} mapped to leaf {leaf} "
+                "was neither in the stash nor on its path"
+            )
+        blk.leaf = new_leaf
+        if op == "write":
+            blk.payload = payload
+            blk.version += 1
+        if data_ready is None:
+            # The block was in the stash as a shadow before the read (the
+            # real copy just arrived); the shadow already had valid data.
+            data_ready = now + self.config.onchip_latency
+            served_from = SERVED_SHADOW_STASH
+
+        finish, evicted, extra_paths = self._maybe_evict(timing.finish)
+        if served_from == SERVED_SHADOW_PATH:
+            self.stats.shadow_path_serves += 1
+        if served_from == SERVED_TREETOP:
+            self.stats.treetop_serves += 1
+            self.stats.onchip_serves += 1
+        return AccessResult(
+            addr=addr,
+            op=op,
+            served_from=served_from,
+            issue=now,
+            data_ready=data_ready,
+            finish=finish,
+            value=blk.payload,
+            version=blk.version,
+            evicted=evicted,
+            path_accesses=1 + extra_paths,
+        )
+
+    def _maybe_evict(self, now: float) -> tuple[float, bool, int]:
+        """Run the RW eviction phase when the eviction rate says so."""
+        self._ro_since_eviction += 1
+        if self._ro_since_eviction < self.config.a:
+            return now, False, 0
+        self._ro_since_eviction = 0
+        leaf = self._next_eviction_leaf()
+        _, _, read_timing = self._path_read(
+            leaf, now, intended_addr=None, absorb_all=True
+        )
+        write_timing = self._path_write(leaf, read_timing.finish)
+        self.stats.evictions += 1
+        return write_timing.finish, True, 2
+
+    def _next_eviction_leaf(self) -> int:
+        """Reverse-lexicographic eviction order (Step-5, after Ring ORAM)."""
+        g = self._eviction_counter % self.config.num_leaves
+        self._eviction_counter += 1
+        return self._bit_reverse(g, self.config.levels)
+
+    @staticmethod
+    def _bit_reverse(value: int, bits: int) -> int:
+        out = 0
+        for _ in range(bits):
+            out = (out << 1) | (value & 1)
+            value >>= 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Path read (Step-3 / Algorithm 2)
+    # ------------------------------------------------------------------
+    def _path_read(
+        self,
+        leaf: int,
+        now: float,
+        intended_addr: int | None,
+        absorb_all: bool = False,
+    ) -> tuple[float | None, str | None, PathTiming]:
+        """Stream path ``leaf`` root to leaf.
+
+        Following RAW Path ORAM (Tiny ORAM's underlying protocol), a
+        read-only access removes only the *requested* block (every copy of
+        it, real and shadow, since the block is about to be remapped) and
+        absorbs shadow blocks of other addresses into the stash as
+        replaceable entries; other real blocks stay in place.  The RW
+        eviction read (``absorb_all=True``) absorbs the whole path, which
+        is what Algorithm 2 describes.  Timing and the external trace are
+        identical either way: the full path is always streamed.
+        """
+        timing = self._read_timing(now)
+        self.stats.path_reads += 1
+        self.stats.activations += timing.activations
+        self.stats.blocks_on_bus += timing.blocks_on_bus
+        self.stats.blocks_internal += self._dram_blocks_per_path()
+        if self.observer is not None:
+            self.observer(("read", leaf, now))
+
+        data_ready: float | None = None
+        served_from: str | None = None
+        treetop = self.config.treetop_levels
+        tree = self.tree
+        onchip = now + self.config.onchip_latency
+        for level in range(self.config.levels + 1):
+            bucket = tree.bucket(tree.bucket_index(leaf, level))
+            for slot in range(self.config.z):
+                blk = bucket[slot]
+                if blk is None:
+                    continue
+                if level < treetop:
+                    arrival = onchip
+                else:
+                    arrival = timing.arrival(level, slot)
+                if intended_addr is not None and blk.addr == intended_addr:
+                    if data_ready is None:
+                        data_ready = arrival
+                        if level < treetop:
+                            served_from = SERVED_TREETOP
+                        elif blk.is_shadow:
+                            served_from = SERVED_SHADOW_PATH
+                        else:
+                            served_from = SERVED_PATH
+                    bucket[slot] = None
+                    if not blk.is_shadow:
+                        self._stash_insert(blk, level)
+                    # Shadow copies of the requested block are discarded:
+                    # the block is being remapped and they would go stale.
+                    continue
+                if absorb_all:
+                    bucket[slot] = None
+                    self._stash_insert(blk, level)
+                elif blk.is_shadow:
+                    # HD-Dup payoff: shadow blocks encountered on any path
+                    # read are cached in the stash (replaceable).  The tree
+                    # copy stays valid — its original has not moved.
+                    self._stash_insert(blk, level)
+        return data_ready, served_from, timing
+
+    def _read_timing(self, now: float) -> PathTiming:
+        if self.dram is None:
+            return _zero_timing(now, self.config)
+        if self.config.xor_compression:
+            return self.dram.read_path_xor(now, self.config.treetop_levels)
+        return self.dram.read_path(now, self.config.treetop_levels)
+
+    def _stash_insert(self, blk: Block, level: int) -> None:
+        """Insert a block read from tree ``level`` into the stash.
+
+        The baseline never produces shadow blocks, but handling them here
+        keeps the merge rules in one place for the shadow subclass (which
+        also needs ``level`` for its Rule-2 bookkeeping).
+        """
+        self.stash.insert(blk)
+
+    # ------------------------------------------------------------------
+    # Path write (Step-6 / Algorithm 1)
+    # ------------------------------------------------------------------
+    def _path_write(self, leaf: int, now: float) -> PathTiming:
+        contents = self._build_path_contents(leaf)
+        self.tree.write_path(leaf, contents)
+        timing = (
+            self.dram.write_path(now, self.config.treetop_levels)
+            if self.dram is not None
+            else _zero_timing(now, self.config)
+        )
+        self.stats.path_writes += 1
+        self.stats.activations += timing.activations
+        self.stats.blocks_on_bus += timing.blocks_on_bus
+        self.stats.blocks_internal += self._dram_blocks_per_path()
+        if self.observer is not None:
+            self.observer(("write", leaf, now))
+        return timing
+
+    def _dram_blocks_per_path(self) -> int:
+        """Blocks touched inside DRAM per path access (treetop excluded)."""
+        return (self.config.levels + 1 - self.config.treetop_levels) * self.config.z
+
+    def _build_path_contents(self, leaf: int) -> dict[tuple[int, int], Block]:
+        """Greedy deepest-first stash eviction onto path ``leaf``.
+
+        Subclasses extend this to fill the remaining dummy slots with
+        shadow blocks (Algorithm 1, line 4).
+        """
+        cfg = self.config
+        fill = [0] * (cfg.levels + 1)
+        contents: dict[tuple[int, int], Block] = {}
+        candidates = sorted(
+            self.stash.real_blocks(),
+            key=lambda b: OramTree.common_level(b.leaf, leaf, cfg.levels),
+            reverse=True,
+        )
+        placed: list[tuple[Block, int]] = []
+        for blk in candidates:
+            level = OramTree.common_level(blk.leaf, leaf, cfg.levels)
+            while level >= 0 and fill[level] >= cfg.z:
+                level -= 1
+            if level < 0:
+                continue
+            contents[(level, fill[level])] = blk
+            fill[level] += 1
+            placed.append((blk, level))
+        for blk, _level in placed:
+            self.stash.remove_real(blk.addr)
+        self._fill_dummies(leaf, contents, fill, placed)
+        return contents
+
+    def _fill_dummies(
+        self,
+        leaf: int,
+        contents: dict[tuple[int, int], Block],
+        fill: list[int],
+        placed: list[tuple[Block, int]],
+    ) -> None:
+        """Hook for shadow-block generation; the baseline writes dummies."""
+
+    # ------------------------------------------------------------------
+    # Initialisation
+    # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        """Place every program block in the tree at its mapped path.
+
+        Blocks are installed leaf-first along their assigned path; anything
+        that does not fit near its leaf percolates root-ward, mirroring a
+        warmed-up ORAM.  A residual handful may start in the stash.
+        """
+        cfg = self.config
+        fill = [0] * self.tree.num_buckets
+        for addr in range(cfg.num_blocks):
+            leaf = self.posmap.lookup(addr)
+            blk = Block(addr=addr, leaf=leaf, version=0)
+            level = cfg.levels
+            while level >= 0:
+                idx = self.tree.bucket_index(leaf, level)
+                if fill[idx] < cfg.z:
+                    self.tree.bucket(idx)[fill[idx]] = blk
+                    fill[idx] += 1
+                    break
+                level -= 1
+            else:
+                self.stash.insert(blk)

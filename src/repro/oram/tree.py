@@ -1,0 +1,136 @@
+"""Binary ORAM tree stored in untrusted external memory.
+
+The tree follows the layout of Section II-C: ``levels + 1`` levels, level 0
+being the root and level ``levels`` the leaves.  Every node is a *bucket* of
+``z`` slots; a slot holds either a :class:`~repro.oram.block.Block` or
+``None`` (a dummy).  Leaves are labelled ``0 .. 2**levels - 1`` and *path-l*
+is the root-to-leaf path ending at leaf ``l``.
+
+Buckets are addressed with the classic heap numbering so that the bucket at
+level ``lvl`` along path ``leaf`` is ``(2**lvl - 1) + (leaf >> (levels -
+lvl))``.  This arithmetic mapping is also what the DRAM layout model uses to
+place buckets into rows (see :mod:`repro.mem.layout`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.oram.block import Block
+
+
+class OramTree:
+    """External-memory binary tree of buckets.
+
+    Args:
+        levels: ``L``, the leaf level index.  The tree has ``L + 1`` levels
+            and ``2**(L + 1) - 1`` buckets.
+        z: Number of block slots per bucket (paper default: 5).
+    """
+
+    def __init__(self, levels: int, z: int) -> None:
+        if levels < 1:
+            raise ValueError(f"ORAM tree needs at least 2 levels, got L={levels}")
+        if z < 1:
+            raise ValueError(f"bucket size must be positive, got Z={z}")
+        self.levels = levels
+        self.z = z
+        self.num_leaves = 1 << levels
+        self.num_buckets = (1 << (levels + 1)) - 1
+        self._buckets: list[list[Block | None]] = [
+            [None] * z for _ in range(self.num_buckets)
+        ]
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def bucket_index(self, leaf: int, level: int) -> int:
+        """Heap index of the bucket at ``level`` along path ``leaf``."""
+        if not 0 <= leaf < self.num_leaves:
+            raise ValueError(f"leaf {leaf} out of range 0..{self.num_leaves - 1}")
+        if not 0 <= level <= self.levels:
+            raise ValueError(f"level {level} out of range 0..{self.levels}")
+        return (1 << level) - 1 + (leaf >> (self.levels - level))
+
+    def path_indices(self, leaf: int) -> list[int]:
+        """Bucket indices along path ``leaf`` ordered root -> leaf."""
+        return [self.bucket_index(leaf, lvl) for lvl in range(self.levels + 1)]
+
+    def bucket(self, index: int) -> list[Block | None]:
+        """Direct access to a bucket's slot list (mutable)."""
+        return self._buckets[index]
+
+    @staticmethod
+    def common_level(leaf_a: int, leaf_b: int, levels: int) -> int:
+        """Deepest level at which paths ``leaf_a`` and ``leaf_b`` coincide.
+
+        This is the length of the common prefix of the two leaf labels read
+        MSB-first, i.e. the deepest bucket shared by both paths.  Used by the
+        eviction logic to find where a stash block may be placed.
+        """
+        diff = leaf_a ^ leaf_b
+        if diff == 0:
+            return levels
+        return levels - diff.bit_length()
+
+    # ------------------------------------------------------------------
+    # Path read / write primitives (functional part only; timing is the
+    # responsibility of repro.mem.dram)
+    # ------------------------------------------------------------------
+    def read_path(self, leaf: int) -> list[tuple[int, int, Block | None]]:
+        """Remove and return all blocks along path ``leaf``.
+
+        Returns a list of ``(level, slot, block_or_none)`` ordered exactly as
+        the blocks stream out of memory: root first, leaf last, slots in
+        order within a bucket.  Read slots are invalidated (set to dummy), as
+        in Step-3 of Section II-C.
+        """
+        out: list[tuple[int, int, Block | None]] = []
+        for level in range(self.levels + 1):
+            bucket = self._buckets[self.bucket_index(leaf, level)]
+            for slot in range(self.z):
+                out.append((level, slot, bucket[slot]))
+                bucket[slot] = None
+        return out
+
+    def write_path(self, leaf: int, contents: dict[tuple[int, int], Block]) -> None:
+        """Write ``contents`` onto path ``leaf``.
+
+        ``contents`` maps ``(level, slot)`` to the block to store; missing
+        slots become dummies.  The whole path is rewritten (every slot), as
+        required for probabilistic re-encryption to hide which slots hold
+        data (Section IV-B).
+        """
+        for level in range(self.levels + 1):
+            bucket = self._buckets[self.bucket_index(leaf, level)]
+            for slot in range(self.z):
+                bucket[slot] = contents.get((level, slot))
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (testing / statistics)
+    # ------------------------------------------------------------------
+    def iter_blocks(self) -> Iterator[tuple[int, int, Block]]:
+        """Yield ``(bucket_index, slot, block)`` for every non-dummy slot."""
+        for idx, bucket in enumerate(self._buckets):
+            for slot, blk in enumerate(bucket):
+                if blk is not None:
+                    yield idx, slot, blk
+
+    def level_of_bucket(self, index: int) -> int:
+        """Level of bucket ``index`` (root = 0)."""
+        return (index + 1).bit_length() - 1
+
+    def count_blocks(self) -> tuple[int, int]:
+        """Return ``(num_real, num_shadow)`` blocks currently stored."""
+        real = shadow = 0
+        for _, _, blk in self.iter_blocks():
+            if blk.is_shadow:
+                shadow += 1
+            else:
+                real += 1
+        return real, shadow
+
+    def on_path(self, leaf: int, bucket_index: int) -> bool:
+        """Whether ``bucket_index`` lies on path ``leaf``."""
+        level = self.level_of_bucket(bucket_index)
+        return self.bucket_index(leaf, level) == bucket_index

@@ -1,0 +1,30 @@
+"""Security harness: adversary view, distinguisher, encryption model."""
+
+from repro.security.adversary import (
+    AccessPatternObserver,
+    chi_square_uniformity,
+    lag_autocorrelation,
+    leaf_histogram,
+)
+from repro.security.crypto import CounterOtp, serialize_block
+from repro.security.distinguisher import (
+    cyclic_sequence,
+    distinguishing_gap,
+    observable_trace,
+    rrwp_rate,
+    scan_sequence,
+)
+
+__all__ = [
+    "AccessPatternObserver",
+    "CounterOtp",
+    "chi_square_uniformity",
+    "cyclic_sequence",
+    "distinguishing_gap",
+    "lag_autocorrelation",
+    "leaf_histogram",
+    "observable_trace",
+    "rrwp_rate",
+    "scan_sequence",
+    "serialize_block",
+]

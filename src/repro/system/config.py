@@ -1,0 +1,121 @@
+"""Full-system configuration: the Python rendering of Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.config import ShadowConfig
+from repro.cpu.cache import CacheConfig
+from repro.cpu.core import CpuConfig
+from repro.mem.dram import DramConfig
+from repro.oram.config import OramConfig
+
+
+@dataclass(frozen=True, slots=True)
+class TimingProtectionConfig:
+    """Constant-rate request protection (Fletcher et al., Section II-B).
+
+    Attributes:
+        enabled: Launch one ORAM request per slot; idle slots fire dummy
+            requests.
+        rate_cycles: Slot length in CPU cycles (the paper sets 800, the
+            rate that minimises overhead at zero timing leakage).
+    """
+
+    enabled: bool = False
+    rate_cycles: float = 800.0
+
+    def __post_init__(self) -> None:
+        if self.rate_cycles <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate_cycles}")
+
+
+@dataclass(frozen=True, slots=True)
+class SystemConfig:
+    """Everything a full-system simulation needs.
+
+    ``shadow=None`` selects the Tiny ORAM baseline; ``insecure=True``
+    bypasses ORAM entirely (the normalisation baseline of Figures 11/15).
+
+    Attributes:
+        name: Scheme label used in result tables ("Tiny", "static-7", ...).
+    """
+
+    name: str = "Tiny"
+    oram: OramConfig = field(default_factory=OramConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig.scaled)
+    shadow: ShadowConfig | None = None
+    timing: TimingProtectionConfig = field(default_factory=TimingProtectionConfig)
+    insecure: bool = False
+    seed: int = 1
+
+    # ------------------------------------------------------------------
+    # Named configurations used throughout the evaluation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def tiny(**overrides: object) -> "SystemConfig":
+        """The Tiny ORAM baseline of Section II-C."""
+        return SystemConfig(name="Tiny").with_(**overrides)
+
+    @staticmethod
+    def insecure_system(**overrides: object) -> "SystemConfig":
+        """No ORAM: plain DRAM accesses (slowdown denominator)."""
+        return SystemConfig(name="insecure", insecure=True).with_(**overrides)
+
+    @staticmethod
+    def rd_dup(**overrides: object) -> "SystemConfig":
+        """Pure Rear Data Duplication."""
+        return SystemConfig(name="RD-Dup", shadow=ShadowConfig.rd_only()).with_(
+            **overrides
+        )
+
+    @staticmethod
+    def hd_dup(**overrides: object) -> "SystemConfig":
+        """Pure Hot Data Duplication (partition level tracks the tree)."""
+        cfg = SystemConfig(name="HD-Dup").with_(**overrides)
+        return replace(cfg, shadow=ShadowConfig.hd_only(cfg.oram.levels))
+
+    @staticmethod
+    def static(partition_level: int, **overrides: object) -> "SystemConfig":
+        """Static partitioning at ``P`` (paper's static-7 / static-4)."""
+        return SystemConfig(
+            name=f"static-{partition_level}",
+            shadow=ShadowConfig.static(partition_level),
+        ).with_(**overrides)
+
+    @staticmethod
+    def dynamic(counter_bits: int = 3, **overrides: object) -> "SystemConfig":
+        """Dynamic partitioning (paper's dynamic-3)."""
+        return SystemConfig(
+            name=f"dynamic-{counter_bits}",
+            shadow=ShadowConfig.dynamic_counter(counter_bits),
+        ).with_(**overrides)
+
+    # ------------------------------------------------------------------
+    def with_(self, **changes: object) -> "SystemConfig":
+        """Copy with replaced fields (chainable)."""
+        if not changes:
+            return self
+        return replace(self, **changes)
+
+    def with_timing_protection(self, rate_cycles: float = 800.0) -> "SystemConfig":
+        """Enable constant-rate timing protection."""
+        return self.with_(
+            timing=TimingProtectionConfig(enabled=True, rate_cycles=rate_cycles)
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = [self.name]
+        o = self.oram
+        parts.append(f"L={o.levels} Z={o.z} A={o.a} N={o.num_blocks}")
+        if o.treetop_levels:
+            parts.append(f"treetop={o.treetop_levels}")
+        if o.xor_compression:
+            parts.append("xor")
+        if self.timing.enabled:
+            parts.append(f"tp@{self.timing.rate_cycles:g}")
+        parts.append(self.cpu.core_type)
+        return " ".join(parts)

@@ -1,0 +1,67 @@
+"""Memory-system energy model (Figure 12).
+
+The paper evaluates "energy consumption of the memory system" with
+parameters from Fletcher et al. [16]; we use documented DDR3 ballpark
+constants instead (DESIGN.md substitution 5).  Energy has a dynamic part —
+row activations, internal block transfers, bus transfers — and a static
+part proportional to execution time, so both of the paper's savings
+channels appear: fewer ORAM requests (HD-Dup) cut dynamic energy, shorter
+execution (RD-Dup) cuts static energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.oram.tiny import OramStats
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyConfig:
+    """Energy constants (nJ per event, plus static power).
+
+    Attributes:
+        activation_nj: Energy per DRAM row activation (ACT+PRE pair).
+        block_internal_nj: Energy to move one 64 B block inside the DRAM
+            (sense amps to I/O).
+        block_bus_nj: Energy to drive one 64 B block across the
+            CPU-memory link.
+        static_watts: Background power of the memory system.
+        cpu_freq_ghz: For converting cycles to seconds.
+    """
+
+    activation_nj: float = 2.0
+    block_internal_nj: float = 1.0
+    block_bus_nj: float = 0.5
+    static_watts: float = 0.5
+    cpu_freq_ghz: float = 2.0
+
+    @property
+    def static_nj_per_cycle(self) -> float:
+        # W = J/s; one cycle is 1/freq ns.
+        return self.static_watts / self.cpu_freq_ghz
+
+
+class EnergyModel:
+    """Accumulates memory-system energy from ORAM statistics."""
+
+    def __init__(self, config: EnergyConfig | None = None) -> None:
+        self.config = config or EnergyConfig()
+
+    def oram_energy_nj(self, stats: OramStats, total_cycles: float) -> float:
+        """Energy of a run given its ORAM counters and execution time."""
+        cfg = self.config
+        dynamic = (
+            stats.activations * cfg.activation_nj
+            + stats.blocks_internal * cfg.block_internal_nj
+            + stats.blocks_on_bus * cfg.block_bus_nj
+        )
+        return dynamic + total_cycles * cfg.static_nj_per_cycle
+
+    def insecure_energy_nj(self, accesses: int, total_cycles: float) -> float:
+        """Energy of the no-ORAM baseline: one block per LLC miss."""
+        cfg = self.config
+        dynamic = accesses * (
+            cfg.activation_nj + cfg.block_internal_nj + cfg.block_bus_nj
+        )
+        return dynamic + total_cycles * cfg.static_nj_per_cycle

@@ -1,0 +1,104 @@
+"""Result records and the paper's metric decomposition.
+
+The paper's Equation (1) partitions the timeline::
+
+    Total execution time = Data access time + DRI
+
+*Data access time* is the time the controller spends on **real** (data)
+ORAM requests; everything else — CPU compute gaps, dummy ORAM requests,
+slot-alignment waits — is the Data Request Interval (DRI).  RD-Dup attacks
+the DRI (earlier CPU restart shrinks the idle stretch between data
+requests), HD-Dup attacks data access time (on-chip shadow hits remove
+whole requests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.oram.tiny import OramStats
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Outcome of one (workload, scheme) full-system run."""
+
+    workload: str
+    scheme: str
+    llc_misses: int
+    total_cycles: float
+    data_access_cycles: float
+    real_requests: int
+    dummy_requests: int
+    onchip_hits: int
+    shadow_path_serves: int
+    mean_data_latency: float
+    energy_nj: float
+    stash_peak: int
+    oram_stats: OramStats | None = None
+    shadow_stats: object | None = None
+    completions: list[float] = field(default_factory=list)
+    partition_levels: list[int] = field(default_factory=list)
+
+    @property
+    def dri_cycles(self) -> float:
+        """Data Request Interval: Equation (1) rearranged."""
+        return max(0.0, self.total_cycles - self.data_access_cycles)
+
+    @property
+    def onchip_hit_rate(self) -> float:
+        """Fraction of LLC misses served on chip (Figure 16 metric)."""
+        if self.llc_misses == 0:
+            return 0.0
+        return self.onchip_hits / self.llc_misses
+
+    @property
+    def cycles_per_miss(self) -> float:
+        if self.llc_misses == 0:
+            return 0.0
+        return self.total_cycles / self.llc_misses
+
+    def normalized_to(self, baseline: "SimulationResult") -> "NormalizedResult":
+        """Normalise times/energy to another run of the same workload."""
+        if baseline.total_cycles <= 0:
+            raise ValueError("baseline has non-positive total time")
+        return NormalizedResult(
+            workload=self.workload,
+            scheme=self.scheme,
+            baseline=baseline.scheme,
+            total=self.total_cycles / baseline.total_cycles,
+            data=self.data_access_cycles / baseline.total_cycles,
+            interval=self.dri_cycles / baseline.total_cycles,
+            energy=(
+                self.energy_nj / baseline.energy_nj if baseline.energy_nj else 0.0
+            ),
+            speedup=baseline.total_cycles / self.total_cycles,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class NormalizedResult:
+    """One scheme's metrics normalised to a baseline run.
+
+    ``data`` and ``interval`` are both normalised to the *baseline total*,
+    so they stack to ``total`` exactly as the bars in Figures 8/9/13/14.
+    """
+
+    workload: str
+    scheme: str
+    baseline: str
+    total: float
+    data: float
+    interval: float
+    energy: float
+    speedup: float
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean, the aggregate the paper uses across workloads."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geomean requires positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

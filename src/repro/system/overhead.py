@@ -1,0 +1,62 @@
+"""Hardware overhead accounting (Section V-C).
+
+The paper reports the cost of shadow-block support: one shadow bit per
+DRAM block (~4 MB for the 4 GB configuration), a 1 KB Hot Address Cache,
+and ~13,000 gates for the RD/HD queues.  We reproduce the storage
+arithmetic for any configuration; the gate count is quoted as the paper's
+synthesis result (DESIGN.md substitution 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ShadowConfig
+from repro.oram.config import OramConfig
+
+# Synthesis result quoted from the paper (Synopsys, Section V-C).
+PAPER_QUEUE_GATE_COUNT = 13_000
+
+
+@dataclass(frozen=True, slots=True)
+class OverheadReport:
+    """Storage/logic overhead of shadow-block support for one config."""
+
+    shadow_bits_bytes: int
+    hot_cache_bytes: int
+    queue_entries: int
+    queue_gate_count: int
+    extra_registers_bits: int
+
+    @property
+    def total_onchip_bytes(self) -> int:
+        return self.hot_cache_bytes + (self.extra_registers_bits + 7) // 8
+
+
+def estimate_overhead(
+    oram: OramConfig,
+    shadow: ShadowConfig,
+    hot_cache_entry_bytes: int = 8,
+    dri_counter_bits: int | None = None,
+) -> OverheadReport:
+    """Compute the Section V-C overhead numbers for a configuration.
+
+    * shadow bit: 1 bit per tree slot, stored in DRAM;
+    * Hot Address Cache: ``sets * ways`` entries of tag+counter;
+    * queues: one entry per path slot each (cleared every path write);
+    * registers: partitioning level + DRI counter.
+    """
+    shadow_bits_bytes = (oram.total_slots + 7) // 8
+    hot_cache_bytes = shadow.hot_cache_sets * shadow.hot_cache_ways * hot_cache_entry_bytes
+    queue_entries = 2 * oram.path_slots
+    level_bits = max(1, (oram.levels + 1).bit_length())
+    counter_bits = (
+        dri_counter_bits if dri_counter_bits is not None else shadow.dri_counter_bits
+    )
+    return OverheadReport(
+        shadow_bits_bytes=shadow_bits_bytes,
+        hot_cache_bytes=hot_cache_bytes,
+        queue_entries=queue_entries,
+        queue_gate_count=PAPER_QUEUE_GATE_COUNT,
+        extra_registers_bits=level_bits + counter_bits,
+    )

@@ -1,0 +1,229 @@
+"""Primitive address-stream generators used to compose workloads.
+
+SPEC CPU2006 binaries and traces are proprietary, so the reproduction
+composes each benchmark's *memory behaviour* out of four primitives
+(DESIGN.md substitution 2):
+
+* ``stream``        — sequential scans (libquantum-style);
+* ``pointer_chase`` — dependent uniform-random accesses (mcf-style);
+* ``hot_cold``      — skewed reuse of a small hot set (h264ref-style);
+* ``phases``        — time-multiplexing of other primitives (hmmer-style).
+
+Every primitive is driven by a caller-supplied :class:`random.Random`, so
+a (workload, seed) pair is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Sequence
+
+from repro.cpu.trace import MemoryRequest
+
+GeneratorFn = Callable[[Random, int, int], list[MemoryRequest]]
+
+
+def stream(
+    rng: Random,
+    n: int,
+    base: int,
+    region: int,
+    stride: int = 1,
+    work: int = 4,
+    write_frac: float = 0.1,
+    repeats: int = 1,
+) -> list[MemoryRequest]:
+    """Sequential scan of ``region`` blocks starting at ``base``.
+
+    The scan wraps around and restarts at a random offset each pass, so
+    repeated scans of a region larger than the LLC keep missing.
+    Streaming accesses are independent (no pointer dependencies).
+
+    ``repeats`` models spatial locality within a cache line: each line is
+    touched ``repeats`` times back to back (element-wise processing of a
+    64 B line), so only the first access misses.
+    """
+    if region < 1:
+        raise ValueError(f"region must be positive, got {region}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    out: list[MemoryRequest] = []
+    pos = rng.randrange(region)
+    while len(out) < n:
+        addr = base + pos
+        pos = (pos + stride) % region
+        for _ in range(repeats):
+            op = "write" if rng.random() < write_frac else "read"
+            out.append(MemoryRequest(addr=addr, op=op, work=work, dependent=False))
+            if len(out) >= n:
+                break
+    return out
+
+
+def pointer_chase(
+    rng: Random,
+    n: int,
+    base: int,
+    region: int,
+    work: int = 2,
+    write_frac: float = 0.05,
+) -> list[MemoryRequest]:
+    """Dependent uniform-random accesses (linked-data traversal)."""
+    if region < 1:
+        raise ValueError(f"region must be positive, got {region}")
+    out = []
+    for _ in range(n):
+        addr = base + rng.randrange(region)
+        op = "write" if rng.random() < write_frac else "read"
+        out.append(MemoryRequest(addr=addr, op=op, work=work, dependent=True))
+    return out
+
+
+def hot_cold(
+    rng: Random,
+    n: int,
+    base: int,
+    region: int,
+    hot_blocks: int,
+    hot_frac: float = 0.8,
+    work: int = 8,
+    write_frac: float = 0.15,
+    dependent: bool = True,
+) -> list[MemoryRequest]:
+    """Skewed accesses: ``hot_frac`` of requests go to a small hot set.
+
+    The hot set is the first ``hot_blocks`` addresses of the region —
+    deliberately stable over time, which is the reuse pattern HD-Dup's Hot
+    Address Cache is designed to capture.
+    """
+    if hot_blocks < 1:
+        raise ValueError(f"hot set must be positive, got {hot_blocks}")
+    hot_blocks = min(hot_blocks, region)
+    out = []
+    for _ in range(n):
+        if rng.random() < hot_frac:
+            addr = base + rng.randrange(hot_blocks)
+        else:
+            addr = base + rng.randrange(region)
+        op = "write" if rng.random() < write_frac else "read"
+        out.append(MemoryRequest(addr=addr, op=op, work=work, dependent=dependent))
+    return out
+
+
+def conflict_walk(
+    rng: Random,
+    n: int,
+    base: int,
+    region: int,
+    set_stride: int = 2048,
+    groups: int = 2,
+    footprint: int | None = None,
+    work: int = 10,
+    write_frac: float = 0.2,
+    dependent: bool = True,
+) -> list[MemoryRequest]:
+    """Strided accesses that defeat set-associative caches.
+
+    Walks addresses spaced ``set_stride`` lines apart (one L2 set period),
+    so every access of a group maps to the same cache set.  With a group
+    footprint larger than the associativity, the lines evict each other and
+    *keep missing* despite forming a small hot set — the classic
+    column-walk / aligned-hash-bucket pattern.  These small, repeatedly
+    missing sets are precisely what HD-Dup's Hot Address Cache captures.
+
+    Args:
+        set_stride: L2 set period in lines (2048 for the Table I L2).
+        groups: Number of distinct conflict sets walked round-robin.
+        footprint: Lines per group (defaults to all that fit the region).
+    """
+    if region < 2:
+        raise ValueError(f"region {region} too small for a conflict walk")
+    if region < set_stride + 1:
+        # Tiny regions (scaled-down trees, Figure 19 sweeps): shrink the
+        # stride so the walk still alternates lines, at the cost of the
+        # same-set property.
+        set_stride = max(1, region // 2)
+    max_footprint = max(2, (region - groups) // set_stride)
+    if footprint is None:
+        footprint = max_footprint
+    footprint = min(footprint, max_footprint)
+    sequences = [
+        [base + g + j * set_stride for j in range(footprint)] for g in range(groups)
+    ]
+    out = []
+    pos = 0
+    while len(out) < n:
+        for g in range(groups):
+            addr = sequences[g][pos % footprint]
+            op = "write" if rng.random() < write_frac else "read"
+            out.append(
+                MemoryRequest(addr=addr, op=op, work=work, dependent=dependent)
+            )
+            if len(out) >= n:
+                break
+        pos += 1
+    return out
+
+
+def phases(
+    rng: Random,
+    n: int,
+    segments: Sequence[tuple[float, GeneratorFn]],
+) -> list[MemoryRequest]:
+    """Alternate between generator segments until ``n`` requests exist.
+
+    ``segments`` is a sequence of ``(fraction_of_period, generator)``; one
+    period emits each generator's share in order, and periods repeat.  The
+    per-call generator signature is ``fn(rng, count, offset)`` where
+    ``offset`` is the index of the first request generated (so phase
+    boundaries can be made deterministic).
+    """
+    total_frac = sum(frac for frac, _fn in segments)
+    if total_frac <= 0:
+        raise ValueError("segment fractions must sum to a positive value")
+    out: list[MemoryRequest] = []
+    period = max(1, min(n, 4000))
+    while len(out) < n:
+        for frac, fn in segments:
+            count = max(1, int(period * frac / total_frac))
+            out.extend(fn(rng, count, len(out)))
+            if len(out) >= n:
+                break
+    return out[:n]
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """A named, reproducible synthetic benchmark.
+
+    Attributes:
+        name: Benchmark name (matches the paper's SPEC selection).
+        description: What behaviour it mimics and why it matters to the
+            paper's evaluation.
+        memory_intensity: Coarse tag used in result discussion
+            (``"high"``, ``"medium"`` or ``"low"``).
+        generate: ``fn(rng, num_requests, address_space)`` producing the
+            request stream.  ``address_space`` is the number of program
+            blocks the ORAM serves; generators size their regions
+            relative to it.
+    """
+
+    name: str
+    description: str
+    memory_intensity: str
+    generate: GeneratorFn
+
+    def requests(
+        self, seed: int, num_requests: int, address_space: int
+    ) -> list[MemoryRequest]:
+        """Generate the deterministic request stream for ``seed``."""
+        rng = Random(seed ^ hash(self.name) & 0xFFFFFFFF)
+        reqs = self.generate(rng, num_requests, address_space)
+        for req in reqs:
+            if not 0 <= req.addr < address_space:
+                raise ValueError(
+                    f"workload {self.name} produced addr {req.addr} outside "
+                    f"address space 0..{address_space - 1}"
+                )
+        return reqs

@@ -1,0 +1,60 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.analysis.figures import bar_chart, grouped_bar_chart, line_series
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title_rendered(self):
+        out = bar_chart(["x"], [1.0], title="Figure 11")
+        assert out.splitlines()[0] == "Figure 11"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [0.0])
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series_rendered(self):
+        out = grouped_bar_chart(
+            ["mcf", "namd"],
+            {"Tiny": [2.0, 1.0], "dyn": [1.5, 0.7]},
+        )
+        assert "mcf" in out
+        assert "namd" in out
+        assert out.count("Tiny") == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {"s": [1.0, 2.0]})
+
+
+class TestLineSeries:
+    def test_markers_and_legend(self):
+        out = line_series(
+            [0, 1, 2],
+            {"total": [1.0, 0.8, 0.9], "data": [0.9, 0.7, 0.8]},
+            title="sweep",
+        )
+        assert "o = total" in out
+        assert "x = data" in out
+        assert "sweep" in out
+
+    def test_flat_series_handled(self):
+        out = line_series([0, 1], {"flat": [1.0, 1.0]})
+        assert "flat" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_series([0], {})

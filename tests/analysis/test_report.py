@@ -1,0 +1,33 @@
+"""Unit tests for table rendering."""
+
+from repro.analysis.report import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(
+            ["name", "value"],
+            [["short", 1.5], ["a-much-longer-name", 2.0]],
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "a-much-longer-name" in lines[3]
+        # All rows aligned: 'value' column starts at the same offset.
+        col = lines[0].index("value")
+        assert lines[2][col:].strip().startswith("1.500")
+
+    def test_title_and_rule(self):
+        out = format_table(["a"], [["x"]], title="Figure 9")
+        lines = out.splitlines()
+        assert lines[0] == "Figure 9"
+        assert set(lines[1]) == {"="}
+
+    def test_float_format_override(self):
+        out = format_table(["v"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in out
+        assert "1.23" not in out
+
+    def test_non_float_cells_pass_through(self):
+        out = format_table(["a", "b"], [[17, "yes"]])
+        assert "17" in out
+        assert "yes" in out

@@ -1,0 +1,59 @@
+"""Unit tests for analysis statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import geometric_mean, intervals, mean, percentile, stdev
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+
+class TestMeanStdev:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev(self):
+        assert stdev([2.0, 2.0, 2.0]) == 0.0
+        assert stdev([1.0, 3.0]) == pytest.approx(1.0)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestIntervals:
+    def test_differences(self):
+        assert intervals([1.0, 4.0, 9.0]) == [3.0, 5.0]
+
+    def test_short_input(self):
+        assert intervals([1.0]) == []

@@ -1,0 +1,92 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.config import ShadowConfig
+from repro.core.controller import ShadowOramController
+from repro.oram.config import OramConfig
+from repro.oram.tiny import TinyOramController
+
+
+@pytest.fixture
+def small_oram_config() -> OramConfig:
+    """A tiny tree (L=6) for fast functional tests."""
+    return OramConfig(levels=6, z=5, a=5, utilization=0.25, stash_capacity=200)
+
+
+@pytest.fixture
+def tiny_controller(small_oram_config: OramConfig) -> TinyOramController:
+    return TinyOramController(small_oram_config, Random(1234))
+
+
+@pytest.fixture
+def shadow_controller(small_oram_config: OramConfig) -> ShadowOramController:
+    return ShadowOramController(
+        small_oram_config, Random(1234), ShadowConfig.static(3)
+    )
+
+
+def check_path_invariant(controller: TinyOramController) -> None:
+    """Assert the Path ORAM invariant: every block is in the stash or on
+    the path of its current position-map leaf (and likewise every shadow
+    copy sits on its original's path, root-ward of the original)."""
+    tree = controller.tree
+    posmap = controller.posmap
+    real_level: dict[int, int] = {}
+    shadow_positions: dict[int, list[int]] = {}
+    for idx, _slot, blk in tree.iter_blocks():
+        level = tree.level_of_bucket(idx)
+        mapped_leaf = posmap.lookup(blk.addr)
+        assert blk.leaf == mapped_leaf, (
+            f"block {blk.addr} carries leaf {blk.leaf} but posmap says "
+            f"{mapped_leaf}"
+        )
+        assert tree.on_path(mapped_leaf, idx), (
+            f"block {blk.addr} (shadow={blk.is_shadow}) at bucket {idx} is "
+            f"not on path {mapped_leaf}"
+        )
+        if blk.is_shadow:
+            shadow_positions.setdefault(blk.addr, []).append(level)
+        else:
+            assert blk.addr not in real_level, f"duplicate real block {blk.addr}"
+            real_level[blk.addr] = level
+    for addr in range(controller.num_blocks):
+        in_stash = controller.stash.lookup_real(addr) is not None
+        in_tree = addr in real_level
+        assert in_stash != in_tree, (
+            f"block {addr} must be in exactly one of stash/tree "
+            f"(stash={in_stash}, tree={in_tree})"
+        )
+    for addr, levels in shadow_positions.items():
+        if addr in real_level:
+            for level in levels:
+                assert level < real_level[addr], (
+                    f"shadow of {addr} at level {level} is not root-ward of "
+                    f"its original at level {real_level[addr]} (Rule-2)"
+                )
+
+
+def check_shadow_versions(controller: TinyOramController) -> None:
+    """Assert every shadow copy (tree or stash) carries its original's
+    current version — the single-version property of Section IV-A."""
+    versions: dict[int, int] = {}
+    for _idx, _slot, blk in controller.tree.iter_blocks():
+        if not blk.is_shadow:
+            versions[blk.addr] = blk.version
+    for blk in controller.stash.real_blocks():
+        versions[blk.addr] = blk.version
+    for _idx, _slot, blk in controller.tree.iter_blocks():
+        if blk.is_shadow:
+            assert versions[blk.addr] == blk.version, (
+                f"stale tree shadow for {blk.addr}: shadow v{blk.version} "
+                f"vs original v{versions[blk.addr]}"
+            )
+    for blk in controller.stash.shadow_blocks():
+        assert versions[blk.addr] == blk.version, (
+            f"stale stash shadow for {blk.addr}: shadow v{blk.version} "
+            f"vs original v{versions[blk.addr]}"
+        )

@@ -1,0 +1,63 @@
+"""Unit tests for the Hot Address Cache (LFU, set-associative)."""
+
+import pytest
+
+from repro.core.hot_cache import HotAddressCache
+
+
+class TestBasics:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            HotAddressCache(0, 4)
+        with pytest.raises(ValueError):
+            HotAddressCache(4, 0)
+
+    def test_capacity(self):
+        assert HotAddressCache(32, 4).capacity == 128
+
+    def test_untracked_address_has_zero_priority(self):
+        cache = HotAddressCache(2, 2)
+        assert cache.hotness(99) == 0
+        assert 99 not in cache
+
+    def test_touch_counts(self):
+        cache = HotAddressCache(2, 2)
+        assert cache.touch(1) == 1
+        assert cache.touch(1) == 2
+        assert cache.touch(1) == 3
+        assert cache.hotness(1) == 3
+
+
+class TestLfuEviction:
+    def test_least_frequent_way_evicted(self):
+        cache = HotAddressCache(1, 2)
+        cache.touch(0)
+        cache.touch(0)
+        cache.touch(1)
+        cache.touch(2)  # set full: 0 (count 2) vs 1 (count 1) -> evict 1
+        assert cache.hotness(0) == 2
+        assert cache.hotness(1) == 0
+        assert cache.hotness(2) == 1
+        assert cache.evictions == 1
+
+    def test_set_isolation(self):
+        cache = HotAddressCache(2, 1)
+        cache.touch(0)  # set 0
+        cache.touch(1)  # set 1
+        cache.touch(2)  # set 0 again: evicts 0, not 1
+        assert cache.hotness(1) == 1
+        assert cache.hotness(0) == 0
+
+    def test_len_counts_tracked_addresses(self):
+        cache = HotAddressCache(4, 2)
+        for addr in range(6):
+            cache.touch(addr)
+        assert len(cache) == 6
+
+    def test_hit_miss_counters(self):
+        cache = HotAddressCache(4, 2)
+        cache.touch(1)
+        cache.touch(1)
+        cache.touch(2)
+        assert cache.hits == 1
+        assert cache.misses == 2

@@ -1,0 +1,129 @@
+"""Unit tests for the DRI counter and partitioning policies."""
+
+import pytest
+
+from repro.core.partition import (
+    DUMMY,
+    REAL,
+    DriCounter,
+    DynamicPartitionPolicy,
+    PartitionPolicy,
+)
+
+
+class TestDriCounter:
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            DriCounter(0)
+
+    def test_starts_at_midpoint(self):
+        assert DriCounter(3).value == 4
+        assert DriCounter(1).value == 1
+
+    def test_real_then_dummy_increments(self):
+        c = DriCounter(3)
+        c.observe(REAL)
+        c.observe(DUMMY)
+        assert c.value == 5
+
+    def test_real_then_real_decrements(self):
+        c = DriCounter(3)
+        c.observe(REAL)
+        c.observe(REAL)
+        assert c.value == 3
+
+    def test_dummy_then_anything_is_neutral(self):
+        c = DriCounter(3)
+        c.observe(DUMMY)
+        c.observe(DUMMY)
+        assert c.value == 4
+        c.observe(REAL)
+        assert c.value == 4
+
+    def test_saturates_at_bounds(self):
+        c = DriCounter(2)  # range 0..3
+        for _ in range(10):
+            c.observe(REAL)
+        assert c.value == 0
+        for _ in range(10):
+            c.observe(REAL)
+            c.observe(DUMMY)
+        assert c.value == 3
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            DriCounter(3).observe("weird")
+
+    def test_wants_more_hd_below_half(self):
+        c = DriCounter(3)
+        assert not c.wants_more_hd  # at midpoint 4 (half of 8)
+        c.observe(REAL)
+        c.observe(REAL)
+        assert c.wants_more_hd
+
+
+class TestStaticPolicy:
+    def test_level_bounds_validated(self):
+        with pytest.raises(ValueError):
+            PartitionPolicy(8, 7)
+        with pytest.raises(ValueError):
+            PartitionPolicy(-1, 7)
+
+    def test_split(self):
+        # Levels < P go to HD-Dup, >= P to RD-Dup.
+        p = PartitionPolicy(3, 7)
+        assert p.uses_hd(0)
+        assert p.uses_hd(2)
+        assert not p.uses_hd(3)
+        assert not p.uses_hd(7)
+
+    def test_pure_extremes(self):
+        rd_only = PartitionPolicy(0, 7)
+        assert not any(rd_only.uses_hd(lvl) for lvl in range(8))
+        hd_only = PartitionPolicy(7, 7)
+        assert all(hd_only.uses_hd(lvl) for lvl in range(7))
+
+    def test_static_ignores_observations(self):
+        p = PartitionPolicy(3, 7)
+        p.observe(REAL)
+        p.observe(DUMMY)
+        p.observe_idle_gap(1e9, 800.0)
+        assert p.level == 3
+
+
+class TestDynamicPolicy:
+    def test_short_dris_raise_level(self):
+        p = DynamicPartitionPolicy(8, counter_bits=3, initial_level=4)
+        for _ in range(20):
+            p.observe(REAL)
+        assert p.level == 8  # railed toward pure HD
+
+    def test_long_dris_lower_level(self):
+        p = DynamicPartitionPolicy(8, counter_bits=3, initial_level=4)
+        for _ in range(20):
+            p.observe(REAL)
+            p.observe(DUMMY)
+        assert p.level == 0  # railed toward pure RD
+
+    def test_level_clamped(self):
+        p = DynamicPartitionPolicy(4, counter_bits=1, initial_level=4)
+        for _ in range(10):
+            p.observe(REAL)
+        assert 0 <= p.level <= 4
+
+    def test_idle_gap_counts_as_virtual_dummy(self):
+        p = DynamicPartitionPolicy(8, counter_bits=3, initial_level=4)
+        p.observe(REAL)
+        before = p.counter.value
+        p.observe_idle_gap(1600.0, 800.0)
+        assert p.counter.value == before + 1
+
+    def test_short_gap_ignored(self):
+        p = DynamicPartitionPolicy(8, counter_bits=3, initial_level=4)
+        p.observe(REAL)
+        before = p.counter.value
+        p.observe_idle_gap(100.0, 800.0)
+        assert p.counter.value == before
+
+    def test_default_initial_level_is_middle(self):
+        assert DynamicPartitionPolicy(8).level == 4

@@ -1,0 +1,98 @@
+"""Unit tests for the RD/HD duplication queues and shadow rules."""
+
+import pytest
+
+from repro.core.queues import DupCandidate, DuplicationQueue, hd_queue, rd_queue
+from repro.oram.block import Block
+
+
+def cand(addr=0, leaf=0, level_bound=5, hotness=0, from_stash=False):
+    return DupCandidate(
+        block=Block(addr=addr, leaf=leaf),
+        level_bound=level_bound,
+        hotness=hotness,
+        from_stash_shadow=from_stash,
+    )
+
+
+class TestEligibility:
+    def test_rule2_strictly_root_ward(self):
+        c = cand(level_bound=4)
+        assert c.eligible(3, evict_leaf=0, levels=6)
+        assert not c.eligible(4, evict_leaf=0, levels=6)
+        assert not c.eligible(5, evict_leaf=0, levels=6)
+
+    def test_rule1_checked_for_stash_shadows(self):
+        # Leaf 0 and evict leaf 32 (L=6) share only the root: a stash
+        # shadow of leaf 0 cannot go to level 2 of path 32.
+        c = cand(leaf=0, level_bound=5, from_stash=True)
+        assert c.eligible(0, evict_leaf=32, levels=6)
+        assert not c.eligible(2, evict_leaf=32, levels=6)
+
+    def test_rule1_skipped_for_same_path_evictions(self):
+        # Blocks evicted on this very path are consistent by construction.
+        c = cand(leaf=0, level_bound=5, from_stash=False)
+        assert c.eligible(2, evict_leaf=32, levels=6)
+
+
+class TestSelection:
+    def test_unknown_priority_key_rejected(self):
+        with pytest.raises(ValueError):
+            DuplicationQueue("speed")
+
+    def test_rd_queue_picks_deepest(self):
+        q = rd_queue()
+        shallow = cand(addr=1, level_bound=3)
+        deep = cand(addr=2, level_bound=6)
+        q.push(shallow)
+        q.push(deep)
+        assert q.select(1, 0, 6) is deep
+
+    def test_hd_queue_picks_hottest(self):
+        q = hd_queue()
+        cold = cand(addr=1, level_bound=6, hotness=1)
+        hot = cand(addr=2, level_bound=6, hotness=9)
+        q.push(cold)
+        q.push(hot)
+        assert q.select(1, 0, 6) is hot
+
+    def test_selection_updates_level_bound(self):
+        # Figure 4(b): after duplication at level 1, the candidate's level
+        # becomes 1 and it no longer outranks others for level-1 slots.
+        q = rd_queue()
+        a = cand(addr=1, level_bound=6)
+        b = cand(addr=2, level_bound=4)
+        q.push(a)
+        q.push(b)
+        assert q.select(2, 0, 6) is a
+        assert a.level_bound == 2
+        assert a.used
+        assert q.select(2, 0, 6) is b
+
+    def test_empty_or_ineligible_returns_none(self):
+        q = rd_queue()
+        assert q.select(0, 0, 6) is None
+        q.push(cand(level_bound=1))
+        assert q.select(1, 0, 6) is None
+
+    def test_select_many_returns_distinct_candidates(self):
+        q = rd_queue()
+        cands = [cand(addr=i, level_bound=3 + i) for i in range(4)]
+        for c in cands:
+            q.push(c)
+        chosen = q.select_many(1, 3, 0, 6)
+        assert len(chosen) == 3
+        assert len({c.block.addr for c in chosen}) == 3
+        # Highest bounds first.
+        assert [c.block.addr for c in chosen] == [3, 2, 1]
+
+    def test_select_many_zero_count(self):
+        q = rd_queue()
+        q.push(cand())
+        assert q.select_many(0, 0, 0, 6) == []
+
+    def test_clear(self):
+        q = rd_queue()
+        q.push(cand())
+        q.clear()
+        assert len(q) == 0

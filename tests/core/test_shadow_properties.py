@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for the shadow-block mechanism.
+
+These drive random operation sequences against a reference model and check
+the paper's core safety arguments after every burst:
+
+* functional reads always return the latest written value, regardless of
+  how many shadow copies exist or which copy served the request;
+* the Path ORAM invariant extended with Rule-1/Rule-2 holds for every
+  block and shadow in the tree;
+* no shadow (tree or stash) ever carries a stale version.
+"""
+
+from random import Random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ShadowConfig
+from repro.core.controller import ShadowOramController
+from repro.oram.config import OramConfig
+from tests.conftest import check_path_invariant, check_shadow_versions
+
+# One operation: (addr_selector, is_write). addr_selector is folded onto the
+# configured address space; small values re-use the same few addresses,
+# which maximises duplication/merge churn.
+operation = st.tuples(st.integers(min_value=0, max_value=31), st.booleans())
+
+
+def build(partition_level: int, seed: int) -> ShadowOramController:
+    cfg = OramConfig(levels=5, z=4, a=3, utilization=0.25, stash_capacity=120)
+    shadow = ShadowConfig.static(min(partition_level, cfg.levels + 1))
+    return ShadowOramController(cfg, Random(seed), shadow)
+
+
+@given(
+    ops=st.lists(operation, min_size=1, max_size=120),
+    partition_level=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_reads_always_return_latest_write(ops, partition_level, seed):
+    ctl = build(partition_level, seed)
+    model: dict[int, int] = {}
+    for i, (raw_addr, is_write) in enumerate(ops):
+        addr = raw_addr % ctl.num_blocks
+        if is_write:
+            ctl.access(addr, "write", payload=i)
+            model[addr] = i
+        else:
+            result = ctl.access(addr, "read")
+            assert result.value == model.get(addr), (
+                f"stale read of {addr} via {result.served_from}"
+            )
+    check_path_invariant(ctl)
+    check_shadow_versions(ctl)
+
+
+@given(
+    ops=st.lists(operation, min_size=1, max_size=80),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_dummy_accesses_never_corrupt_state(ops, seed):
+    ctl = build(3, seed)
+    model: dict[int, int] = {}
+    rng = Random(seed ^ 0xABCD)
+    for i, (raw_addr, is_write) in enumerate(ops):
+        if rng.random() < 0.3:
+            ctl.dummy_access()
+        addr = raw_addr % ctl.num_blocks
+        if is_write:
+            ctl.access(addr, "write", payload=i)
+            model[addr] = i
+        else:
+            assert ctl.access(addr, "read").value == model.get(addr)
+    check_path_invariant(ctl)
+    check_shadow_versions(ctl)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=20, deadline=None)
+def test_block_conservation(seed):
+    # Exactly one real copy of every address exists at all times.
+    ctl = build(3, seed)
+    rng = Random(seed)
+    for _ in range(60):
+        ctl.access(rng.randrange(ctl.num_blocks), "read")
+    real_in_tree, _shadows = ctl.tree.count_blocks()
+    assert real_in_tree + ctl.stash.real_count == ctl.num_blocks

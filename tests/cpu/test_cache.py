@@ -1,0 +1,130 @@
+"""Unit tests for the set-associative caches and the hierarchy."""
+
+import pytest
+
+from repro.cpu.cache import CacheConfig, CacheHierarchy, SetAssociativeCache
+from repro.cpu.trace import MemoryRequest
+
+
+class TestSetAssociativeCache:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 2)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024, 3, 64)  # 16 lines not divisible by 3
+
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(4 * 64, 2)
+        hit, _ = cache.access(0, "read")
+        assert not hit
+        hit, _ = cache.access(0, "read")
+        assert hit
+
+    def test_lru_eviction_order(self):
+        cache = SetAssociativeCache(2 * 64, 2)  # one set, two ways
+        cache.access(0, "read")
+        cache.access(1, "read")
+        cache.access(0, "read")  # refresh 0
+        cache.access(2, "read")  # evicts 1 (LRU), not 0
+        assert 0 in cache
+        assert 1 not in cache
+        assert 2 in cache
+
+    def test_dirty_victim_returned(self):
+        cache = SetAssociativeCache(2 * 64, 2)
+        cache.access(0, "write")
+        cache.access(1, "read")
+        _hit, victim = cache.access(2, "read")
+        assert victim == 0
+
+    def test_clean_victim_not_returned(self):
+        cache = SetAssociativeCache(2 * 64, 2)
+        cache.access(0, "read")
+        cache.access(1, "read")
+        _hit, victim = cache.access(2, "read")
+        assert victim is None
+
+    def test_write_hit_marks_dirty(self):
+        cache = SetAssociativeCache(2 * 64, 2)
+        cache.access(0, "read")
+        cache.access(0, "write")
+        cache.access(1, "read")
+        _hit, victim = cache.access(2, "read")
+        assert victim == 0
+
+    def test_set_indexing_isolates_sets(self):
+        cache = SetAssociativeCache(4 * 64, 2)  # two sets
+        cache.access(0, "read")  # set 0
+        cache.access(1, "read")  # set 1
+        cache.access(2, "read")  # set 0
+        cache.access(4, "read")  # set 0: evicts 0
+        assert 1 in cache
+        assert 0 not in cache
+
+
+class TestCacheConfig:
+    def test_scaled_is_smaller_than_table1(self):
+        assert CacheConfig.scaled().l2_bytes < CacheConfig.table1().l2_bytes
+
+    def test_l2_derived_quantities(self):
+        cfg = CacheConfig.scaled()
+        assert cfg.l2_lines == 1024
+        assert cfg.l2_sets == 128
+
+
+class TestHierarchy:
+    def test_small_loop_becomes_all_hits(self):
+        hierarchy = CacheHierarchy(CacheConfig.scaled())
+        reqs = [MemoryRequest(addr=a % 16, work=2) for a in range(400)]
+        trace = hierarchy.filter_trace(reqs, "loop")
+        # 16 cold misses, everything else hits.
+        assert len(trace) == 16
+        assert trace.raw_requests == 400
+
+    def test_cyclic_overflow_keeps_missing(self):
+        cfg = CacheConfig.scaled()
+        hierarchy = CacheHierarchy(cfg)
+        span = cfg.l2_lines * 2
+        reqs = [MemoryRequest(addr=a % span, work=1) for a in range(3 * span)]
+        trace = hierarchy.filter_trace(reqs, "cyclic")
+        # LRU on a cyclic over-capacity scan: ~everything misses.
+        assert trace.miss_rate > 0.9
+
+    def test_gap_accumulates_work_and_hit_latency(self):
+        cfg = CacheConfig.scaled()
+        hierarchy = CacheHierarchy(cfg)
+        reqs = [
+            MemoryRequest(addr=0, work=10),   # cold miss
+            MemoryRequest(addr=0, work=10),   # L1 hit
+            MemoryRequest(addr=0, work=10),   # L1 hit
+            MemoryRequest(addr=999, work=10),  # cold miss
+        ]
+        trace = hierarchy.filter_trace(reqs, "gaps")
+        assert len(trace) == 2
+        second_gap = trace.misses[1].gap
+        # Two L1 hits (1 cycle each) + 3x work + the miss's own lookup.
+        expected = 10 + (10 + cfg.l1_latency) * 2 + cfg.l1_latency + cfg.l2_latency
+        assert second_gap == pytest.approx(expected)
+
+    def test_writebacks_surface_only_when_enabled(self):
+        span = CacheConfig.scaled().l2_lines + 64
+        reqs = [
+            MemoryRequest(addr=a % span, op="write", work=1)
+            for a in range(3 * span)
+        ]
+        plain = CacheHierarchy(CacheConfig.scaled()).filter_trace(list(reqs), "wb")
+        assert all(m.writeback_addr is None for m in plain.misses)
+
+        wb_cfg = CacheConfig(
+            l1_bytes=16 * 1024, l2_bytes=64 * 1024, model_writebacks=True
+        )
+        with_wb = CacheHierarchy(wb_cfg).filter_trace(list(reqs), "wb")
+        assert any(m.writeback_addr is not None for m in with_wb.misses)
+
+    def test_dependency_flag_preserved(self):
+        hierarchy = CacheHierarchy(CacheConfig.scaled())
+        reqs = [MemoryRequest(addr=a * 97, work=1, dependent=(a % 2 == 0))
+                for a in range(64)]
+        trace = hierarchy.filter_trace(reqs, "dep")
+        assert any(m.dependent for m in trace.misses)
+        assert any(not m.dependent for m in trace.misses)

@@ -1,0 +1,34 @@
+"""Unit tests for trace record types."""
+
+from repro.cpu.trace import LlcMiss, MemoryRequest, MissTrace
+
+
+class TestMissTrace:
+    def _trace(self):
+        misses = [
+            LlcMiss(addr=1, op="read", gap=100.0),
+            LlcMiss(addr=2, op="write", gap=200.0),
+            LlcMiss(addr=1, op="read", gap=300.0),
+        ]
+        return MissTrace(workload="t", misses=misses, raw_requests=30)
+
+    def test_len_and_miss_rate(self):
+        trace = self._trace()
+        assert len(trace) == 3
+        assert trace.miss_rate == 0.1
+
+    def test_mean_gap(self):
+        assert self._trace().mean_gap == 200.0
+
+    def test_footprint_counts_distinct(self):
+        assert self._trace().address_footprint() == 2
+
+    def test_empty_trace(self):
+        trace = MissTrace(workload="e", misses=[], raw_requests=0)
+        assert trace.miss_rate == 0.0
+        assert trace.mean_gap == 0.0
+
+    def test_request_defaults(self):
+        req = MemoryRequest(addr=5)
+        assert req.op == "read"
+        assert req.dependent

@@ -1,0 +1,121 @@
+"""End-to-end integration tests across all subsystems."""
+
+from random import Random
+
+import pytest
+
+from repro.core.config import ShadowConfig
+from repro.core.controller import ShadowOramController
+from repro.cpu.core import CpuConfig
+from repro.mem.dram import DramConfig, DramModel
+from repro.oram.config import OramConfig
+from repro.system.config import SystemConfig
+from repro.system.simulator import SystemSimulator, simulate
+from tests.conftest import check_path_invariant, check_shadow_versions
+
+ORAM = OramConfig(levels=14, utilization=0.25)
+
+
+class TestFullPipeline:
+    def test_all_schemes_complete_on_one_workload(self):
+        schemes = [
+            SystemConfig.insecure_system(oram=ORAM),
+            SystemConfig.tiny(oram=ORAM),
+            SystemConfig.rd_dup(oram=ORAM),
+            SystemConfig.hd_dup(oram=ORAM),
+            SystemConfig.static(7, oram=ORAM),
+            SystemConfig.dynamic(3, oram=ORAM),
+        ]
+        totals = {}
+        for cfg in schemes:
+            r = simulate(cfg, "h264ref", num_requests=8000)
+            totals[cfg.name] = r.total_cycles
+            assert r.total_cycles > 0
+        assert totals["insecure"] < totals["Tiny"]
+        for scheme in ("RD-Dup", "HD-Dup", "static-7", "dynamic-3"):
+            assert totals[scheme] <= totals["Tiny"] * 1.01
+
+    def test_timed_controller_preserves_functional_state(self):
+        # Timing and functional layers must not interfere: the invariants
+        # hold on a fully timed controller after a long workload.
+        cfg = OramConfig(levels=8, utilization=0.25)
+        dram = DramModel(DramConfig(), cfg.levels, cfg.z)
+        ctl = ShadowOramController(
+            cfg, Random(0), ShadowConfig.dynamic_counter(3), dram=dram
+        )
+        rng = Random(1)
+        now = 0.0
+        model = {}
+        for i in range(800):
+            addr = rng.randrange(ctl.num_blocks)
+            if rng.random() < 0.3:
+                r = ctl.access(addr, "write", payload=i, now=now)
+                model[addr] = i
+            else:
+                r = ctl.access(addr, "read", now=now)
+                assert r.value == model.get(addr)
+            now = r.finish + rng.randrange(200)
+        check_path_invariant(ctl)
+        check_shadow_versions(ctl)
+
+    def test_timing_protection_end_to_end_shapes(self):
+        tiny = simulate(
+            SystemConfig.tiny(oram=ORAM).with_timing_protection(),
+            "hmmer",
+            num_requests=8000,
+        )
+        dyn = simulate(
+            SystemConfig.dynamic(3, oram=ORAM).with_timing_protection(),
+            "hmmer",
+            num_requests=8000,
+        )
+        assert tiny.dummy_requests > 0
+        assert dyn.total_cycles <= tiny.total_cycles
+        # Equation 1 holds by construction; sanity-check the parts.
+        assert dyn.data_access_cycles + dyn.dri_cycles == pytest.approx(
+            dyn.total_cycles
+        )
+
+    def test_multicore_o3_configuration(self):
+        cfg = SystemConfig.dynamic(3, oram=ORAM).with_(
+            cpu=CpuConfig.out_of_order(cores=2)
+        )
+        r = SystemSimulator(cfg).run("mcf", num_requests=3000)
+        assert r.llc_misses > 200
+        assert r.total_cycles > 0
+
+    def test_writeback_modelling_end_to_end(self):
+        from repro.cpu.cache import CacheConfig
+
+        cache = CacheConfig(
+            l1_bytes=16 * 1024, l2_bytes=64 * 1024, model_writebacks=True
+        )
+        cfg = SystemConfig.dynamic(3, oram=ORAM).with_(cache=cache)
+        r = simulate(cfg, "bzip2", num_requests=6000)
+        assert r.total_cycles > 0
+        # Writebacks add ORAM write requests beyond CPU-visible misses.
+        assert r.real_requests > 0
+
+
+class TestScaling:
+    @pytest.mark.parametrize("levels", [8, 11, 14])
+    def test_tree_depth_sweep_runs(self, levels):
+        oram = OramConfig(levels=levels, utilization=0.25)
+        r = simulate(SystemConfig.dynamic(3, oram=oram), "gcc", num_requests=3000)
+        assert r.total_cycles > 0
+
+    def test_deeper_trees_cost_more_per_access(self):
+        shallow = simulate(
+            SystemConfig.tiny(oram=OramConfig(levels=9, utilization=0.25)),
+            "libquantum",
+            num_requests=4000,
+        )
+        deep = simulate(
+            SystemConfig.tiny(oram=OramConfig(levels=14, utilization=0.25)),
+            "libquantum",
+            num_requests=4000,
+        )
+        assert (
+            deep.data_access_cycles / deep.real_requests
+            > shallow.data_access_cycles / shallow.real_requests
+        )

@@ -1,0 +1,83 @@
+"""Directional checks of the paper's headline claims at test scale.
+
+The benchmark harness (benchmarks/) regenerates each figure at full
+experiment scale; these tests pin the *directions* the paper reports so a
+regression that flips a conclusion fails CI immediately.
+"""
+
+import pytest
+
+from repro.oram.config import OramConfig
+from repro.system.config import SystemConfig
+from repro.system.simulator import simulate
+
+ORAM = OramConfig(levels=14, utilization=0.25)
+N = 12000
+
+
+def run(cfg, workload, tp=False):
+    if tp:
+        cfg = cfg.with_timing_protection()
+    return simulate(cfg, workload, num_requests=N)
+
+
+@pytest.fixture(scope="module")
+def h264_results():
+    return {
+        name: run(cfg, "h264ref", tp=True)
+        for name, cfg in {
+            "tiny": SystemConfig.tiny(oram=ORAM),
+            "rd": SystemConfig.rd_dup(oram=ORAM),
+            "hd": SystemConfig.hd_dup(oram=ORAM),
+            "dyn": SystemConfig.dynamic(3, oram=ORAM),
+        }.items()
+    }
+
+
+class TestHeadlineDirections:
+    def test_every_duplication_scheme_beats_tiny(self, h264_results):
+        tiny = h264_results["tiny"].total_cycles
+        for name in ("rd", "hd", "dyn"):
+            assert h264_results[name].total_cycles < tiny, name
+
+    def test_hd_dup_cuts_data_access_time(self, h264_results):
+        # Section VI-B: "HD-Dup mainly reduces data access time."
+        tiny = h264_results["tiny"]
+        hd = h264_results["hd"]
+        assert hd.data_access_cycles < tiny.data_access_cycles
+        assert hd.onchip_hits > tiny.onchip_hits
+
+    def test_rd_dup_advances_accesses(self, h264_results):
+        # RD-Dup serves requests earlier along the path...
+        tiny = h264_results["tiny"]
+        rd = h264_results["rd"]
+        assert rd.shadow_path_serves > 0
+        assert rd.mean_data_latency < tiny.mean_data_latency
+
+    def test_shadow_schemes_save_energy(self, h264_results):
+        assert h264_results["dyn"].energy_nj < h264_results["tiny"].energy_nj
+
+
+class TestInsecureSlowdown:
+    def test_oram_slowdown_in_paper_band(self):
+        # Figure 11: Tiny ORAM slows workloads down by roughly 1.5x-9x
+        # relative to the insecure system (mcf et al. at the high end).
+        insecure = run(SystemConfig.insecure_system(oram=ORAM), "mcf")
+        tiny = run(SystemConfig.tiny(oram=ORAM), "mcf")
+        slowdown = tiny.total_cycles / insecure.total_cycles
+        assert 1.5 < slowdown < 15
+
+
+class TestDynamicPartitioning:
+    def test_dynamic_close_to_best_static(self):
+        # Figure 10/Section VI-B: dynamic-3 should track the better of the
+        # two pure schemes (within a modest slack at this scale).
+        results = {}
+        for name, cfg in {
+            "rd": SystemConfig.rd_dup(oram=ORAM),
+            "hd": SystemConfig.hd_dup(oram=ORAM),
+            "dyn": SystemConfig.dynamic(3, oram=ORAM),
+        }.items():
+            results[name] = run(cfg, "hmmer", tp=True).total_cycles
+        best_pure = min(results["rd"], results["hd"])
+        assert results["dyn"] <= best_pure * 1.10

@@ -1,0 +1,97 @@
+"""Unit tests for the DDR3 path timing model."""
+
+import pytest
+
+from repro.mem.dram import DramConfig, DramModel
+
+
+@pytest.fixture
+def model():
+    return DramModel(DramConfig(), levels=8, z=4)
+
+
+class TestConfigDerivations:
+    def test_block_transfer_cycles(self):
+        cfg = DramConfig()
+        # 64B over a 64-bit DDR3-1333 channel: 8 beats = 4 clocks = 6ns
+        # = 12 CPU cycles at 2 GHz.
+        assert cfg.block_transfer_cycles == pytest.approx(12.0)
+
+    def test_activation_cycles(self):
+        cfg = DramConfig()
+        assert cfg.activation_cycles == pytest.approx(81.0)
+
+
+class TestReadPath:
+    def test_arrivals_cover_every_slot(self, model):
+        t = model.read_path(0.0)
+        assert len(t.arrivals) == 9
+        assert all(len(bucket) == 4 for bucket in t.arrivals)
+
+    def test_root_arrives_before_leaf(self, model):
+        t = model.read_path(0.0)
+        assert t.arrivals[0][0] < t.arrivals[-1][-1]
+
+    def test_arrivals_monotone_in_logical_order(self, model):
+        t = model.read_path(0.0)
+        flat = [a for bucket in t.arrivals for a in bucket]
+        assert flat == sorted(flat)
+
+    def test_finish_after_last_arrival(self, model):
+        t = model.read_path(0.0)
+        assert t.finish >= t.arrivals[-1][-1]
+
+    def test_start_offset_shifts_everything(self, model):
+        t0 = model.read_path(0.0)
+        t5 = model.read_path(500.0)
+        assert t5.finish == pytest.approx(t0.finish + 500.0)
+        assert t5.arrivals[0][0] == pytest.approx(t0.arrivals[0][0] + 500.0)
+
+    def test_treetop_skips_top_levels(self, model):
+        full = model.read_path(0.0)
+        skipped = model.read_path(0.0, first_level=3)
+        assert skipped.arrivals[0] == []
+        assert skipped.arrivals[2] == []
+        assert len(skipped.arrivals[3]) == 4
+        assert skipped.finish < full.finish
+        assert skipped.blocks_on_bus == full.blocks_on_bus - 3 * 4
+
+    def test_activations_counted(self, model):
+        t = model.read_path(0.0)
+        assert t.activations == model.layout.activations_for_path(9)
+
+
+class TestXorRead:
+    def test_single_block_on_bus(self, model):
+        t = model.read_path_xor(0.0)
+        assert t.blocks_on_bus == 1
+
+    def test_intended_data_only_after_whole_path(self, model):
+        normal = model.read_path(0.0)
+        xor = model.read_path_xor(0.0)
+        # Every arrival equals the (late) finish: no early access possible.
+        flat = {a for bucket in xor.arrivals for a in bucket}
+        assert flat == {xor.finish}
+        assert xor.arrivals[0][0] > normal.arrivals[0][0]
+
+    def test_xor_finish_close_to_normal(self, model):
+        # XOR saves bus serialization only; internal time dominates, so
+        # the whole-access saving is modest (Section IV-E's argument).
+        normal = model.read_path(0.0)
+        xor = model.read_path_xor(0.0)
+        assert xor.finish <= normal.finish
+        assert xor.finish > 0.6 * normal.finish
+
+
+class TestWriteAndSingle:
+    def test_write_path_duration_positive(self, model):
+        t = model.write_path(10.0)
+        assert t.finish > 10.0
+        assert t.arrivals == []
+
+    def test_single_block_access_is_much_cheaper(self, model):
+        path = model.read_path(0.0)
+        single = model.single_block_access(0.0)
+        assert single.finish < path.finish / 4
+        assert single.blocks_on_bus == 1
+        assert single.activations == 1

@@ -1,0 +1,51 @@
+"""Unit tests for the subtree DRAM layout."""
+
+import pytest
+
+from repro.mem.layout import SubtreeLayout
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SubtreeLayout(channels=0)
+        with pytest.raises(ValueError):
+            SubtreeLayout(subtree_levels=0)
+
+
+class TestMapping:
+    def test_channels_alternate_per_level(self):
+        layout = SubtreeLayout(channels=2, subtree_levels=4)
+        assert [layout.channel_of(lvl) for lvl in range(6)] == [0, 1, 0, 1, 0, 1]
+
+    def test_single_channel(self):
+        layout = SubtreeLayout(channels=1, subtree_levels=4)
+        assert all(layout.channel_of(lvl) == 0 for lvl in range(10))
+
+    def test_row_groups(self):
+        layout = SubtreeLayout(channels=2, subtree_levels=4)
+        assert [layout.row_group_of(lvl) for lvl in range(9)] == [
+            0, 0, 0, 0, 1, 1, 1, 1, 2,
+        ]
+
+
+class TestActivations:
+    def test_full_path_activation_count(self):
+        layout = SubtreeLayout(channels=2, subtree_levels=4)
+        # 15 levels: groups 0..3; per channel, each group contributes one
+        # activation when it contains at least one level of that channel.
+        assert layout.activations_for_path(15) == 8
+
+    def test_short_path(self):
+        layout = SubtreeLayout(channels=2, subtree_levels=4)
+        assert layout.activations_for_path(1) == 1
+        assert layout.activations_for_path(2) == 2
+
+    def test_zero_levels(self):
+        layout = SubtreeLayout(channels=2, subtree_levels=4)
+        assert layout.activations_for_path(0) == 0
+
+    def test_more_subtree_levels_fewer_activations(self):
+        fine = SubtreeLayout(channels=2, subtree_levels=2)
+        coarse = SubtreeLayout(channels=2, subtree_levels=8)
+        assert coarse.activations_for_path(16) < fine.activations_for_path(16)

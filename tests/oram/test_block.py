@@ -1,0 +1,50 @@
+"""Unit tests for the block model."""
+
+from repro.oram.block import Block
+
+
+class TestShadowCopy:
+    def test_copy_shares_identity_fields(self):
+        blk = Block(addr=7, leaf=3, version=5, payload="data")
+        copy = blk.shadow_copy()
+        assert copy.addr == 7
+        assert copy.leaf == 3
+        assert copy.version == 5
+        assert copy.payload == "data"
+
+    def test_copy_sets_shadow_bit(self):
+        blk = Block(addr=1, leaf=0)
+        assert not blk.is_shadow
+        assert blk.shadow_copy().is_shadow
+
+    def test_copy_is_independent_object(self):
+        blk = Block(addr=1, leaf=0, version=1)
+        copy = blk.shadow_copy()
+        blk.version = 2
+        assert copy.version == 1
+
+    def test_copy_of_shadow_stays_shadow(self):
+        shadow = Block(addr=1, leaf=0, is_shadow=True)
+        assert shadow.shadow_copy().is_shadow
+
+
+class TestPromote:
+    def test_promote_clears_shadow_bit(self):
+        shadow = Block(addr=4, leaf=9, version=2, payload=b"x", is_shadow=True)
+        real = shadow.promote()
+        assert not real.is_shadow
+        assert (real.addr, real.leaf, real.version, real.payload) == (4, 9, 2, b"x")
+
+    def test_promote_is_independent_object(self):
+        shadow = Block(addr=4, leaf=9, is_shadow=True)
+        real = shadow.promote()
+        shadow.leaf = 1
+        assert real.leaf == 9
+
+
+class TestDefaults:
+    def test_fresh_block_defaults(self):
+        blk = Block(addr=0, leaf=0)
+        assert blk.version == 0
+        assert blk.payload is None
+        assert not blk.is_shadow

@@ -1,0 +1,48 @@
+"""Unit tests for OramConfig validation and derived quantities."""
+
+import pytest
+
+from repro.oram.config import OramConfig
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"levels": 0},
+            {"z": 0},
+            {"a": 0},
+            {"utilization": 0.0},
+            {"utilization": 1.5},
+            {"treetop_levels": -1},
+            {"levels": 4, "treetop_levels": 5},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            OramConfig(**kwargs)
+
+    def test_defaults_are_paper_scaled(self):
+        cfg = OramConfig()
+        assert cfg.z == 5
+        assert cfg.a == 5
+        assert cfg.levels == 14
+
+
+class TestDerived:
+    def test_counts(self):
+        cfg = OramConfig(levels=3, z=4, utilization=0.5)
+        assert cfg.num_leaves == 8
+        assert cfg.num_buckets == 15
+        assert cfg.total_slots == 60
+        assert cfg.num_blocks == 30
+        assert cfg.path_slots == 16
+
+    def test_num_blocks_never_zero(self):
+        cfg = OramConfig(levels=1, z=1, utilization=0.01)
+        assert cfg.num_blocks >= 1
+
+    def test_frozen(self):
+        cfg = OramConfig()
+        with pytest.raises(Exception):
+            cfg.levels = 5  # type: ignore[misc]

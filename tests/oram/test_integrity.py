@@ -1,0 +1,105 @@
+"""Tests for the Merkle integrity-verification layer."""
+
+from random import Random
+
+import pytest
+
+from repro.core.config import ShadowConfig
+from repro.core.controller import ShadowOramController
+from repro.oram.block import Block
+from repro.oram.config import OramConfig
+from repro.oram.integrity import IntegrityError, MerkleTree, VerifiedOram
+from repro.oram.tiny import TinyOramController
+from repro.oram.tree import OramTree
+
+CFG = OramConfig(levels=5, z=4, a=3, utilization=0.25, stash_capacity=150)
+
+
+class TestMerkleTree:
+    def _tree(self):
+        tree = OramTree(levels=3, z=2)
+        tree.write_path(5, {(0, 0): Block(addr=1, leaf=5, version=2)})
+        return tree
+
+    def test_clean_paths_verify(self):
+        tree = self._tree()
+        merkle = MerkleTree(tree)
+        for leaf in range(tree.num_leaves):
+            merkle.verify_path(leaf)
+
+    def test_tampered_bucket_detected(self):
+        tree = self._tree()
+        merkle = MerkleTree(tree)
+        idx = tree.bucket_index(5, 2)
+        tree.bucket(idx)[0] = Block(addr=99, leaf=5, version=0)
+        with pytest.raises(IntegrityError, match="level 2"):
+            merkle.verify_path(5)
+
+    def test_stale_block_replay_detected(self):
+        # Replay attack: put back an OLD version of a block.
+        tree = self._tree()
+        idx = tree.bucket_index(5, 0)
+        tree.bucket(idx)[0] = Block(addr=1, leaf=5, version=2)
+        merkle = MerkleTree(tree)
+        tree.bucket(idx)[0] = Block(addr=1, leaf=5, version=1)  # stale
+        with pytest.raises(IntegrityError):
+            merkle.verify_path(5)
+
+    def test_tamper_off_path_detected_via_sibling(self):
+        # A tampered bucket off the verified path changes the root, so a
+        # full verification from the root catches it on ANY path whose
+        # ancestors cover it... here we verify the tampered path directly.
+        tree = self._tree()
+        merkle = MerkleTree(tree)
+        victim_leaf = 0
+        idx = tree.bucket_index(victim_leaf, 3)
+        tree.bucket(idx)[1] = Block(addr=7, leaf=victim_leaf)
+        with pytest.raises(IntegrityError):
+            merkle.verify_path(victim_leaf)
+
+    def test_update_path_restores_verifiability(self):
+        tree = self._tree()
+        merkle = MerkleTree(tree)
+        root_before = merkle.root
+        tree.write_path(5, {(1, 0): Block(addr=2, leaf=5)})
+        merkle.update_path(5)
+        assert merkle.root != root_before
+        merkle.verify_path(5)
+
+    def test_dummy_and_shadow_hash_differently(self):
+        tree = OramTree(levels=2, z=1)
+        merkle = MerkleTree(tree)
+        root_empty = merkle.root
+        tree.bucket(0)[0] = Block(addr=1, leaf=0, is_shadow=True)
+        merkle.update_path(0)
+        assert merkle.root != root_empty
+
+
+class TestVerifiedOram:
+    @pytest.mark.parametrize("kind", ["tiny", "shadow"])
+    def test_normal_operation_verifies_clean(self, kind):
+        if kind == "tiny":
+            inner = TinyOramController(CFG, Random(1))
+        else:
+            inner = ShadowOramController(CFG, Random(1), ShadowConfig.static(2))
+        oram = VerifiedOram(inner)
+        rng = Random(2)
+        model = {}
+        for i in range(200):
+            addr = rng.randrange(oram.num_blocks)
+            if rng.random() < 0.4:
+                oram.access(addr, "write", payload=i)
+                model[addr] = i
+            else:
+                assert oram.access(addr, "read").value == model.get(addr)
+        assert oram.verified_paths == 200
+
+    def test_tampering_is_caught(self):
+        inner = TinyOramController(CFG, Random(1))
+        oram = VerifiedOram(inner)
+        oram.access(0, "read")
+        # Adversary overwrites the root bucket in untrusted memory.
+        oram.tamper(0, Block(addr=5, leaf=0, version=9))
+        with pytest.raises(IntegrityError):
+            for addr in range(oram.num_blocks):
+                oram.access(addr, "read")

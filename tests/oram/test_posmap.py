@@ -1,0 +1,42 @@
+"""Unit tests for the position map."""
+
+from random import Random
+
+import pytest
+
+from repro.oram.posmap import PositionMap
+
+
+class TestPositionMap:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PositionMap(0, 4, Random(0))
+
+    def test_initial_leaves_in_range(self):
+        pm = PositionMap(100, 16, Random(0))
+        assert all(0 <= pm.lookup(a) < 16 for a in range(100))
+
+    def test_remap_changes_mapping_and_stays_in_range(self):
+        pm = PositionMap(10, 1024, Random(0))
+        for addr in range(10):
+            new = pm.remap(addr)
+            assert pm.lookup(addr) == new
+            assert 0 <= new < 1024
+
+    def test_deterministic_under_seed(self):
+        a = PositionMap(50, 64, Random(42))
+        b = PositionMap(50, 64, Random(42))
+        assert [a.lookup(i) for i in range(50)] == [b.lookup(i) for i in range(50)]
+        assert a.remap(7) == b.remap(7)
+
+    def test_remaps_are_roughly_uniform(self):
+        pm = PositionMap(1, 8, Random(1))
+        counts = [0] * 8
+        for _ in range(8000):
+            counts[pm.remap(0)] += 1
+        # Each leaf should get ~1000; allow generous slack.
+        assert min(counts) > 800
+        assert max(counts) < 1200
+
+    def test_len(self):
+        assert len(PositionMap(17, 4, Random(0))) == 17

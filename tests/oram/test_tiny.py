@@ -1,0 +1,207 @@
+"""Functional tests for the Tiny ORAM baseline controller."""
+
+from random import Random
+
+import pytest
+
+from repro.mem.dram import DramConfig, DramModel
+from repro.oram.config import OramConfig
+from repro.oram.tiny import (
+    SERVED_PATH,
+    SERVED_STASH,
+    SERVED_TREETOP,
+    TinyOramController,
+)
+from repro.security.adversary import AccessPatternObserver
+from tests.conftest import check_path_invariant
+
+
+class TestBootstrap:
+    def test_all_blocks_accounted_for(self, tiny_controller):
+        real, shadows = tiny_controller.tree.count_blocks()
+        total = real + tiny_controller.stash.real_count
+        assert total == tiny_controller.num_blocks
+        assert shadows == 0
+
+    def test_invariant_holds_initially(self, tiny_controller):
+        check_path_invariant(tiny_controller)
+
+
+class TestAccess:
+    def test_rejects_bad_addr_and_op(self, tiny_controller):
+        with pytest.raises(ValueError):
+            tiny_controller.access(-1)
+        with pytest.raises(ValueError):
+            tiny_controller.access(tiny_controller.num_blocks)
+        with pytest.raises(ValueError):
+            tiny_controller.access(0, op="erase")
+
+    def test_read_after_write_returns_value(self, tiny_controller):
+        tiny_controller.access(5, "write", payload="hello")
+        result = tiny_controller.access(5, "read")
+        assert result.value == "hello"
+        assert result.version == 1
+
+    def test_versions_increment_per_write(self, tiny_controller):
+        for expected in (1, 2, 3):
+            r = tiny_controller.access(9, "write", payload=expected)
+            assert r.version == expected
+
+    def test_access_remaps_leaf(self, tiny_controller):
+        # After enough accesses the leaf must change (probabilistically
+        # certain with 64 leaves and 16 trials).
+        before = tiny_controller.posmap.lookup(3)
+        changed = False
+        for _ in range(16):
+            tiny_controller.access(3, "read")
+            if tiny_controller.posmap.lookup(3) != before:
+                changed = True
+                break
+        assert changed
+
+    def test_stash_hit_skips_oram_access(self, tiny_controller):
+        # Put block 2 into the stash by accessing it; until the next
+        # eviction drains it, a re-access must be an on-chip hit.
+        tiny_controller.access(2, "read")
+        result = tiny_controller.access(2, "read")
+        assert result.served_from == SERVED_STASH
+        assert result.path_accesses == 0
+
+    def test_miss_is_served_from_path(self, tiny_controller):
+        result = tiny_controller.access(11, "read")
+        assert result.served_from == SERVED_PATH
+        assert result.path_accesses >= 1
+
+    def test_invariant_after_random_workload(self, tiny_controller):
+        rng = Random(7)
+        for _ in range(500):
+            tiny_controller.access(rng.randrange(tiny_controller.num_blocks))
+        check_path_invariant(tiny_controller)
+
+    def test_functional_correctness_random_ops(self, tiny_controller):
+        rng = Random(3)
+        model = {}
+        for i in range(800):
+            addr = rng.randrange(tiny_controller.num_blocks)
+            if rng.random() < 0.4:
+                tiny_controller.access(addr, "write", payload=i)
+                model[addr] = i
+            else:
+                r = tiny_controller.access(addr, "read")
+                assert r.value == model.get(addr)
+
+
+class TestEviction:
+    def test_eviction_every_a_accesses(self, small_oram_config):
+        ctl = TinyOramController(small_oram_config, Random(0))
+        rng = Random(1)
+        evictions = 0
+        oram_accesses = 0
+        for _ in range(100):
+            r = ctl.access(rng.randrange(ctl.num_blocks))
+            if r.path_accesses:
+                oram_accesses += 1
+                if r.evicted:
+                    evictions += 1
+        assert evictions == oram_accesses // small_oram_config.a
+
+    def test_eviction_order_is_reverse_lexicographic(self, small_oram_config):
+        observer = AccessPatternObserver()
+        ctl = TinyOramController(small_oram_config, Random(0), observer=observer)
+        rng = Random(1)
+        for _ in range(200):
+            ctl.access(rng.randrange(ctl.num_blocks))
+        writes = observer.write_leaves()
+        levels = small_oram_config.levels
+        expected = [
+            int(format(g % (1 << levels), f"0{levels}b")[::-1], 2)
+            for g in range(len(writes))
+        ]
+        assert writes == expected
+
+    def test_every_write_preceded_by_read_of_same_leaf(self, small_oram_config):
+        observer = AccessPatternObserver()
+        ctl = TinyOramController(small_oram_config, Random(0), observer=observer)
+        rng = Random(1)
+        for _ in range(100):
+            ctl.access(rng.randrange(ctl.num_blocks))
+        events = observer.events
+        for i, (kind, leaf, _t) in enumerate(events):
+            if kind == "write":
+                assert events[i - 1][0] == "read"
+                assert events[i - 1][1] == leaf
+
+
+class TestDummyAccess:
+    def test_dummy_reads_one_path(self, small_oram_config):
+        observer = AccessPatternObserver()
+        ctl = TinyOramController(small_oram_config, Random(0), observer=observer)
+        r = ctl.dummy_access()
+        assert r.addr == -1
+        assert r.data_ready is None
+        assert observer.kinds()[0] == "read"
+
+    def test_dummy_counts_toward_eviction_schedule(self, small_oram_config):
+        ctl = TinyOramController(small_oram_config, Random(0))
+        results = [ctl.dummy_access() for _ in range(small_oram_config.a)]
+        assert results[-1].evicted
+        assert not any(r.evicted for r in results[:-1])
+
+    def test_dummies_preserve_data(self, tiny_controller):
+        tiny_controller.access(4, "write", payload="keep")
+        for _ in range(25):
+            tiny_controller.dummy_access()
+        assert tiny_controller.access(4, "read").value == "keep"
+        check_path_invariant(tiny_controller)
+
+
+class TestTimedMode:
+    def _timed_controller(self, **oram_kwargs):
+        cfg = OramConfig(levels=6, utilization=0.25, **oram_kwargs)
+        dram = DramModel(DramConfig(), cfg.levels, cfg.z)
+        return TinyOramController(cfg, Random(0), dram=dram)
+
+    def test_timed_access_has_positive_latency(self):
+        ctl = self._timed_controller()
+        r = ctl.access(1, "read", now=100.0)
+        assert r.data_ready > 100.0
+        assert r.finish >= r.data_ready
+
+    def test_eviction_extends_finish(self):
+        ctl = self._timed_controller()
+        results = [ctl.access(a % ctl.num_blocks, now=0.0) for a in range(5)]
+        oram = [r for r in results if r.path_accesses]
+        evicted = [r for r in oram if r.evicted]
+        plain = [r for r in oram if not r.evicted]
+        assert evicted, "5 accesses at A=5 must trigger one eviction"
+        assert min(e.finish for e in evicted) > max(p.finish for p in plain)
+
+    def test_treetop_serves_top_levels_on_chip(self):
+        ctl = self._timed_controller(treetop_levels=3)
+        rng = Random(5)
+        served_treetop = 0
+        for _ in range(400):
+            r = ctl.access(rng.randrange(ctl.num_blocks), now=0.0)
+            if r.served_from == SERVED_TREETOP:
+                served_treetop += 1
+                assert r.data_ready == pytest.approx(
+                    r.issue + ctl.config.onchip_latency
+                )
+        assert served_treetop > 0
+
+    def test_xor_compression_cannot_advance_data(self):
+        # Under XOR compression the intended data exists only once the
+        # whole path has been read and XORed: data_ready == request end
+        # (here the access triggers no eviction, so finish == read end).
+        xor = self._timed_controller(xor_compression=True)
+        r = xor.access(2, now=0.0)
+        assert not r.evicted
+        assert r.data_ready == pytest.approx(r.finish)
+
+    def test_xor_compression_sends_one_block_on_bus(self):
+        plain = self._timed_controller()
+        xor = self._timed_controller(xor_compression=True)
+        plain.access(2, now=0.0)
+        xor.access(2, now=0.0)
+        assert xor.stats.blocks_on_bus < plain.stats.blocks_on_bus
+        assert xor.stats.blocks_internal == plain.stats.blocks_internal

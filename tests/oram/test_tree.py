@@ -1,0 +1,124 @@
+"""Unit and property tests for the ORAM tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oram.block import Block
+from repro.oram.tree import OramTree
+
+
+class TestGeometry:
+    def test_counts(self):
+        tree = OramTree(levels=3, z=4)
+        assert tree.num_leaves == 8
+        assert tree.num_buckets == 15
+
+    def test_rejects_degenerate_configs(self):
+        with pytest.raises(ValueError):
+            OramTree(levels=0, z=4)
+        with pytest.raises(ValueError):
+            OramTree(levels=3, z=0)
+
+    def test_root_index_is_zero_for_all_leaves(self):
+        tree = OramTree(levels=4, z=2)
+        for leaf in range(tree.num_leaves):
+            assert tree.bucket_index(leaf, 0) == 0
+
+    def test_leaf_indices_are_distinct_and_last_row(self):
+        tree = OramTree(levels=3, z=2)
+        indices = {tree.bucket_index(leaf, 3) for leaf in range(8)}
+        assert indices == set(range(7, 15))
+
+    def test_bucket_index_bounds_checked(self):
+        tree = OramTree(levels=3, z=2)
+        with pytest.raises(ValueError):
+            tree.bucket_index(8, 0)
+        with pytest.raises(ValueError):
+            tree.bucket_index(0, 4)
+
+    def test_path_indices_are_nested(self):
+        # Consecutive path buckets must be parent/child in heap order.
+        tree = OramTree(levels=5, z=2)
+        for leaf in (0, 13, 31):
+            path = tree.path_indices(leaf)
+            assert path[0] == 0
+            for parent, child in zip(path, path[1:]):
+                assert child in (2 * parent + 1, 2 * parent + 2)
+
+    def test_level_of_bucket(self):
+        tree = OramTree(levels=3, z=2)
+        assert tree.level_of_bucket(0) == 0
+        assert tree.level_of_bucket(1) == 1
+        assert tree.level_of_bucket(2) == 1
+        assert tree.level_of_bucket(7) == 3
+        assert tree.level_of_bucket(14) == 3
+
+    def test_on_path(self):
+        tree = OramTree(levels=3, z=2)
+        for level, idx in enumerate(tree.path_indices(5)):
+            assert tree.on_path(5, idx)
+        assert not tree.on_path(0, tree.bucket_index(7, 3))
+
+
+class TestCommonLevel:
+    def test_identical_leaves_share_whole_path(self):
+        assert OramTree.common_level(5, 5, 4) == 4
+
+    def test_opposite_halves_share_only_root(self):
+        assert OramTree.common_level(0, 8, 4) == 0
+
+    def test_adjacent_leaves(self):
+        # Leaves 4 and 5 (binary 100/101) share 2 of 3 levels.
+        assert OramTree.common_level(4, 5, 3) == 2
+
+    @given(
+        leaf_a=st.integers(min_value=0, max_value=63),
+        leaf_b=st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=100)
+    def test_common_level_matches_shared_bucket_prefix(self, leaf_a, leaf_b):
+        tree = OramTree(levels=6, z=1)
+        path_a = tree.path_indices(leaf_a)
+        path_b = tree.path_indices(leaf_b)
+        shared = sum(1 for x, y in zip(path_a, path_b) if x == y) - 1
+        assert OramTree.common_level(leaf_a, leaf_b, 6) == shared
+
+
+class TestReadWritePath:
+    def test_read_path_returns_root_first_and_invalidates(self):
+        tree = OramTree(levels=2, z=2)
+        blk = Block(addr=1, leaf=3)
+        tree.bucket(tree.bucket_index(3, 2))[0] = blk
+        out = tree.read_path(3)
+        assert len(out) == 6  # 3 levels x z=2
+        assert [lvl for lvl, _s, _b in out] == [0, 0, 1, 1, 2, 2]
+        assert out[4][2] is blk
+        # Slots are now dummies.
+        assert all(b is None for _i, _s, b in tree.read_path(3))
+
+    def test_write_path_fills_missing_slots_with_dummies(self):
+        tree = OramTree(levels=2, z=2)
+        blk = Block(addr=9, leaf=1)
+        tree.write_path(1, {(1, 0): blk})
+        found = list(tree.iter_blocks())
+        assert len(found) == 1
+        assert found[0][2] is blk
+
+    def test_write_path_overwrites_previous_contents(self):
+        tree = OramTree(levels=2, z=2)
+        tree.write_path(0, {(0, 0): Block(addr=1, leaf=0)})
+        tree.write_path(0, {(2, 1): Block(addr=2, leaf=0)})
+        blocks = [b for _i, _s, b in [(i, s, b) for i, s, b in tree.iter_blocks()]]
+        assert [b.addr for b in blocks] == [2]
+
+    def test_count_blocks_separates_shadows(self):
+        tree = OramTree(levels=2, z=2)
+        tree.write_path(
+            2,
+            {
+                (0, 0): Block(addr=1, leaf=2),
+                (1, 0): Block(addr=1, leaf=2, is_shadow=True),
+            },
+        )
+        assert tree.count_blocks() == (1, 1)

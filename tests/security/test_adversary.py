@@ -1,0 +1,65 @@
+"""Unit tests for the adversary-view statistics."""
+
+from random import Random
+
+import pytest
+
+from repro.security.adversary import (
+    AccessPatternObserver,
+    chi_square_uniformity,
+    lag_autocorrelation,
+    leaf_histogram,
+)
+
+
+class TestObserver:
+    def test_records_and_filters_events(self):
+        obs = AccessPatternObserver()
+        obs(("read", 3, 0.0))
+        obs(("write", 5, 1.0))
+        obs(("read", 7, 2.0))
+        assert obs.read_leaves() == [3, 7]
+        assert obs.write_leaves() == [5]
+        assert obs.kinds() == ["read", "write", "read"]
+        assert len(obs) == 3
+
+
+class TestLeafHistogram:
+    def test_counts(self):
+        assert leaf_histogram([0, 0, 3], 4) == [2, 0, 0, 1]
+
+
+class TestChiSquare:
+    def test_uniform_sequence_has_low_statistic(self):
+        rng = Random(0)
+        leaves = [rng.randrange(1024) for _ in range(8000)]
+        # 15 dof: 99.9th percentile ~ 37.7.
+        assert chi_square_uniformity(leaves, 1024, bins=16) < 40
+
+    def test_skewed_sequence_has_huge_statistic(self):
+        leaves = [7] * 4000
+        assert chi_square_uniformity(leaves, 1024, bins=16) > 1000
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity([], 16)
+        with pytest.raises(ValueError):
+            chi_square_uniformity([0], 10, bins=16)
+
+
+class TestAutocorrelation:
+    def test_independent_sequence_near_zero(self):
+        rng = Random(1)
+        leaves = [rng.randrange(1024) for _ in range(8000)]
+        assert abs(lag_autocorrelation(leaves)) < 0.05
+
+    def test_repetitive_sequence_high(self):
+        leaves = [0, 0, 0, 0, 1000, 1000, 1000, 1000] * 200
+        assert lag_autocorrelation(leaves) > 0.5
+
+    def test_constant_sequence_defined(self):
+        assert lag_autocorrelation([5] * 100) == 0.0
+
+    def test_needs_enough_data(self):
+        with pytest.raises(ValueError):
+            lag_autocorrelation([1, 2])

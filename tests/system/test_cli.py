@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_config, main, make_parser
+
+
+class TestBuildConfig:
+    def _args(self, **overrides):
+        defaults = dict(
+            scheme="dynamic-3", workload="mcf", requests=100, seed=1,
+            levels=8, utilization=0.25, treetop=0, xor=False,
+            timing_protection=False, rate=800.0,
+        )
+        defaults.update(overrides)
+        import argparse
+
+        return argparse.Namespace(**defaults)
+
+    def test_scheme_parsing(self):
+        assert build_config(self._args(scheme="tiny")).name == "Tiny"
+        assert build_config(self._args(scheme="static-5")).name == "static-5"
+        assert build_config(self._args(scheme="dynamic-4")).name == "dynamic-4"
+        assert build_config(self._args(scheme="rd-dup")).name == "RD-Dup"
+        assert build_config(self._args(scheme="hd-dup")).shadow.partition_level == 9
+        assert build_config(self._args(scheme="insecure")).insecure
+
+    def test_unknown_scheme_exits(self):
+        with pytest.raises(SystemExit):
+            build_config(self._args(scheme="quantum"))
+
+    def test_flags_propagate(self):
+        cfg = build_config(
+            self._args(timing_protection=True, rate=640.0, treetop=2, xor=True)
+        )
+        assert cfg.timing.enabled
+        assert cfg.timing.rate_cycles == 640.0
+        assert cfg.oram.treetop_levels == 2
+        assert cfg.oram.xor_compression
+
+
+class TestCommands:
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        assert "h264ref" in out
+
+    def test_overhead_command(self, capsys):
+        assert main(["overhead", "--levels", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "shadow bits" in out
+        assert "Hot Address Cache" in out
+
+    def test_run_command_small(self, capsys):
+        code = main([
+            "run", "--scheme", "dynamic-3", "--workload", "namd",
+            "--requests", "1500", "--levels", "9",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total cycles" in out
+        assert "on-chip hit rate" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])

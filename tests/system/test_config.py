@@ -1,0 +1,65 @@
+"""Unit tests for the system configuration layer."""
+
+import pytest
+
+from repro.core.config import ShadowConfig
+from repro.oram.config import OramConfig
+from repro.system.config import SystemConfig, TimingProtectionConfig
+
+
+class TestTimingProtectionConfig:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TimingProtectionConfig(enabled=True, rate_cycles=0)
+
+    def test_defaults_off(self):
+        assert not TimingProtectionConfig().enabled
+
+
+class TestNamedConfigs:
+    def test_tiny_has_no_shadow(self):
+        assert SystemConfig.tiny().shadow is None
+
+    def test_insecure_flag(self):
+        assert SystemConfig.insecure_system().insecure
+
+    def test_rd_dup_is_partition_zero(self):
+        cfg = SystemConfig.rd_dup()
+        assert cfg.shadow.partition_level == 0
+        assert not cfg.shadow.dynamic
+
+    def test_hd_dup_covers_whole_tree(self):
+        cfg = SystemConfig.hd_dup()
+        assert cfg.shadow.partition_level == cfg.oram.levels + 1
+
+    def test_hd_dup_tracks_oram_override(self):
+        cfg = SystemConfig.hd_dup(oram=OramConfig(levels=8))
+        assert cfg.shadow.partition_level == 9
+
+    def test_static_and_dynamic_names(self):
+        assert SystemConfig.static(7).name == "static-7"
+        assert SystemConfig.dynamic(3).name == "dynamic-3"
+        assert SystemConfig.dynamic(3).shadow.dynamic
+
+    def test_with_timing_protection(self):
+        cfg = SystemConfig.tiny().with_timing_protection(640.0)
+        assert cfg.timing.enabled
+        assert cfg.timing.rate_cycles == 640.0
+
+    def test_with_replaces_fields(self):
+        cfg = SystemConfig.tiny().with_(seed=99)
+        assert cfg.seed == 99
+        assert cfg.name == "Tiny"
+
+    def test_describe_mentions_key_parameters(self):
+        desc = SystemConfig.static(4).with_timing_protection().describe()
+        assert "static-4" in desc
+        assert "tp@800" in desc
+        assert "Z=5" in desc
+
+
+class TestShadowConfigHelpers:
+    def test_with_override(self):
+        cfg = ShadowConfig.static(5).with_(serve_shadow_read_hits=False)
+        assert cfg.partition_level == 5
+        assert not cfg.serve_shadow_read_hits

@@ -1,0 +1,38 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.oram.tiny import OramStats
+from repro.system.energy import EnergyConfig, EnergyModel
+
+
+class TestEnergyModel:
+    def test_static_component_scales_with_time(self):
+        model = EnergyModel()
+        stats = OramStats()
+        e1 = model.oram_energy_nj(stats, 1000.0)
+        e2 = model.oram_energy_nj(stats, 2000.0)
+        assert e2 == pytest.approx(2 * e1)
+
+    def test_dynamic_components_add_up(self):
+        cfg = EnergyConfig(
+            activation_nj=2.0, block_internal_nj=1.0, block_bus_nj=0.5,
+            static_watts=0.0,
+        )
+        stats = OramStats(activations=10, blocks_internal=100, blocks_on_bus=50)
+        assert EnergyModel(cfg).oram_energy_nj(stats, 123.0) == pytest.approx(
+            10 * 2.0 + 100 * 1.0 + 50 * 0.5
+        )
+
+    def test_insecure_much_cheaper_per_access(self):
+        model = EnergyModel()
+        # One ORAM access (~75 blocks) vs one plain access, same duration.
+        oram_stats = OramStats(activations=8, blocks_internal=75, blocks_on_bus=75)
+        oram = model.oram_energy_nj(oram_stats, 1000.0)
+        plain = model.insecure_energy_nj(1, 1000.0)
+        assert oram > 10 * (plain - model.config.static_nj_per_cycle * 1000.0)
+
+    def test_static_conversion(self):
+        cfg = EnergyConfig(static_watts=0.5, cpu_freq_ghz=2.0)
+        # 0.5 W at 2 GHz = 0.25 nJ per cycle.
+        assert cfg.static_nj_per_cycle == pytest.approx(0.25)

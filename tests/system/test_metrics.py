@@ -1,0 +1,73 @@
+"""Unit tests for result records and normalisation."""
+
+import pytest
+
+from repro.system.metrics import SimulationResult, geomean
+
+
+def result(total=100.0, data=60.0, scheme="X", misses=10, energy=50.0):
+    return SimulationResult(
+        workload="w",
+        scheme=scheme,
+        llc_misses=misses,
+        total_cycles=total,
+        data_access_cycles=data,
+        real_requests=misses,
+        dummy_requests=0,
+        onchip_hits=2,
+        shadow_path_serves=1,
+        mean_data_latency=10.0,
+        energy_nj=energy,
+        stash_peak=5,
+    )
+
+
+class TestEquationOne:
+    def test_dri_is_total_minus_data(self):
+        assert result().dri_cycles == 40.0
+
+    def test_dri_never_negative(self):
+        assert result(total=50.0, data=60.0).dri_cycles == 0.0
+
+    def test_hit_rate(self):
+        assert result().onchip_hit_rate == pytest.approx(0.2)
+
+    def test_cycles_per_miss(self):
+        assert result().cycles_per_miss == 10.0
+
+    def test_empty_run(self):
+        r = result(misses=0)
+        assert r.onchip_hit_rate == 0.0
+        assert r.cycles_per_miss == 0.0
+
+
+class TestNormalization:
+    def test_components_stack_to_total(self):
+        base = result(total=200.0, data=120.0, scheme="Tiny")
+        mine = result(total=150.0, data=100.0, scheme="dyn")
+        norm = mine.normalized_to(base)
+        assert norm.total == pytest.approx(0.75)
+        assert norm.data + norm.interval == pytest.approx(norm.total)
+        assert norm.speedup == pytest.approx(200.0 / 150.0)
+        assert norm.baseline == "Tiny"
+
+    def test_energy_normalised(self):
+        base = result(energy=100.0)
+        mine = result(energy=80.0)
+        assert mine.normalized_to(base).energy == pytest.approx(0.8)
+
+    def test_zero_baseline_rejected(self):
+        base = result(total=0.0)
+        with pytest.raises(ValueError):
+            result().normalized_to(base)
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

@@ -1,0 +1,33 @@
+"""Unit tests for the Section V-C overhead accounting."""
+
+from repro.core.config import ShadowConfig
+from repro.oram.config import OramConfig
+from repro.system.overhead import PAPER_QUEUE_GATE_COUNT, estimate_overhead
+
+
+class TestOverhead:
+    def test_shadow_bit_is_one_bit_per_slot(self):
+        oram = OramConfig(levels=10, z=5)
+        report = estimate_overhead(oram, ShadowConfig())
+        assert report.shadow_bits_bytes == (oram.total_slots + 7) // 8
+
+    def test_paper_scale_reproduces_4mb_claim(self):
+        # L=24, Z=5 (~2^25 buckets): the paper quotes ~4 MB of shadow bits.
+        oram = OramConfig(levels=24, z=5, utilization=0.25, stash_capacity=1)
+        report = estimate_overhead(oram, ShadowConfig())
+        assert 15e6 < report.shadow_bits_bytes < 30e6  # bits ~ slots/8
+
+    def test_hot_cache_1kb_default(self):
+        report = estimate_overhead(OramConfig(levels=8), ShadowConfig())
+        assert report.hot_cache_bytes == 32 * 4 * 8  # 1 KiB
+
+    def test_queue_entries_bounded_by_path(self):
+        oram = OramConfig(levels=8, z=5)
+        report = estimate_overhead(oram, ShadowConfig())
+        assert report.queue_entries == 2 * oram.path_slots
+        assert report.queue_gate_count == PAPER_QUEUE_GATE_COUNT
+
+    def test_registers_tiny(self):
+        report = estimate_overhead(OramConfig(levels=14), ShadowConfig())
+        assert report.extra_registers_bits < 16
+        assert report.total_onchip_bytes < 2048

@@ -1,0 +1,68 @@
+"""Tests for structured request tracing and CSV export."""
+
+import io
+from random import Random
+
+from repro.core.config import ShadowConfig
+from repro.core.controller import ShadowOramController
+from repro.oram.config import OramConfig
+from repro.system.tracing import RequestTracer, trace_workload
+
+CFG = OramConfig(levels=6, utilization=0.25, stash_capacity=200)
+
+
+def make_tracer(n=300, seed=4):
+    ctl = ShadowOramController(CFG, Random(seed), ShadowConfig.static(3))
+    rng = Random(seed + 1)
+    addrs = [rng.randrange(ctl.num_blocks) for _ in range(n)]
+    return trace_workload(ctl, addrs, rng=Random(seed + 2), write_frac=0.2)
+
+
+class TestTracer:
+    def test_one_record_per_request(self):
+        tracer = make_tracer(200)
+        assert len(tracer) == 200
+        assert [r.index for r in tracer.records] == list(range(200))
+
+    def test_latency_and_ordering(self):
+        tracer = make_tracer(200)
+        for rec in tracer.records:
+            assert rec.latency >= 0
+            assert rec.finish >= rec.data_ready >= rec.issue
+
+    def test_histogram_covers_all_sources(self):
+        tracer = make_tracer(400)
+        hist = tracer.served_from_histogram()
+        assert sum(hist.values()) == 400
+        assert "path" in hist
+
+    def test_advanced_fraction_in_unit_range(self):
+        tracer = make_tracer(300)
+        assert 0.0 <= tracer.advanced_fraction() <= 1.0
+
+    def test_empty_tracer_stats(self):
+        tracer = RequestTracer()
+        assert tracer.mean_latency() == 0.0
+        assert tracer.advanced_fraction() == 0.0
+
+
+class TestCsvRoundTrip:
+    def test_write_and_read_back(self):
+        tracer = make_tracer(150)
+        buffer = io.StringIO()
+        tracer.write_csv(buffer)
+        buffer.seek(0)
+        reloaded = RequestTracer.read_csv(buffer)
+        assert len(reloaded) == len(tracer)
+        for a, b in zip(tracer.records, reloaded.records):
+            assert (a.addr, a.op, a.served_from, a.advanced) == (
+                b.addr, b.op, b.served_from, b.advanced
+            )
+            assert a.latency == b.latency
+
+    def test_csv_has_header(self):
+        tracer = make_tracer(5)
+        buffer = io.StringIO()
+        tracer.write_csv(buffer)
+        header = buffer.getvalue().splitlines()[0]
+        assert header.startswith("index,addr,op,issue")

@@ -1,0 +1,179 @@
+"""Unit and property tests for the workload primitives."""
+
+from random import Random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.trace import MemoryRequest
+from repro.workloads.generator import (
+    Workload,
+    conflict_walk,
+    hot_cold,
+    phases,
+    pointer_chase,
+    stream,
+)
+
+
+class TestStream:
+    def test_sequential_addresses(self):
+        reqs = stream(Random(0), 10, base=100, region=1000, write_frac=0.0)
+        addrs = [r.addr for r in reqs]
+        assert all(100 <= a < 1100 for a in addrs)
+        diffs = [(b - a) % 1000 for a, b in zip(addrs, addrs[1:])]
+        assert all(d == 1 for d in diffs)
+
+    def test_repeats_duplicate_lines(self):
+        reqs = stream(Random(0), 12, base=0, region=100, repeats=4)
+        assert len(reqs) == 12
+        assert reqs[0].addr == reqs[1].addr == reqs[2].addr == reqs[3].addr
+        assert reqs[4].addr != reqs[0].addr
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            stream(Random(0), 4, 0, 0)
+        with pytest.raises(ValueError):
+            stream(Random(0), 4, 0, 10, repeats=0)
+
+    def test_streaming_is_independent(self):
+        assert all(not r.dependent for r in stream(Random(0), 20, 0, 50))
+
+
+class TestPointerChase:
+    def test_dependent_and_in_region(self):
+        reqs = pointer_chase(Random(0), 50, base=10, region=20)
+        assert all(r.dependent for r in reqs)
+        assert all(10 <= r.addr < 30 for r in reqs)
+
+    def test_rejects_empty_region(self):
+        with pytest.raises(ValueError):
+            pointer_chase(Random(0), 5, 0, 0)
+
+
+class TestHotCold:
+    def test_hot_fraction_respected(self):
+        reqs = hot_cold(
+            Random(0), 4000, base=0, region=10000, hot_blocks=100, hot_frac=0.9
+        )
+        hot = sum(1 for r in reqs if r.addr < 100)
+        assert 0.85 < hot / len(reqs) < 0.95
+
+    def test_hot_set_clamped_to_region(self):
+        reqs = hot_cold(Random(0), 10, base=0, region=50, hot_blocks=500)
+        assert all(r.addr < 50 for r in reqs)
+
+    def test_rejects_empty_hot_set(self):
+        with pytest.raises(ValueError):
+            hot_cold(Random(0), 5, 0, 100, hot_blocks=0)
+
+    def test_write_fraction_statistics(self):
+        reqs = hot_cold(
+            Random(0), 4000, base=0, region=100, hot_blocks=10, write_frac=0.3
+        )
+        writes = sum(1 for r in reqs if r.op == "write")
+        assert 0.25 < writes / len(reqs) < 0.35
+
+
+class TestConflictWalk:
+    def test_addresses_share_cache_set(self):
+        reqs = conflict_walk(
+            Random(0), 60, base=0, region=4096, set_stride=128, groups=1
+        )
+        residues = {r.addr % 128 for r in reqs}
+        assert len(residues) == 1
+
+    def test_groups_use_distinct_sets(self):
+        reqs = conflict_walk(
+            Random(0), 60, base=0, region=4096, set_stride=128, groups=3
+        )
+        assert len({r.addr % 128 for r in reqs}) == 3
+
+    def test_footprint_bounded_by_region(self):
+        reqs = conflict_walk(
+            Random(0), 500, base=0, region=700, set_stride=128, groups=1
+        )
+        assert all(r.addr < 700 for r in reqs)
+        distinct = len({r.addr for r in reqs})
+        assert distinct <= 700 // 128 + 1
+
+    def test_rejects_degenerate_region(self):
+        with pytest.raises(ValueError):
+            conflict_walk(Random(0), 5, 0, 1, set_stride=128)
+
+    def test_small_region_degrades_stride(self):
+        # Scaled-down trees (Figure 19) must still get a valid walk.
+        reqs = conflict_walk(Random(0), 20, 0, 64, set_stride=128)
+        assert all(0 <= r.addr < 64 for r in reqs)
+
+    def test_cyclic_reuse(self):
+        reqs = conflict_walk(
+            Random(0), 100, base=0, region=4096, set_stride=128,
+            groups=1, footprint=10,
+        )
+        addrs = [r.addr for r in reqs]
+        assert addrs[:10] == addrs[10:20]
+
+
+class TestPhases:
+    def test_interleaves_generators(self):
+        def gen_a(rng, count, _off):
+            return [MemoryRequest(addr=0, work=1)] * count
+
+        def gen_b(rng, count, _off):
+            return [MemoryRequest(addr=1, work=1)] * count
+
+        reqs = phases(Random(0), 6000, [(0.5, gen_a), (0.5, gen_b)])
+        assert len(reqs) == 6000
+        addrs = {r.addr for r in reqs}
+        assert addrs == {0, 1}
+
+    def test_rejects_zero_fractions(self):
+        with pytest.raises(ValueError):
+            phases(Random(0), 10, [(0.0, lambda r, c, o: [])])
+
+
+class TestWorkloadWrapper:
+    def test_determinism(self):
+        wl = Workload(
+            "t", "test", "low",
+            lambda rng, n, space: stream(rng, n, 0, space),
+        )
+        a = wl.requests(7, 100, 1000)
+        b = wl.requests(7, 100, 1000)
+        assert [(r.addr, r.op) for r in a] == [(r.addr, r.op) for r in b]
+
+    def test_seed_changes_stream(self):
+        wl = Workload(
+            "t", "test", "low",
+            lambda rng, n, space: pointer_chase(rng, n, 0, space),
+        )
+        a = wl.requests(1, 100, 1000)
+        b = wl.requests(2, 100, 1000)
+        assert [r.addr for r in a] != [r.addr for r in b]
+
+    def test_out_of_range_addresses_rejected(self):
+        wl = Workload(
+            "bad", "test", "low",
+            lambda rng, n, space: [MemoryRequest(addr=space + 1)],
+        )
+        with pytest.raises(ValueError):
+            wl.requests(0, 1, 100)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    region=st.integers(min_value=1, max_value=5000),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=50, deadline=None)
+def test_primitives_respect_bounds(n, region, seed):
+    rng = Random(seed)
+    for reqs in (
+        stream(Random(seed), n, 5, region),
+        pointer_chase(Random(seed), n, 5, region),
+        hot_cold(Random(seed), n, 5, region, hot_blocks=max(1, region // 4)),
+    ):
+        assert len(reqs) == n
+        assert all(5 <= r.addr < 5 + region for r in reqs)

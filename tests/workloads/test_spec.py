@@ -1,0 +1,91 @@
+"""Behavioural tests for the ten SPEC-like workloads."""
+
+import pytest
+
+from repro.cpu.cache import CacheConfig, CacheHierarchy
+from repro.workloads.spec import WORKLOADS, get_workload, workload_names
+
+SPACE = 40958  # default L=14, utilization 0.25
+
+
+def miss_trace(name, n=20000, seed=1):
+    wl = get_workload(name)
+    reqs = wl.requests(seed, n, SPACE)
+    return CacheHierarchy(CacheConfig.scaled()).filter_trace(reqs, name)
+
+
+class TestRegistry:
+    def test_ten_workloads(self):
+        assert len(workload_names()) == 10
+        assert set(workload_names()) == set(WORKLOADS)
+
+    def test_unknown_name_raises_with_hint(self):
+        with pytest.raises(KeyError, match="available"):
+            get_workload("linpack")
+
+    def test_descriptions_and_intensity_tags(self):
+        for wl in WORKLOADS.values():
+            assert wl.description
+            assert wl.memory_intensity in ("high", "medium", "low")
+
+
+class TestAllWorkloadsGenerate:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_addresses_in_space_and_deterministic(self, name):
+        wl = get_workload(name)
+        reqs = wl.requests(3, 2000, SPACE)
+        assert len(reqs) == 2000
+        assert all(0 <= r.addr < SPACE for r in reqs)
+        again = wl.requests(3, 2000, SPACE)
+        assert [r.addr for r in reqs] == [r.addr for r in again]
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_scales_to_smaller_address_space(self, name):
+        # Figure 19 sweeps tree sizes: generators must adapt.
+        small_space = 2500
+        reqs = get_workload(name).requests(1, 1000, small_space)
+        assert all(0 <= r.addr < small_space for r in reqs)
+
+
+class TestCalibration:
+    def test_memory_bound_trio_has_short_gaps(self):
+        for name in ("mcf", "libquantum", "omnetpp"):
+            trace = miss_trace(name)
+            assert trace.miss_rate > 0.10, name
+            assert trace.mean_gap < 300, name
+
+    def test_namd_is_cache_friendly(self):
+        trace = miss_trace("namd")
+        assert trace.miss_rate < 0.12
+        assert trace.mean_gap > 700
+
+    def test_sjeng_has_long_gaps(self):
+        trace = miss_trace("sjeng")
+        assert trace.mean_gap > 500
+
+    def test_h264ref_has_repeatedly_missing_hot_set(self):
+        trace = miss_trace("h264ref")
+        recent: list[int] = []
+        reuse = 0
+        for m in trace.misses:
+            if m.addr in recent:
+                reuse += 1
+            recent.append(m.addr)
+            if len(recent) > 64:
+                recent.pop(0)
+        assert reuse / len(trace.misses) > 0.4
+
+    def test_hmmer_alternates_phases(self):
+        # Figure 6(a): the gap pattern must alternate between short and
+        # long regimes over windows of misses.
+        trace = miss_trace("hmmer", n=30000)
+        window = 50
+        means = [
+            sum(m.gap for m in trace.misses[i : i + window]) / window
+            for i in range(0, len(trace.misses) - window, window)
+        ]
+        assert max(means) > 2.5 * min(means)
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_workload_actually_misses(self, name):
+        assert len(miss_trace(name, n=10000)) > 50
