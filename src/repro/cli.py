@@ -3,13 +3,18 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro run --scheme dynamic-3 --workload mcf --requests 20000
+    python -m repro run --trace out.json --events out.jsonl --metrics out.json
+    python -m repro profile --workload mcf --requests 20000
     python -m repro compare --workload h264ref --timing-protection
     python -m repro workloads
     python -m repro overhead
 
 The CLI is a thin layer over :func:`repro.system.simulator.simulate`; it
 exists so downstream users can explore configurations without writing
-Python.
+Python.  The ``--trace``/``--events``/``--metrics``/``--adversary-trace``
+flags attach :mod:`repro.obs` subscribers to the run and export a Perfetto
+timeline, a JSONL event log, a metrics JSON, and the adversary-visible
+path sequence respectively.
 """
 
 from __future__ import annotations
@@ -19,6 +24,15 @@ import sys
 
 from repro.analysis.report import format_table
 from repro.core.config import ShadowConfig
+from repro.obs import (
+    AdversaryTraceWriter,
+    EventBus,
+    JsonlLogger,
+    MetricsCollector,
+    TimelineBuilder,
+    profile_run,
+    run_metadata,
+)
 from repro.oram.config import OramConfig
 from repro.system.config import SystemConfig
 from repro.system.overhead import estimate_overhead
@@ -83,10 +97,65 @@ def _result_rows(result) -> list[list[object]]:
 def cmd_run(args: argparse.Namespace) -> int:
     config = build_config(args)
     print(f"config: {config.describe()}")
-    result = simulate(config, args.workload, num_requests=args.requests,
-                      seed=args.seed)
+    bus = EventBus()
+    meta = run_metadata(config, workload=args.workload, requests=args.requests)
+    collector = MetricsCollector(bus) if args.metrics else None
+    timeline = TimelineBuilder(bus) if args.trace else None
+    open_files = []
+    observer = None
+    written = []
+    try:
+        if args.events:
+            stream = open(args.events, "w")
+            open_files.append(stream)
+            logger = JsonlLogger(stream)
+            logger.write_record(meta)
+            logger.attach(bus)
+            written.append(("event log (JSONL)", args.events))
+        if args.adversary_trace:
+            stream = open(args.adversary_trace, "w")
+            open_files.append(stream)
+            observer = AdversaryTraceWriter(stream)
+            observer.logger.write_record(meta)
+            written.append(("adversary trace (JSONL)", args.adversary_trace))
+        result = simulate(config, args.workload, num_requests=args.requests,
+                          seed=args.seed, bus=bus, observer=observer)
+    finally:
+        for stream in open_files:
+            stream.close()
     print(format_table(["metric", "value"], _result_rows(result),
                        title="Simulation result"))
+    if collector is not None:
+        with open(args.metrics, "w") as stream:
+            collector.registry.write_json(stream, **meta)
+        written.append(("metrics (JSON)", args.metrics))
+    if timeline is not None:
+        with open(args.trace, "w") as stream:
+            timeline.write(stream)
+        written.append(("timeline (Perfetto / chrome://tracing)", args.trace))
+    for label, path in written:
+        print(f"wrote {label}: {path}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    config = build_config(args)
+    print(f"config: {config.describe()}")
+    totals, result = profile_run(
+        config, args.workload, num_requests=args.requests, seed=args.seed
+    )
+    total = sum(totals.values()) or 1e-12
+    rows = [
+        [stage, f"{seconds:.3f}", f"{seconds / total:.1%}"]
+        for stage, seconds in sorted(totals.items(), key=lambda kv: -kv[1])
+    ]
+    rows.append(["total", f"{total:.3f}", "100.0%"])
+    print(format_table(
+        ["stage", "seconds", "share"], rows,
+        title=f"Simulator wall-clock profile ({args.workload})",
+    ))
+    print(f"simulated {result.llc_misses} LLC misses "
+          f"({result.total_cycles:,.0f} cycles) in {total:.3f}s host time")
     return 0
 
 
@@ -168,7 +237,23 @@ def make_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one configuration")
     common(run_p)
     run_p.add_argument("--scheme", default="dynamic-3")
+    run_p.add_argument("--trace", metavar="FILE",
+                       help="write a Perfetto/Chrome trace-event timeline")
+    run_p.add_argument("--events", metavar="FILE",
+                       help="stream the observability event log as JSONL")
+    run_p.add_argument("--metrics", metavar="FILE",
+                       help="write the metrics registry as JSON")
+    run_p.add_argument("--adversary-trace", metavar="FILE",
+                       help="dump the adversary-visible (kind, leaf, time) "
+                            "path sequence as JSONL")
     run_p.set_defaults(fn=cmd_run)
+
+    prof_p = sub.add_parser(
+        "profile", help="report per-stage simulator wall-clock time"
+    )
+    common(prof_p)
+    prof_p.add_argument("--scheme", default="dynamic-3")
+    prof_p.set_defaults(fn=cmd_profile)
 
     cmp_p = sub.add_parser("compare", help="compare all schemes on a workload")
     common(cmp_p)

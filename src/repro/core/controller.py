@@ -36,6 +36,7 @@ from repro.core.partition import (
 )
 from repro.core.queues import DupCandidate, hd_queue, rd_queue
 from repro.mem.dram import DramModel
+from repro.obs.events import DUP_HD, DUP_RD, BlockServed, DuplicationPlaced, EventBus
 from repro.oram.block import Block
 from repro.oram.config import OramConfig
 from repro.oram.tiny import (
@@ -82,11 +83,14 @@ class ShadowOramController(TinyOramController):
         shadow_config: ShadowConfig | None = None,
         dram: DramModel | None = None,
         observer: Observer | None = None,
+        bus: EventBus | None = None,
     ) -> None:
-        super().__init__(config, rng, dram=dram, observer=observer)
+        super().__init__(config, rng, dram=dram, observer=observer, bus=bus)
         self.shadow_config = shadow_config or ShadowConfig()
         self.hot_cache = HotAddressCache(
-            self.shadow_config.hot_cache_sets, self.shadow_config.hot_cache_ways
+            self.shadow_config.hot_cache_sets,
+            self.shadow_config.hot_cache_ways,
+            bus=self.bus,
         )
         self.partition = self._build_partition_policy()
         self.shadow_stats = ShadowStats()
@@ -101,12 +105,15 @@ class ShadowOramController(TinyOramController):
         if cfg.dynamic:
             initial = cfg.partition_level
             return DynamicPartitionPolicy(
-                max_level, counter_bits=cfg.dri_counter_bits, initial_level=initial
+                max_level,
+                counter_bits=cfg.dri_counter_bits,
+                initial_level=initial,
+                bus=self.bus,
             )
         level = cfg.partition_level
         if level is None:
             level = max_level // 2
-        return PartitionPolicy(min(level, max_level), max_level)
+        return PartitionPolicy(min(level, max_level), max_level, bus=self.bus)
 
     # ------------------------------------------------------------------
     # Request handling
@@ -129,6 +136,18 @@ class ShadowOramController(TinyOramController):
         self.stats.shadow_stash_hits += 1
         self.stats.onchip_serves += 1
         ready = now + self.config.onchip_latency
+        if self.bus._subs:
+            self.bus.emit(
+                BlockServed(
+                    addr=addr,
+                    op=op,
+                    source=SERVED_SHADOW_STASH,
+                    level=-1,
+                    onchip=True,
+                    core=self.bus.core,
+                    ts=ready,
+                )
+            )
         return AccessResult(
             addr=addr,
             op=op,
@@ -231,6 +250,7 @@ class ShadowOramController(TinyOramController):
             hd.push(cand)
             stash_shadow_cands.append(cand)
 
+        bus = self.bus
         for level in range(cfg.levels, -1, -1):
             free = cfg.z - fill[level]
             if free <= 0:
@@ -247,6 +267,16 @@ class ShadowOramController(TinyOramController):
                     self.shadow_stats.hd_shadows += 1
                 else:
                     self.shadow_stats.rd_shadows += 1
+                if bus._subs:
+                    bus.emit(
+                        DuplicationPlaced(
+                            addr=copy.addr,
+                            level=level,
+                            kind=DUP_HD if use_hd else DUP_RD,
+                            from_stash=cand.from_stash_shadow,
+                            ts=bus.now,
+                        )
+                    )
 
         # A stash shadow that produced at least one tree copy has been
         # "evicted": drop the on-chip copy (its slot becomes free).

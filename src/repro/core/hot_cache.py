@@ -12,6 +12,8 @@ entries, our default of 32 sets x 4 ways.
 
 from __future__ import annotations
 
+from repro.obs.events import EventBus, HotAddressTouched
+
 
 class HotAddressCache:
     """Set-associative LFU counter cache.
@@ -19,13 +21,18 @@ class HotAddressCache:
     Args:
         sets: Number of sets (power of two recommended).
         ways: Associativity.
+        bus: Observability bus; every :meth:`touch` is reported while
+            subscribers are attached.
     """
 
-    def __init__(self, sets: int = 32, ways: int = 4) -> None:
+    def __init__(
+        self, sets: int = 32, ways: int = 4, bus: EventBus | None = None
+    ) -> None:
         if sets < 1 or ways < 1:
             raise ValueError(f"cache geometry must be positive, got {sets}x{ways}")
         self.sets = sets
         self.ways = ways
+        self.bus = bus if bus is not None else EventBus()
         self._lines: list[dict[int, int]] = [{} for _ in range(sets)]
         self.hits = 0
         self.misses = 0
@@ -44,14 +51,23 @@ class HotAddressCache:
         if addr in line:
             line[addr] += 1
             self.hits += 1
-            return line[addr]
+            count = line[addr]
+            if self.bus._subs:
+                self._emit_touch(addr, count, hit=True)
+            return count
         self.misses += 1
         if len(line) >= self.ways:
             victim = min(line, key=line.__getitem__)
             del line[victim]
             self.evictions += 1
         line[addr] = 1
+        if self.bus._subs:
+            self._emit_touch(addr, 1, hit=False)
         return 1
+
+    def _emit_touch(self, addr: int, count: int, hit: bool) -> None:
+        bus = self.bus
+        bus.emit(HotAddressTouched(addr=addr, count=count, hit=hit, ts=bus.now))
 
     def hotness(self, addr: int) -> int:
         """Access count of ``addr``; 0 when the address is not tracked.

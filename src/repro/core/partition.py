@@ -23,6 +23,8 @@ notes.
 
 from __future__ import annotations
 
+from repro.obs.events import EventBus, PartitionAdjusted
+
 REAL = "real"
 DUMMY = "dummy"
 
@@ -69,11 +71,14 @@ class DriCounter:
 class PartitionPolicy:
     """Static partitioning: a fixed level ``P`` for the whole run."""
 
-    def __init__(self, level: int, max_level: int) -> None:
+    def __init__(
+        self, level: int, max_level: int, bus: EventBus | None = None
+    ) -> None:
         if not 0 <= level <= max_level:
             raise ValueError(f"partition level {level} outside 0..{max_level}")
         self._level = level
         self.max_level = max_level
+        self.bus = bus if bus is not None else EventBus()
 
     @property
     def level(self) -> int:
@@ -105,10 +110,11 @@ class DynamicPartitionPolicy(PartitionPolicy):
         max_level: int,
         counter_bits: int = 3,
         initial_level: int | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         if initial_level is None:
             initial_level = max_level // 2
-        super().__init__(initial_level, max_level)
+        super().__init__(initial_level, max_level, bus=bus)
         self.counter = DriCounter(counter_bits)
         self.adjustments = 0
 
@@ -120,8 +126,19 @@ class DynamicPartitionPolicy(PartitionPolicy):
         else:
             new_level = max(0, self._level - 1)
         if new_level != self._level:
+            old_level = self._level
             self._level = new_level
             self.adjustments += 1
+            if self.bus._subs:
+                bus = self.bus
+                bus.emit(
+                    PartitionAdjusted(
+                        old_level=old_level,
+                        new_level=new_level,
+                        counter=self.counter.value,
+                        ts=bus.now,
+                    )
+                )
 
     def observe_idle_gap(self, gap: float, dummy_threshold: float) -> None:
         """Convert an idle gap into virtual dummy requests (no-TP mode).

@@ -1,0 +1,61 @@
+"""Unified observability layer: event bus, metrics, timelines, logs.
+
+``repro.obs`` is the single source of truth for everything the simulator
+reports about itself.  The components:
+
+* :mod:`repro.obs.events` — the :class:`~repro.obs.events.EventBus` and
+  the typed event taxonomy every stage of the stack emits;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms and the
+  :class:`~repro.obs.metrics.MetricsCollector` bus subscriber;
+* :mod:`repro.obs.timeline` — Chrome trace-event (Perfetto) export;
+* :mod:`repro.obs.log` — JSONL structured logging with run metadata;
+* :mod:`repro.obs.profiler` — host wall-clock attribution per stage.
+
+Observability is strictly opt-in: with no subscribers attached the
+instrumented hot paths reduce to one ``if not bus._subs`` check and no
+event objects are ever created.
+"""
+
+from repro.obs.events import (
+    BlockServed,
+    DummyIssued,
+    DuplicationPlaced,
+    EventBus,
+    EvictionPerformed,
+    HotAddressTouched,
+    PartitionAdjusted,
+    PathReadFinished,
+    PathReadStarted,
+    RequestCompleted,
+    SlotAligned,
+    StashOccupancy,
+    event_to_dict,
+)
+from repro.obs.log import AdversaryTraceWriter, JsonlLogger, run_metadata
+from repro.obs.metrics import MetricsCollector, MetricsRegistry
+from repro.obs.profiler import Profiler, profile_run
+from repro.obs.timeline import TimelineBuilder
+
+__all__ = [
+    "AdversaryTraceWriter",
+    "BlockServed",
+    "DummyIssued",
+    "DuplicationPlaced",
+    "EventBus",
+    "EvictionPerformed",
+    "HotAddressTouched",
+    "JsonlLogger",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "PartitionAdjusted",
+    "PathReadFinished",
+    "PathReadStarted",
+    "Profiler",
+    "RequestCompleted",
+    "SlotAligned",
+    "StashOccupancy",
+    "TimelineBuilder",
+    "event_to_dict",
+    "profile_run",
+    "run_metadata",
+]

@@ -1,0 +1,252 @@
+"""Typed event bus: the spine of the observability layer.
+
+Every stage of the simulator (`TinyOramController`, `ShadowOramController`,
+`RequestScheduler`, `Stash`, `HotAddressCache`, the partition policies)
+emits small, slotted, frozen event dataclasses onto a shared
+:class:`EventBus`.  Subscribers — the metrics collector, the Perfetto
+timeline builder, the JSONL logger, the request tracer — are strictly
+opt-in; with no subscribers attached the bus costs one ``if not
+self._subs`` truthiness check per would-be emission site, and no event
+object is ever constructed.
+
+The emission idiom used throughout the codebase is therefore::
+
+    bus = self.bus
+    if bus._subs:
+        bus.emit(PathReadStarted(leaf=leaf, purpose="request", ts=now))
+
+Components without their own clock (the stash, the hot address cache, the
+partition policy) stamp events with ``bus.now``, which the controller
+advances at the start of every access while subscribers are attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable
+
+# Duplication kinds (mirrors the RD/HD split of Section IV).
+DUP_RD = "rd"
+DUP_HD = "hd"
+
+# Path-access purposes.
+PURPOSE_REQUEST = "request"
+PURPOSE_DUMMY = "dummy"
+PURPOSE_EVICTION = "eviction"
+
+
+# ----------------------------------------------------------------------
+# Event taxonomy
+# ----------------------------------------------------------------------
+@dataclass(slots=True, frozen=True)
+class PathReadStarted:
+    """A full path read began streaming (root to leaf)."""
+
+    leaf: int
+    purpose: str  # request | dummy | eviction
+    ts: float
+
+
+@dataclass(slots=True, frozen=True)
+class PathReadFinished:
+    """The path read's last block left the DRAM bus."""
+
+    leaf: int
+    purpose: str
+    ts: float
+
+
+@dataclass(slots=True, frozen=True)
+class BlockServed:
+    """The intended block of a real request reached the LLC.
+
+    Exactly one is emitted per non-dummy ``access()``.  ``source`` is one
+    of ``stash`` / ``shadow_stash`` / ``treetop`` / ``shadow_path`` /
+    ``path``; ``level`` is the tree level the serving copy was found at
+    (``-1`` for on-chip sources); ``onchip`` mirrors the controller's
+    ``onchip_serves`` accounting (a shadow-stash serve discovered *during*
+    a path read is not an on-chip serve); ``core`` is the issuing CPU core
+    when known (``-1`` outside the full-system simulator).
+    """
+
+    addr: int
+    op: str
+    source: str
+    level: int
+    onchip: bool
+    core: int
+    ts: float  # data_ready
+
+
+@dataclass(slots=True, frozen=True)
+class RequestCompleted:
+    """One ``access()``/``dummy_access()`` call returned.
+
+    Carries the full :class:`~repro.oram.tiny.AccessResult` timeline so
+    subscribers (the request tracer, the timeline builder) need no access
+    to controller internals.  ``data_ready`` is ``finish`` for dummies.
+    """
+
+    addr: int
+    op: str
+    served_from: str | None
+    issue: float
+    data_ready: float
+    finish: float
+    evicted: bool
+    path_accesses: int
+    core: int
+
+
+@dataclass(slots=True, frozen=True)
+class EvictionPerformed:
+    """One RW eviction (read + write of the next reverse-lex path)."""
+
+    leaf: int
+    start: float
+    finish: float
+
+
+@dataclass(slots=True, frozen=True)
+class DuplicationPlaced:
+    """A shadow copy was written into a dummy slot (Algorithm 1)."""
+
+    addr: int
+    level: int
+    kind: str  # rd | hd
+    from_stash: bool
+    ts: float
+
+
+@dataclass(slots=True, frozen=True)
+class StashOccupancy:
+    """Stash occupancy after a mutation (real + replaceable shadows)."""
+
+    real: int
+    shadow: int
+    ts: float
+
+
+@dataclass(slots=True, frozen=True)
+class PartitionAdjusted:
+    """The dynamic partitioning level moved (Section IV-D-2)."""
+
+    old_level: int
+    new_level: int
+    counter: int
+    ts: float
+
+
+@dataclass(slots=True, frozen=True)
+class DummyIssued:
+    """A dummy ORAM request fired (timing protection or drain)."""
+
+    leaf: int
+    ts: float
+    finish: float
+
+
+@dataclass(slots=True, frozen=True)
+class SlotAligned:
+    """A real request waited for its constant-rate launch slot."""
+
+    ready: float
+    slot: float
+    wait: float
+
+
+@dataclass(slots=True, frozen=True)
+class HotAddressTouched:
+    """The Hot Address Cache observed one LLC miss."""
+
+    addr: int
+    count: int
+    hit: bool
+    ts: float
+
+
+EVENT_TYPES: tuple[type, ...] = (
+    PathReadStarted,
+    PathReadFinished,
+    BlockServed,
+    RequestCompleted,
+    EvictionPerformed,
+    DuplicationPlaced,
+    StashOccupancy,
+    PartitionAdjusted,
+    DummyIssued,
+    SlotAligned,
+    HotAddressTouched,
+)
+
+
+def event_to_dict(event: object) -> dict[str, object]:
+    """Flatten an event dataclass into ``{"type": ..., field: value}``."""
+    out: dict[str, object] = {"type": type(event).__name__}
+    for f in fields(event):
+        out[f.name] = getattr(event, f.name)
+    return out
+
+
+# ----------------------------------------------------------------------
+# The bus
+# ----------------------------------------------------------------------
+Handler = Callable[[object], None]
+
+
+class EventBus:
+    """Minimal synchronous pub/sub bus.
+
+    Emission sites check ``bus._subs`` (a plain list) before constructing
+    an event, so an unsubscribed bus adds a single attribute load and
+    truthiness test to the hot path.  ``now`` and ``core`` are mutable
+    ambient context: the simulator/controller set them while subscribers
+    are attached so clock-less components can stamp their events.
+    """
+
+    __slots__ = ("_subs", "_typed", "now", "core")
+
+    def __init__(self) -> None:
+        self._subs: list[Handler] = []
+        # handler -> (wrapped handler, accepted types) for unsubscribe.
+        self._typed: dict[Handler, Handler] = {}
+        self.now: float = 0.0
+        self.core: int = -1
+
+    # ------------------------------------------------------------------
+    def subscribe(self, handler: Handler, *event_types: type) -> Handler:
+        """Attach ``handler``; with ``event_types`` it only sees those.
+
+        Returns the callable actually registered (useful for
+        :meth:`unsubscribe` when a filter wrapper was installed).
+        """
+        if event_types:
+            accepted = tuple(event_types)
+
+            def filtered(event: object, _h=handler, _t=accepted) -> None:
+                if isinstance(event, _t):
+                    _h(event)
+
+            self._typed[handler] = filtered
+            self._subs.append(filtered)
+            return filtered
+        self._subs.append(handler)
+        return handler
+
+    def unsubscribe(self, handler: Handler) -> None:
+        """Detach a handler registered with :meth:`subscribe`."""
+        registered = self._typed.pop(handler, handler)
+        try:
+            self._subs.remove(registered)
+        except ValueError:
+            pass
+
+    @property
+    def active(self) -> bool:
+        """Whether any subscriber is attached."""
+        return bool(self._subs)
+
+    def emit(self, event: object) -> None:
+        """Deliver ``event`` synchronously to every subscriber."""
+        for sub in self._subs:
+            sub(event)

@@ -1,0 +1,105 @@
+"""Structured JSONL logging for event streams and run metadata.
+
+One JSON object per line: the first line of a run log is a
+``run_metadata`` record (scheme, geometry, seed, git revision, python
+version), followed by one record per bus event.  The format is
+grep/`jq`-friendly and append-safe, so long simulations can stream their
+event log to disk instead of holding it in memory.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+from typing import IO
+
+from repro.obs.events import EventBus, event_to_dict
+
+
+def git_describe() -> str:
+    """Best-effort source revision (``git describe``), or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def run_metadata(
+    config: object = None, **extra: object
+) -> dict[str, object]:
+    """Describe one run: config summary, seed, revision, interpreter."""
+    meta: dict[str, object] = {
+        "type": "run_metadata",
+        "git": git_describe(),
+        "python": platform.python_version(),
+    }
+    if config is not None:
+        describe = getattr(config, "describe", None)
+        meta["config"] = describe() if callable(describe) else str(config)
+        seed = getattr(config, "seed", None)
+        if seed is not None:
+            meta["seed"] = seed
+    meta.update(extra)
+    return meta
+
+
+class JsonlLogger:
+    """Bus subscriber that streams events to a JSONL text stream.
+
+    Usable directly as a handler (``bus.subscribe(logger)``) or via the
+    :meth:`attach` convenience.  Event dataclasses are flattened with a
+    leading ``type`` discriminator field.
+    """
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.stream = stream
+        self.lines = 0
+
+    def write_record(self, record: dict[str, object]) -> None:
+        """Write one pre-built JSON object as a line."""
+        json.dump(record, self.stream, separators=(",", ":"))
+        self.stream.write("\n")
+        self.lines += 1
+
+    def write_metadata(self, config: object = None, **extra: object) -> None:
+        """Write the run-metadata header line."""
+        self.write_record(run_metadata(config, **extra))
+
+    def __call__(self, event: object) -> None:
+        self.write_record(event_to_dict(event))
+
+    def attach(self, bus: EventBus, *event_types: type) -> None:
+        """Subscribe this logger to ``bus`` (optionally filtered)."""
+        bus.subscribe(self, *event_types)
+
+
+class AdversaryTraceWriter:
+    """Observer-hook adapter dumping the adversary-visible sequence.
+
+    The ORAM controllers report every externally visible path access as
+    ``(kind, leaf, time)`` through their ``observer`` callback — exactly
+    the adversary's view in the paper's threat model.  This adapter turns
+    that callback into JSONL records (``{"type": "path_access", "kind":
+    ..., "leaf": ..., "time": ...}``) via :class:`JsonlLogger`.
+    """
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.logger = JsonlLogger(stream)
+
+    def __call__(self, observed: tuple[str, int, float]) -> None:
+        kind, leaf, time = observed
+        self.logger.write_record(
+            {"type": "path_access", "kind": kind, "leaf": leaf, "time": time}
+        )
+
+    @property
+    def lines(self) -> int:
+        return self.logger.lines

@@ -1,0 +1,275 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+:class:`MetricsRegistry` is a flat namespace of named instruments with a
+stable JSON export, and :class:`MetricsCollector` is the bus subscriber
+that populates one from the event stream — the single source of truth the
+CLI's ``--metrics`` flag serialises.  Its counters are defined so that a
+seeded full-system run reproduces the corresponding
+:class:`~repro.system.metrics.SimulationResult` fields exactly
+(``requests/data`` = LLC misses served, ``requests/real_oram`` = real ORAM
+launches, ``requests/dummy`` = dummy launches, ``served/onchip`` = on-chip
+hits, ``served/shadow_path`` = early-forwarded serves).
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import IO
+
+from repro.obs.events import (
+    BlockServed,
+    DummyIssued,
+    DuplicationPlaced,
+    EvictionPerformed,
+    EventBus,
+    HotAddressTouched,
+    PartitionAdjusted,
+    PathReadStarted,
+    RequestCompleted,
+    SlotAligned,
+    StashOccupancy,
+)
+
+SERVED_ONCHIP_SOURCES = ("stash", "shadow_stash", "treetop")
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-written value, with min/max watermarks."""
+
+    __slots__ = ("value", "min", "max", "updates")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def to_dict(self) -> dict[str, float]:
+        if not self.updates:
+            return {"value": 0.0, "min": 0.0, "max": 0.0, "updates": 0}
+        return {
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "updates": self.updates,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram.
+
+    Args:
+        bounds: Sorted inclusive upper bounds; one overflow bucket is
+            appended implicitly, so ``len(counts) == len(bounds) + 1``.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, bounds: list[float]) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if sorted(bounds) != list(bounds):
+            raise ValueError(f"bucket bounds must be sorted, got {bounds}")
+        self.bounds = list(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.total:
+            return 0.0
+        target = q * self.total
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= target:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "bounds": self.bounds,
+            "counts": self.counts,
+            "total": self.total,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with idempotent creation and JSON export."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge()
+        return inst
+
+    def histogram(self, name: str, bounds: list[float] | None = None) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            if bounds is None:
+                raise KeyError(f"histogram {name!r} does not exist yet")
+            inst = self._histograms[name] = Histogram(bounds)
+        return inst
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "counters": {k: c.to_dict() for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.to_dict() for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.to_dict() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def write_json(self, stream: IO[str], **extra: object) -> None:
+        """Serialise the registry (plus ``extra`` metadata keys)."""
+        payload = dict(extra)
+        payload.update(self.to_dict())
+        json.dump(payload, stream, indent=2, sort_keys=False)
+        stream.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Bucket ladders shared by the collector and tests
+# ----------------------------------------------------------------------
+LATENCY_BUCKETS = [
+    50.0, 100.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0,
+    10_000.0, 20_000.0, 50_000.0, 100_000.0,
+]
+LEVEL_BUCKETS = [float(level) for level in range(33)]
+OCCUPANCY_BUCKETS = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0]
+DRI_BUCKETS = LATENCY_BUCKETS
+
+
+class MetricsCollector:
+    """Bus subscriber that fills a :class:`MetricsRegistry`.
+
+    Instruments populated:
+
+    * ``requests/data`` — non-dummy ``access()`` calls (== LLC misses in
+      the full-system simulator without writeback modelling);
+    * ``requests/real_oram`` — data requests that launched path accesses;
+    * ``requests/dummy`` — dummy requests;
+    * ``served/<source>``, ``served/onchip``, ``served/shadow_path``;
+    * ``paths/reads/<purpose>``, ``evictions``, ``duplication/<kind>``;
+    * ``scheduler/slot_waits``, ``hot_cache/{hits,misses}``;
+    * ``partition/adjustments`` counter + ``partition/level`` gauge;
+    * histograms ``latency/data_request``, ``shadow/hit_level``,
+      ``stash/real_occupancy``, ``dri/interval``.
+
+    ``latency/data_request`` measures launch-to-data latency (the
+    controller's view); the CPU-perceived latency reported by
+    ``SimulationResult.mean_data_latency`` additionally includes the wait
+    for a free controller / timing-protection slot.
+    """
+
+    def __init__(self, bus: EventBus, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self.latency = reg.histogram("latency/data_request", LATENCY_BUCKETS)
+        self.shadow_level = reg.histogram("shadow/hit_level", LEVEL_BUCKETS)
+        self.occupancy = reg.histogram("stash/real_occupancy", OCCUPANCY_BUCKETS)
+        self.dri = reg.histogram("dri/interval", DRI_BUCKETS)
+        self._last_real_finish: float | None = None
+        bus.subscribe(self.on_event)
+
+    # ------------------------------------------------------------------
+    def on_event(self, event: object) -> None:
+        reg = self.registry
+        if type(event) is BlockServed:
+            reg.counter(f"served/{event.source}").inc()
+            if event.onchip:
+                reg.counter("served/onchip").inc()
+            if event.source == "shadow_path":
+                self.shadow_level.observe(float(event.level))
+        elif type(event) is RequestCompleted:
+            if event.op == "dummy":
+                reg.counter("requests/dummy").inc()
+                return
+            reg.counter("requests/data").inc()
+            self.latency.observe(event.data_ready - event.issue)
+            if event.path_accesses > 0:
+                reg.counter("requests/real_oram").inc()
+                if self._last_real_finish is not None:
+                    gap = event.issue - self._last_real_finish
+                    if gap > 0:
+                        self.dri.observe(gap)
+                self._last_real_finish = event.finish
+        elif type(event) is StashOccupancy:
+            self.occupancy.observe(float(event.real))
+            reg.gauge("stash/real").set(event.real)
+            reg.gauge("stash/shadow").set(event.shadow)
+        elif type(event) is PathReadStarted:
+            reg.counter(f"paths/reads/{event.purpose}").inc()
+        elif type(event) is EvictionPerformed:
+            reg.counter("evictions").inc()
+        elif type(event) is DuplicationPlaced:
+            reg.counter(f"duplication/{event.kind}").inc()
+            if event.from_stash:
+                reg.counter("duplication/from_stash").inc()
+        elif type(event) is DummyIssued:
+            reg.counter("paths/reads/dummy_issued").inc()
+        elif type(event) is SlotAligned:
+            reg.counter("scheduler/slot_waits").inc()
+            if event.wait > 0:
+                reg.gauge("scheduler/last_slot_wait").set(event.wait)
+        elif type(event) is PartitionAdjusted:
+            reg.counter("partition/adjustments").inc()
+            reg.gauge("partition/level").set(event.new_level)
+            reg.gauge("partition/dri_counter").set(event.counter)
+        elif type(event) is HotAddressTouched:
+            reg.counter("hot_cache/hits" if event.hit else "hot_cache/misses").inc()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return self.registry.to_dict()

@@ -1,0 +1,216 @@
+"""Chrome trace-event export: inspect a whole run in ui.perfetto.dev.
+
+:class:`TimelineBuilder` subscribes to an :class:`~repro.obs.events.EventBus`
+and renders the event stream as Chrome trace-event JSON (the format both
+``chrome://tracing`` and Perfetto load natively):
+
+* one thread track per CPU core — a slice per data request from issue to
+  ``data_ready``, named by its serving source;
+* one track for the ORAM bus — a slice per path access (request, dummy,
+  or eviction read) plus eviction read+write envelopes;
+* one track for the scheduler — slot-alignment waits and dummy launches;
+* counter tracks for the partitioning level and stash occupancy.
+
+Simulated cycles are written as microseconds (``ts``/``dur``), which keeps
+the UI units readable; 1 us on screen == 1 CPU cycle.  Timestamps within a
+track are clamped to be monotone, which Perfetto requires for correct slice
+nesting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.obs.events import (
+    BlockServed,
+    DummyIssued,
+    EvictionPerformed,
+    EventBus,
+    PartitionAdjusted,
+    PathReadFinished,
+    PathReadStarted,
+    RequestCompleted,
+    SlotAligned,
+    StashOccupancy,
+)
+
+PID_CORES = 0
+PID_ORAM = 1
+TID_BUS = 0
+TID_SCHEDULER = 1
+
+
+class TimelineBuilder:
+    """Accumulates trace events; call :meth:`write` after the run."""
+
+    def __init__(self, bus: EventBus) -> None:
+        self.events: list[dict[str, object]] = []
+        self._last_ts: dict[tuple[int, int], float] = {}
+        self._open_reads: list[PathReadStarted] = []
+        self._cores_seen: set[int] = set()
+        self._last_source: str | None = None
+        bus.subscribe(self.on_event)
+
+    # ------------------------------------------------------------------
+    # Low-level emitters
+    # ------------------------------------------------------------------
+    def _clamped(self, pid: int, tid: int, ts: float) -> float:
+        key = (pid, tid)
+        last = self._last_ts.get(key, 0.0)
+        if ts < last:
+            ts = last
+        self._last_ts[key] = ts
+        return ts
+
+    def _slice(
+        self,
+        pid: int,
+        tid: int,
+        name: str,
+        start: float,
+        finish: float,
+        args: dict[str, object] | None = None,
+        cat: str = "oram",
+    ) -> None:
+        start = self._clamped(pid, tid, start)
+        event: dict[str, object] = {
+            "name": name,
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "ts": start,
+            "dur": max(0.0, finish - start),
+            "cat": cat,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def _counter(self, name: str, ts: float, values: dict[str, float]) -> None:
+        self.events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "pid": PID_ORAM,
+                "tid": 0,
+                "ts": max(0.0, ts),
+                "args": values,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Bus subscription
+    # ------------------------------------------------------------------
+    def on_event(self, event: object) -> None:
+        kind = type(event)
+        if kind is PathReadStarted:
+            self._open_reads.append(event)
+        elif kind is PathReadFinished:
+            start = self._match_read(event)
+            self._slice(
+                PID_ORAM,
+                TID_BUS,
+                f"path read ({event.purpose})",
+                start,
+                event.ts,
+                {"leaf": event.leaf},
+            )
+        elif kind is BlockServed:
+            self._last_source = event.source
+        elif kind is RequestCompleted:
+            if event.op == "dummy":
+                return
+            core = event.core if event.core >= 0 else 0
+            self._cores_seen.add(core)
+            source = self._last_source or (event.served_from or "unknown")
+            self._slice(
+                PID_CORES,
+                core,
+                f"{event.op} {event.addr} [{source}]",
+                event.issue,
+                event.data_ready,
+                {"addr": event.addr, "source": source},
+                cat="request",
+            )
+            self._last_source = None
+        elif kind is EvictionPerformed:
+            self._slice(
+                PID_ORAM,
+                TID_SCHEDULER,
+                "eviction",
+                event.start,
+                event.finish,
+                {"leaf": event.leaf},
+            )
+        elif kind is DummyIssued:
+            self._slice(
+                PID_ORAM,
+                TID_SCHEDULER,
+                "dummy request",
+                event.ts,
+                event.finish,
+                {"leaf": event.leaf},
+                cat="scheduler",
+            )
+        elif kind is SlotAligned:
+            if event.wait > 0:
+                self._slice(
+                    PID_ORAM,
+                    TID_SCHEDULER,
+                    "slot wait",
+                    event.ready,
+                    event.slot,
+                    cat="scheduler",
+                )
+        elif kind is PartitionAdjusted:
+            self._counter(
+                "partition level", event.ts, {"P": float(event.new_level)}
+            )
+        elif kind is StashOccupancy:
+            self._counter(
+                "stash occupancy",
+                event.ts,
+                {"real": float(event.real), "shadow": float(event.shadow)},
+            )
+
+    def _match_read(self, finished: PathReadFinished) -> float:
+        for i, started in enumerate(self._open_reads):
+            if started.leaf == finished.leaf and started.purpose == finished.purpose:
+                del self._open_reads[i]
+                return started.ts
+        return finished.ts
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def _metadata(self) -> list[dict[str, object]]:
+        meta: list[dict[str, object]] = [
+            {"ph": "M", "name": "process_name", "pid": PID_CORES,
+             "args": {"name": "CPU cores"}},
+            {"ph": "M", "name": "process_name", "pid": PID_ORAM,
+             "args": {"name": "ORAM controller"}},
+            {"ph": "M", "name": "thread_name", "pid": PID_ORAM, "tid": TID_BUS,
+             "args": {"name": "oram bus"}},
+            {"ph": "M", "name": "thread_name", "pid": PID_ORAM,
+             "tid": TID_SCHEDULER, "args": {"name": "scheduler"}},
+        ]
+        for core in sorted(self._cores_seen):
+            meta.append(
+                {"ph": "M", "name": "thread_name", "pid": PID_CORES,
+                 "tid": core, "args": {"name": f"core {core}"}}
+            )
+        return meta
+
+    def to_chrome_trace(self) -> dict[str, object]:
+        """The full trace as a Chrome/Perfetto-loadable dict."""
+        return {
+            "traceEvents": self._metadata() + self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {"time_unit": "simulated CPU cycles (as us)"},
+        }
+
+    def write(self, stream: IO[str]) -> None:
+        """Serialise the trace as JSON to ``stream``."""
+        json.dump(self.to_chrome_trace(), stream)
+        stream.write("\n")

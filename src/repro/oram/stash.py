@@ -19,6 +19,7 @@ occupancy distributions against the baseline.
 
 from __future__ import annotations
 
+from repro.obs.events import EventBus, StashOccupancy
 from repro.oram.block import Block
 
 
@@ -38,12 +39,16 @@ class Stash:
         capacity: Maximum number of *real* blocks (paper: ``M``, e.g. 200).
             Shadow blocks squat in whatever space is left and are evicted
             FIFO when a real block needs their slot.
+        bus: Observability bus; occupancy events are emitted after every
+            mutation while subscribers are attached (timestamped with the
+            bus's ambient clock).
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, bus: EventBus | None = None) -> None:
         if capacity < 1:
             raise ValueError(f"stash capacity must be positive, got {capacity}")
         self.capacity = capacity
+        self.bus = bus if bus is not None else EventBus()
         self._real: dict[int, Block] = {}
         self._shadow: dict[int, Block] = {}
         self.peak_real = 0
@@ -110,6 +115,8 @@ class Stash:
                 return
             self._make_room_for_shadow()
             self._shadow[blk.addr] = blk
+            if self.bus._subs:
+                self._emit_occupancy()
             return
 
         shadowed = self._shadow.pop(blk.addr, None)
@@ -128,6 +135,8 @@ class Stash:
         if len(self._real) + len(self._shadow) > self.capacity:
             self._drop_one_shadow()
         self.peak_real = max(self.peak_real, len(self._real))
+        if self.bus._subs:
+            self._emit_occupancy()
 
     def remove_real(self, addr: int) -> Block:
         """Remove and return the real block for ``addr`` (after eviction).
@@ -136,11 +145,17 @@ class Stash:
         dropping the entry entirely is the equivalent software model — the
         authoritative copy now lives in the tree.
         """
-        return self._real.pop(addr)
+        blk = self._real.pop(addr)
+        if self.bus._subs:
+            self._emit_occupancy()
+        return blk
 
     def remove_shadow(self, addr: int) -> Block | None:
         """Remove and return the shadow block for ``addr`` if present."""
-        return self._shadow.pop(addr, None)
+        blk = self._shadow.pop(addr, None)
+        if blk is not None and self.bus._subs:
+            self._emit_occupancy()
+        return blk
 
     def discard(self, addr: int) -> None:
         """Drop every copy of ``addr`` (used when data is invalidated)."""
@@ -150,6 +165,14 @@ class Stash:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _emit_occupancy(self) -> None:
+        bus = self.bus
+        bus.emit(
+            StashOccupancy(
+                real=len(self._real), shadow=len(self._shadow), ts=bus.now
+            )
+        )
+
     def _make_room_for_shadow(self) -> None:
         if len(self._real) + len(self._shadow) + 1 > self.capacity:
             self._drop_one_shadow()

@@ -24,6 +24,18 @@ from random import Random
 from typing import Callable
 
 from repro.mem.dram import DramModel, PathTiming
+from repro.obs.events import (
+    PURPOSE_DUMMY,
+    PURPOSE_EVICTION,
+    PURPOSE_REQUEST,
+    BlockServed,
+    DummyIssued,
+    EventBus,
+    EvictionPerformed,
+    PathReadFinished,
+    PathReadStarted,
+    RequestCompleted,
+)
 from repro.oram.block import Block
 from repro.oram.config import OramConfig
 from repro.oram.posmap import PositionMap
@@ -90,6 +102,24 @@ class AccessResult:
     path_accesses: int = 0
 
 
+def _completed(result: AccessResult, core: int) -> RequestCompleted:
+    """Flatten an :class:`AccessResult` into the bus event."""
+    data_ready = (
+        result.data_ready if result.data_ready is not None else result.finish
+    )
+    return RequestCompleted(
+        addr=result.addr,
+        op=result.op,
+        served_from=result.served_from,
+        issue=result.issue,
+        data_ready=data_ready,
+        finish=result.finish,
+        evicted=result.evicted,
+        path_accesses=result.path_accesses,
+        core=core,
+    )
+
+
 @dataclass(slots=True)
 class OramStats:
     """Running counters the experiment harness aggregates."""
@@ -121,6 +151,9 @@ class TinyOramController:
         observer: Optional callback receiving ``(kind, leaf, time)`` for
             every externally visible path access (``kind`` is ``"read"`` or
             ``"write"``).  This is the adversary's trace.
+        bus: Observability event bus.  When ``None`` a private bus is
+            created; emission sites are no-ops until a subscriber attaches
+            (the fast path is a single ``if not bus._subs`` check).
     """
 
     def __init__(
@@ -129,13 +162,15 @@ class TinyOramController:
         rng: Random,
         dram: DramModel | None = None,
         observer: Observer | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         self.config = config
         self.rng = rng
         self.dram = dram
         self.observer = observer
+        self.bus = bus if bus is not None else EventBus()
         self.tree = OramTree(config.levels, config.z)
-        self.stash = Stash(config.stash_capacity)
+        self.stash = Stash(config.stash_capacity, bus=self.bus)
         self.posmap = PositionMap(config.num_blocks, config.num_leaves, rng)
         self.stats = OramStats()
         self._ro_since_eviction = 0
@@ -161,14 +196,21 @@ class TinyOramController:
         if op not in ("read", "write"):
             raise ValueError(f"op must be 'read' or 'write', got {op!r}")
         self.stats.accesses += 1
+        bus = self.bus
+        if bus._subs:
+            bus.now = now
 
         hit = self._try_onchip(addr, op, payload, now)
         if hit is not None:
+            if bus._subs:
+                bus.emit(_completed(hit, bus.core))
             return hit
 
         leaf = self.posmap.lookup(addr)
         new_leaf = self.posmap.remap(addr)
         result = self._oram_access(addr, op, payload, leaf, new_leaf, now)
+        if bus._subs:
+            bus.emit(_completed(result, bus.core))
         return result
 
     def peek_onchip(self, addr: int, op: str) -> bool:
@@ -186,10 +228,13 @@ class TinyOramController:
         from a real request — and participates in the eviction schedule.
         """
         self.stats.dummy_accesses += 1
+        bus = self.bus
+        if bus._subs:
+            bus.now = now
         leaf = self.rng.randrange(self.config.num_leaves)
-        _, _, read_timing = self._path_read(leaf, now, intended_addr=None)
+        _, _, _, read_timing = self._path_read(leaf, now, intended_addr=None)
         finish, evicted, extra_paths = self._maybe_evict(read_timing.finish)
-        return AccessResult(
+        result = AccessResult(
             addr=-1,
             op="dummy",
             served_from=None,
@@ -199,6 +244,10 @@ class TinyOramController:
             evicted=evicted,
             path_accesses=1 + extra_paths,
         )
+        if bus._subs:
+            bus.emit(DummyIssued(leaf=leaf, ts=now, finish=finish))
+            bus.emit(_completed(result, bus.core))
+        return result
 
     # ------------------------------------------------------------------
     # On-chip hit handling (Step-1)
@@ -215,6 +264,18 @@ class TinyOramController:
         self.stats.stash_hits += 1
         self.stats.onchip_serves += 1
         ready = now + self.config.onchip_latency
+        if self.bus._subs:
+            self.bus.emit(
+                BlockServed(
+                    addr=addr,
+                    op=op,
+                    source=SERVED_STASH,
+                    level=-1,
+                    onchip=True,
+                    core=self.bus.core,
+                    ts=ready,
+                )
+            )
         return AccessResult(
             addr=addr,
             op=op,
@@ -238,7 +299,9 @@ class TinyOramController:
         new_leaf: int,
         now: float,
     ) -> AccessResult:
-        data_ready, served_from, timing = self._path_read(leaf, now, intended_addr=addr)
+        data_ready, served_from, served_level, timing = self._path_read(
+            leaf, now, intended_addr=addr
+        )
         blk = self.stash.lookup_real(addr)
         if blk is None:
             raise RuntimeError(
@@ -254,6 +317,7 @@ class TinyOramController:
             # real copy just arrived); the shadow already had valid data.
             data_ready = now + self.config.onchip_latency
             served_from = SERVED_SHADOW_STASH
+            served_level = -1
 
         finish, evicted, extra_paths = self._maybe_evict(timing.finish)
         if served_from == SERVED_SHADOW_PATH:
@@ -261,6 +325,18 @@ class TinyOramController:
         if served_from == SERVED_TREETOP:
             self.stats.treetop_serves += 1
             self.stats.onchip_serves += 1
+        if self.bus._subs:
+            self.bus.emit(
+                BlockServed(
+                    addr=addr,
+                    op=op,
+                    source=served_from,
+                    level=served_level,
+                    onchip=served_from == SERVED_TREETOP,
+                    core=self.bus.core,
+                    ts=data_ready,
+                )
+            )
         return AccessResult(
             addr=addr,
             op=op,
@@ -281,11 +357,15 @@ class TinyOramController:
             return now, False, 0
         self._ro_since_eviction = 0
         leaf = self._next_eviction_leaf()
-        _, _, read_timing = self._path_read(
+        _, _, _, read_timing = self._path_read(
             leaf, now, intended_addr=None, absorb_all=True
         )
         write_timing = self._path_write(leaf, read_timing.finish)
         self.stats.evictions += 1
+        if self.bus._subs:
+            self.bus.emit(
+                EvictionPerformed(leaf=leaf, start=now, finish=write_timing.finish)
+            )
         return write_timing.finish, True, 2
 
     def _next_eviction_leaf(self) -> int:
@@ -311,7 +391,7 @@ class TinyOramController:
         now: float,
         intended_addr: int | None,
         absorb_all: bool = False,
-    ) -> tuple[float | None, str | None, PathTiming]:
+    ) -> tuple[float | None, str | None, int, PathTiming]:
         """Stream path ``leaf`` root to leaf.
 
         Following RAW Path ORAM (Tiny ORAM's underlying protocol), a
@@ -322,6 +402,10 @@ class TinyOramController:
         eviction read (``absorb_all=True``) absorbs the whole path, which
         is what Algorithm 2 describes.  Timing and the external trace are
         identical either way: the full path is always streamed.
+
+        Returns ``(data_ready, served_from, served_level, timing)`` where
+        ``served_level`` is the tree level the serving copy was found at
+        (``-1`` when the intended block was not found on the path).
         """
         timing = self._read_timing(now)
         self.stats.path_reads += 1
@@ -330,9 +414,19 @@ class TinyOramController:
         self.stats.blocks_internal += self._dram_blocks_per_path()
         if self.observer is not None:
             self.observer(("read", leaf, now))
+        bus = self.bus
+        if bus._subs:
+            if absorb_all:
+                purpose = PURPOSE_EVICTION
+            elif intended_addr is not None:
+                purpose = PURPOSE_REQUEST
+            else:
+                purpose = PURPOSE_DUMMY
+            bus.emit(PathReadStarted(leaf=leaf, purpose=purpose, ts=now))
 
         data_ready: float | None = None
         served_from: str | None = None
+        served_level = -1
         treetop = self.config.treetop_levels
         tree = self.tree
         onchip = now + self.config.onchip_latency
@@ -349,6 +443,7 @@ class TinyOramController:
                 if intended_addr is not None and blk.addr == intended_addr:
                     if data_ready is None:
                         data_ready = arrival
+                        served_level = level
                         if level < treetop:
                             served_from = SERVED_TREETOP
                         elif blk.is_shadow:
@@ -369,7 +464,11 @@ class TinyOramController:
                     # read are cached in the stash (replaceable).  The tree
                     # copy stays valid — its original has not moved.
                     self._stash_insert(blk, level)
-        return data_ready, served_from, timing
+        if bus._subs:
+            bus.emit(
+                PathReadFinished(leaf=leaf, purpose=purpose, ts=timing.finish)
+            )
+        return data_ready, served_from, served_level, timing
 
     def _read_timing(self, now: float) -> PathTiming:
         if self.dram is None:

@@ -25,7 +25,8 @@ from repro.cpu.cache import CacheConfig, CacheHierarchy
 from repro.cpu.core import MissIssuePolicy
 from repro.cpu.trace import MissTrace
 from repro.mem.dram import DramModel
-from repro.oram.tiny import TinyOramController
+from repro.obs.events import EventBus
+from repro.oram.tiny import Observer, TinyOramController
 from repro.system.config import SystemConfig
 from repro.system.energy import EnergyConfig, EnergyModel
 from repro.system.metrics import SimulationResult
@@ -55,11 +56,29 @@ def build_miss_trace(
 
 
 class SystemSimulator:
-    """Drives one full-system configuration over LLC-miss traces."""
+    """Drives one full-system configuration over LLC-miss traces.
 
-    def __init__(self, config: SystemConfig, energy: EnergyConfig | None = None):
+    Args:
+        config: The full-system configuration to simulate.
+        energy: Energy-model overrides.
+        bus: Observability event bus threaded through the controller,
+            stash, scheduler, and partition policy.  With no subscribers
+            attached the instrumentation is a no-op.
+        observer: Adversary-view callback receiving ``(kind, leaf, time)``
+            for every externally visible path access.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        energy: EnergyConfig | None = None,
+        bus: EventBus | None = None,
+        observer: Observer | None = None,
+    ):
         self.config = config
         self.energy_model = EnergyModel(energy)
+        self.bus = bus if bus is not None else EventBus()
+        self.observer = observer
 
     # ------------------------------------------------------------------
     def run(
@@ -94,8 +113,17 @@ class SystemSimulator:
         dram = DramModel(cfg.dram, cfg.oram.levels, cfg.oram.z)
         rng = Random(seed)
         if cfg.shadow is None:
-            return TinyOramController(cfg.oram, rng, dram=dram)
-        return ShadowOramController(cfg.oram, rng, cfg.shadow, dram=dram)
+            return TinyOramController(
+                cfg.oram, rng, dram=dram, bus=self.bus, observer=self.observer
+            )
+        return ShadowOramController(
+            cfg.oram,
+            rng,
+            cfg.shadow,
+            dram=dram,
+            bus=self.bus,
+            observer=self.observer,
+        )
 
     def _per_core_traces(
         self, workload_name: str, num_requests: int, seed: int
@@ -157,7 +185,7 @@ class SystemSimulator:
     ) -> SimulationResult:
         cfg = self.config
         controller = self._build_controller(seed)
-        scheduler = RequestScheduler(controller, cfg.timing)
+        scheduler = RequestScheduler(controller, cfg.timing, bus=self.bus)
         traces = self._per_core_traces(workload_name, num_requests, seed)
         policies = [MissIssuePolicy(cfg.cpu) for _ in traces]
         cursors = [0] * len(traces)
@@ -170,6 +198,8 @@ class SystemSimulator:
         partition_levels: list[int] = []
         is_shadow = isinstance(controller, ShadowOramController)
 
+        bus = self.bus
+        observed = bool(bus._subs)
         remaining = total_misses
         while remaining:
             core = self._next_core(traces, policies, cursors)
@@ -178,6 +208,8 @@ class SystemSimulator:
             remaining -= 1
             policy = policies[core]
             ready = policy.ready_time(miss)
+            if observed:
+                bus.core = core
 
             if controller.peek_onchip(miss.addr, miss.op):
                 result = controller.access(miss.addr, miss.op, now=ready)
@@ -309,9 +341,11 @@ def simulate(
     num_requests: int = 60_000,
     seed: int | None = None,
     record_progress: bool = False,
+    bus: EventBus | None = None,
+    observer: Observer | None = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SystemSimulator`."""
-    return SystemSimulator(config).run(
+    return SystemSimulator(config, bus=bus, observer=observer).run(
         workload_name,
         num_requests=num_requests,
         seed=seed,

@@ -15,6 +15,7 @@ stretches land in the DRI.
 
 from __future__ import annotations
 
+from repro.obs.events import EventBus, SlotAligned
 from repro.system.config import TimingProtectionConfig
 
 
@@ -26,11 +27,21 @@ class RequestScheduler:
             and optionally ``note_idle_gap(gap)`` (the shadow controller's
             hook for virtual-dummy DRI-counter updates).
         timing: Timing-protection settings.
+        bus: Observability bus (defaults to the controller's own bus so
+            scheduler events interleave with controller events).
     """
 
-    def __init__(self, controller, timing: TimingProtectionConfig) -> None:
+    def __init__(
+        self,
+        controller,
+        timing: TimingProtectionConfig,
+        bus: EventBus | None = None,
+    ) -> None:
         self.controller = controller
         self.timing = timing
+        if bus is None:
+            bus = getattr(controller, "bus", None) or EventBus()
+        self.bus = bus
         self.controller_free = 0.0
         self.next_slot = 0.0
         self.dummy_requests = 0
@@ -48,6 +59,8 @@ class RequestScheduler:
             launch = max(ready, self.controller_free)
             gap = launch - self.controller_free
             if gap > 0 and self._notes_gaps:
+                if self.bus._subs:
+                    self.bus.now = launch
                 self.controller.note_idle_gap(gap)
             return launch
         rate = self.timing.rate_cycles
@@ -55,6 +68,10 @@ class RequestScheduler:
             slot = max(self.next_slot, self.controller_free)
             self.next_slot = slot + rate
             if ready <= slot:
+                if self.bus._subs:
+                    self.bus.emit(
+                        SlotAligned(ready=ready, slot=slot, wait=slot - ready)
+                    )
                 return slot
             result = self.controller.dummy_access(slot)
             self.controller_free = result.finish

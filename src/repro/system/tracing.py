@@ -6,6 +6,12 @@ was the access advanced?  This module provides a :class:`RequestTracer`
 that records one structured row per LLC miss and writes standard CSV —
 enough to plot custom figures or feed external analysis without touching
 simulator internals.
+
+The tracer is a plain :mod:`repro.obs` bus subscriber: attach one with
+:meth:`RequestTracer.subscribed` and every completed controller access is
+recorded automatically, including full-system runs where the simulator
+owns the controller.  The older direct :meth:`RequestTracer.record` API
+remains for driving a controller by hand.
 """
 
 from __future__ import annotations
@@ -14,7 +20,21 @@ import csv
 from dataclasses import dataclass, fields
 from typing import IO, Iterable
 
+from repro.obs.events import EventBus, RequestCompleted
 from repro.oram.tiny import AccessResult
+
+_TRUE_STRINGS = frozenset({"true", "1", "yes", "y", "t"})
+_FALSE_STRINGS = frozenset({"false", "0", "no", "n", "f", ""})
+
+
+def _parse_bool(text: str) -> bool:
+    """Parse a round-tripped boolean cell robustly (not just ``"True"``)."""
+    norm = text.strip().lower()
+    if norm in _TRUE_STRINGS:
+        return True
+    if norm in _FALSE_STRINGS:
+        return False
+    raise ValueError(f"cannot parse boolean CSV cell {text!r}")
 
 
 @dataclass(slots=True)
@@ -37,6 +57,11 @@ class RequestRecord:
         data_ready = result.data_ready if result.data_ready is not None else (
             result.finish
         )
+        served_from = result.served_from
+        if served_from is None:
+            # Only actual dummy requests are labelled "dummy"; a real
+            # request whose result lacks a source is recorded as unknown.
+            served_from = "dummy" if result.op == "dummy" else "unknown"
         return RequestRecord(
             index=index,
             addr=result.addr,
@@ -44,7 +69,7 @@ class RequestRecord:
             issue=result.issue,
             data_ready=data_ready,
             finish=result.finish,
-            served_from=result.served_from or "dummy",
+            served_from=served_from,
             advanced=result.served_from == "shadow_path",
             evicted=result.evicted,
             latency=data_ready - result.issue,
@@ -56,6 +81,23 @@ class RequestTracer:
 
     def __init__(self) -> None:
         self.records: list[RequestRecord] = []
+
+    @classmethod
+    def subscribed(cls, bus: EventBus) -> "RequestTracer":
+        """Create a tracer fed by the observability bus.
+
+        Every :class:`~repro.obs.events.RequestCompleted` event (one per
+        controller access, dummies included) becomes a record — this is
+        how per-request traces are captured from full-system runs.
+        """
+        tracer = cls()
+        bus.subscribe(tracer._on_completed, RequestCompleted)
+        return tracer
+
+    def _on_completed(self, event: RequestCompleted) -> None:
+        # RequestCompleted carries the AccessResult field subset that
+        # from_result reads, so it ducks in directly.
+        self.records.append(RequestRecord.from_result(len(self.records), event))
 
     def record(self, result: AccessResult) -> None:
         """Append one access result to the trace."""
@@ -108,8 +150,8 @@ class RequestTracer:
                     data_ready=float(row["data_ready"]),
                     finish=float(row["finish"]),
                     served_from=row["served_from"],
-                    advanced=row["advanced"] == "True",
-                    evicted=row["evicted"] == "True",
+                    advanced=_parse_bool(row["advanced"]),
+                    evicted=_parse_bool(row["evicted"]),
                     latency=float(row["latency"]),
                 )
             )

@@ -1,0 +1,197 @@
+"""EventBus mechanics and event-stream invariants on seeded runs."""
+
+from random import Random
+
+import pytest
+
+from repro.core.config import ShadowConfig
+from repro.core.controller import ShadowOramController
+from repro.obs.events import (
+    BlockServed,
+    DummyIssued,
+    DuplicationPlaced,
+    EventBus,
+    EvictionPerformed,
+    PartitionAdjusted,
+    PathReadFinished,
+    PathReadStarted,
+    RequestCompleted,
+    StashOccupancy,
+    event_to_dict,
+)
+from repro.oram.config import OramConfig
+from repro.system.config import SystemConfig
+from repro.system.simulator import simulate
+
+CFG = OramConfig(levels=6, z=5, a=5, utilization=0.25, stash_capacity=200)
+
+
+class TestEventBus:
+    def test_no_subscribers_is_falsy_fast_path(self):
+        bus = EventBus()
+        assert not bus._subs
+        assert not bus.active
+
+    def test_subscribe_receives_all_events(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit(StashOccupancy(real=1, shadow=0, ts=0.0))
+        bus.emit(DummyIssued(leaf=3, ts=1.0, finish=2.0))
+        assert len(seen) == 2
+
+    def test_typed_subscription_filters(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, DummyIssued)
+        bus.emit(StashOccupancy(real=1, shadow=0, ts=0.0))
+        bus.emit(DummyIssued(leaf=3, ts=1.0, finish=2.0))
+        assert len(seen) == 1
+        assert isinstance(seen[0], DummyIssued)
+
+    def test_unsubscribe_plain_and_typed(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.subscribe(seen.append, DummyIssued)
+        bus.unsubscribe(seen.append)  # removes the plain registration
+        bus.unsubscribe(seen.append)  # removes the typed registration
+        bus.emit(DummyIssued(leaf=0, ts=0.0, finish=1.0))
+        assert not seen
+        assert not bus.active
+
+    def test_event_to_dict_has_type_discriminator(self):
+        event = DummyIssued(leaf=7, ts=1.0, finish=2.0)
+        record = event_to_dict(event)
+        assert record == {
+            "type": "DummyIssued", "leaf": 7, "ts": 1.0, "finish": 2.0,
+        }
+
+    def test_events_are_immutable(self):
+        event = StashOccupancy(real=1, shadow=2, ts=3.0)
+        with pytest.raises(AttributeError):
+            event.real = 9
+
+
+def collect_run(tp=False, requests=4000, workload="mcf"):
+    bus = EventBus()
+    events = []
+    bus.subscribe(events.append)
+    config = SystemConfig.dynamic(3, oram=OramConfig(levels=8))
+    if tp:
+        config = config.with_timing_protection(800)
+    result = simulate(config, workload, num_requests=requests, bus=bus)
+    return events, result
+
+
+class TestRunInvariants:
+    """Event-ordering invariants over a seeded full-system run."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        return collect_run(tp=True)
+
+    def test_every_path_read_started_has_a_finish(self, run):
+        events, _ = run
+        started = [e for e in events if isinstance(e, PathReadStarted)]
+        finished = [e for e in events if isinstance(e, PathReadFinished)]
+        assert len(started) == len(finished) > 0
+        by_purpose = {}
+        for e in started:
+            by_purpose[e.purpose] = by_purpose.get(e.purpose, 0) + 1
+        for e in finished:
+            by_purpose[e.purpose] -= 1
+        assert all(v == 0 for v in by_purpose.values())
+
+    def test_path_reads_pair_in_order(self, run):
+        events, _ = run
+        open_reads = 0
+        for e in events:
+            if isinstance(e, PathReadStarted):
+                open_reads += 1
+            elif isinstance(e, PathReadFinished):
+                open_reads -= 1
+                assert open_reads >= 0, "Finished before any Started"
+        assert open_reads == 0
+
+    def test_block_served_sources_sum_to_llc_misses(self, run):
+        events, result = run
+        served = [e for e in events if isinstance(e, BlockServed)]
+        assert len(served) == result.llc_misses
+        allowed = {"stash", "shadow_stash", "treetop", "shadow_path", "path"}
+        assert {e.source for e in served} <= allowed
+
+    def test_onchip_flags_match_result(self, run):
+        events, result = run
+        served = [e for e in events if isinstance(e, BlockServed)]
+        assert sum(e.onchip for e in served) == result.onchip_hits
+        shadow_path = [e for e in served if e.source == "shadow_path"]
+        assert len(shadow_path) == result.shadow_path_serves
+        # Early-forwarded serves come from a real tree level.
+        assert all(e.level >= 0 for e in shadow_path)
+
+    def test_dummy_count_matches_result(self, run):
+        events, result = run
+        dummies = [e for e in events if isinstance(e, DummyIssued)]
+        assert len(dummies) == result.dummy_requests
+
+    def test_request_completed_covers_all_accesses(self, run):
+        events, result = run
+        completed = [e for e in events if isinstance(e, RequestCompleted)]
+        data = [e for e in completed if e.op != "dummy"]
+        assert len(data) == result.llc_misses
+        real = [e for e in data if e.path_accesses > 0]
+        assert len(real) == result.real_requests
+
+    def test_eviction_rate_matches_protocol(self, run):
+        events, result = run
+        evictions = [e for e in events if isinstance(e, EvictionPerformed)]
+        path_reads = [
+            e for e in events
+            if isinstance(e, PathReadStarted) and e.purpose != "eviction"
+        ]
+        # One RW eviction per A=5 RO accesses (within rounding).
+        assert len(evictions) == len(path_reads) // 5
+
+    def test_partition_adjustments_reported(self, run):
+        events, _ = run
+        adjustments = [e for e in events if isinstance(e, PartitionAdjusted)]
+        assert adjustments, "a dynamic run must adjust its partition"
+        for e in adjustments:
+            assert abs(e.new_level - e.old_level) == 1
+            assert 0 <= e.counter <= 7
+
+
+class TestControllerLevelEvents:
+    def test_duplication_events_respect_partition(self):
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append, DuplicationPlaced)
+        ctl = ShadowOramController(
+            CFG, Random(7), ShadowConfig.static(3), bus=bus
+        )
+        rng = Random(8)
+        for _ in range(400):
+            ctl.access(rng.randrange(ctl.num_blocks))
+        assert events
+        for e in events:
+            if e.kind == "hd":
+                assert e.level < 3
+            else:
+                assert e.kind == "rd"
+                assert e.level >= 3
+        assert len(events) == ctl.shadow_stats.dummy_slots_filled
+
+    def test_unsubscribed_bus_emits_nothing_and_changes_nothing(self):
+        plain = ShadowOramController(CFG, Random(7), ShadowConfig.static(3))
+        bussed = ShadowOramController(
+            CFG, Random(7), ShadowConfig.static(3), bus=EventBus()
+        )
+        rng_a, rng_b = Random(9), Random(9)
+        for _ in range(300):
+            addr = rng_a.randrange(plain.num_blocks)
+            assert addr == rng_b.randrange(bussed.num_blocks)
+            ra = plain.access(addr)
+            rb = bussed.access(addr)
+            assert (ra.served_from, ra.evicted) == (rb.served_from, rb.evicted)
+        assert plain.stats == bussed.stats

@@ -1,0 +1,140 @@
+"""Metrics registry units and metrics-vs-SimulationResult consistency."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.events import EventBus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+)
+from repro.oram.config import OramConfig
+from repro.system.config import SystemConfig
+from repro.system.simulator import simulate
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.to_dict() == 5
+
+    def test_gauge_watermarks(self):
+        g = Gauge()
+        for v in (3.0, 9.0, 1.0):
+            g.set(v)
+        d = g.to_dict()
+        assert d["value"] == 1.0
+        assert d["min"] == 1.0
+        assert d["max"] == 9.0
+        assert d["updates"] == 3
+
+    def test_empty_gauge_serialises(self):
+        assert Gauge().to_dict()["updates"] == 0
+
+    def test_histogram_bucketing(self):
+        h = Histogram([1.0, 10.0, 100.0])
+        for v in (0.5, 1.0, 5.0, 50.0, 5000.0):
+            h.observe(v)
+        # inclusive upper bounds: 1.0 lands in the first bucket
+        assert h.counts == [2, 1, 1, 1]
+        assert h.total == 5
+        assert h.sum == pytest.approx(5056.5)
+        assert h.mean == pytest.approx(1011.3)
+
+    def test_histogram_quantiles(self):
+        h = Histogram([1.0, 10.0, 100.0])
+        for _ in range(99):
+            h.observe(5.0)
+        h.observe(5000.0)
+        assert h.quantile(0.5) == 10.0
+        assert h.quantile(1.0) == float("inf")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+        with pytest.raises(ValueError):
+            Histogram([10.0, 1.0])
+
+
+class TestRegistry:
+    def test_idempotent_creation(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+        assert reg.histogram("z", [1.0]) is reg.histogram("z")
+
+    def test_histogram_requires_bounds_on_first_use(self):
+        with pytest.raises(KeyError):
+            MetricsRegistry().histogram("missing")
+
+    def test_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("a/b").inc(3)
+        reg.gauge("c").set(1.5)
+        reg.histogram("h", [10.0]).observe(4.0)
+        stream = io.StringIO()
+        reg.write_json(stream, run="test")
+        payload = json.loads(stream.getvalue())
+        assert payload["run"] == "test"
+        assert payload["counters"]["a/b"] == 3
+        assert payload["gauges"]["c"]["value"] == 1.5
+        assert payload["histograms"]["h"]["total"] == 1
+
+
+def run_with_collector(tp: bool):
+    bus = EventBus()
+    collector = MetricsCollector(bus)
+    config = SystemConfig.dynamic(3, oram=OramConfig(levels=8))
+    if tp:
+        config = config.with_timing_protection(800)
+    result = simulate(config, "mcf", num_requests=4000, bus=bus)
+    return collector.to_dict(), result
+
+
+class TestResultConsistency:
+    """The acceptance criterion: metrics JSON == SimulationResult counters."""
+
+    @pytest.mark.parametrize("tp", [False, True], ids=["no-tp", "tp"])
+    def test_counters_match_simulation_result(self, tp):
+        metrics, result = run_with_collector(tp)
+        counters = metrics["counters"]
+        assert counters["requests/data"] == result.llc_misses
+        assert counters["requests/real_oram"] == result.real_requests
+        assert counters.get("requests/dummy", 0) == result.dummy_requests
+        assert counters.get("served/onchip", 0) == result.onchip_hits
+        assert counters.get("served/shadow_path", 0) == result.shadow_path_serves
+
+    def test_served_sources_partition_the_misses(self):
+        metrics, result = run_with_collector(tp=True)
+        counters = metrics["counters"]
+        total_served = sum(
+            counters.get(f"served/{source}", 0)
+            for source in ("stash", "shadow_stash", "treetop",
+                           "shadow_path", "path")
+        )
+        assert total_served == result.llc_misses
+
+    def test_latency_histogram_covers_every_data_request(self):
+        metrics, result = run_with_collector(tp=True)
+        hist = metrics["histograms"]["latency/data_request"]
+        assert hist["total"] == result.llc_misses
+        # The histogram measures launch-to-data latency; the result's mean
+        # additionally includes the wait for the controller/slot, so it is
+        # an upper bound.
+        assert 0 < hist["mean"] <= result.mean_data_latency + 1e-9
+
+    def test_occupancy_and_dri_histograms_populated(self):
+        metrics, _ = run_with_collector(tp=True)
+        assert metrics["histograms"]["stash/real_occupancy"]["total"] > 0
+        assert metrics["histograms"]["dri/interval"]["total"] > 0
+        assert metrics["gauges"]["partition/level"]["updates"] > 0

@@ -1,0 +1,48 @@
+"""No-subscriber overhead smoke test.
+
+The observability layer must be effectively free when nobody subscribes:
+every emission site is guarded by a single ``if not bus._subs`` check, so
+running with an explicitly supplied (but unsubscribed) bus must cost the
+same as running with the internally created default bus.  This is a smoke
+test with a deliberately loose bound — the calibrated 3% comparison
+against the benchmark settings lives in ``benchmarks/test_obs_overhead.py``.
+"""
+
+import time
+
+from repro.obs.events import EventBus
+from repro.oram.config import OramConfig
+from repro.system.config import SystemConfig
+from repro.system.simulator import build_miss_trace, simulate
+
+CONFIG = SystemConfig.dynamic(3, oram=OramConfig(levels=8))
+REQUESTS = 4000
+
+
+def timed_run(bus):
+    start = time.perf_counter()
+    result = simulate(CONFIG, "mcf", num_requests=REQUESTS, bus=bus)
+    return time.perf_counter() - start, result
+
+
+def test_unsubscribed_bus_adds_no_measurable_overhead():
+    build_miss_trace.cache_clear()
+    timed_run(None)  # warm the miss-trace cache and the interpreter
+    baseline = min(timed_run(None)[0] for _ in range(3))
+    with_bus = min(timed_run(EventBus())[0] for _ in range(3))
+    # Identical code path either way; generous bound absorbs timer noise.
+    assert with_bus <= baseline * 1.5 + 0.05, (
+        f"unsubscribed bus run took {with_bus:.3f}s vs baseline "
+        f"{baseline:.3f}s"
+    )
+
+
+def test_unsubscribed_and_subscribed_runs_are_deterministically_equal():
+    bus = EventBus()
+    events = []
+    bus.subscribe(events.append)
+    subscribed = simulate(CONFIG, "mcf", num_requests=REQUESTS, bus=bus)
+    plain = simulate(CONFIG, "mcf", num_requests=REQUESTS)
+    assert events, "subscribed run produced no events"
+    # Observation must not perturb the simulation itself.
+    assert subscribed == plain

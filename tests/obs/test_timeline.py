@@ -1,0 +1,77 @@
+"""Perfetto/Chrome trace-event export validity."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.events import EventBus
+from repro.obs.timeline import PID_CORES, PID_ORAM, TimelineBuilder
+from repro.oram.config import OramConfig
+from repro.system.config import SystemConfig
+from repro.system.simulator import simulate
+
+
+@pytest.fixture(scope="module")
+def trace():
+    bus = EventBus()
+    builder = TimelineBuilder(bus)
+    config = SystemConfig.dynamic(
+        3, oram=OramConfig(levels=8)
+    ).with_timing_protection(800)
+    simulate(config, "mcf", num_requests=4000, bus=bus)
+    stream = io.StringIO()
+    builder.write(stream)
+    return json.loads(stream.getvalue())
+
+
+class TestChromeTraceExport:
+    def test_is_valid_chrome_trace_json(self, trace):
+        assert isinstance(trace["traceEvents"], list)
+        assert trace["traceEvents"]
+        for event in trace["traceEvents"]:
+            assert event["ph"] in ("X", "M", "C")
+            if event["ph"] == "X":
+                assert event["ts"] >= 0
+                assert event["dur"] >= 0
+
+    def test_expected_tracks_present(self, trace):
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        pids = {e["pid"] for e in slices}
+        assert PID_CORES in pids, "per-core request track missing"
+        assert PID_ORAM in pids, "ORAM bus/scheduler track missing"
+        names = {e["name"] for e in slices}
+        assert any(n.startswith("path read") for n in names)
+        assert "dummy request" in names
+        assert "eviction" in names
+
+    def test_track_metadata_names(self, trace):
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"CPU cores", "ORAM controller", "oram bus", "scheduler"} <= names
+        assert "core 0" in names
+
+    def test_monotone_ts_per_track(self, trace):
+        last = {}
+        for event in trace["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            key = (event["pid"], event["tid"])
+            assert event["ts"] >= last.get(key, 0.0), f"ts regressed on {key}"
+            last[key] = event["ts"]
+
+    def test_counter_tracks_present(self, trace):
+        counters = {e["name"] for e in trace["traceEvents"] if e["ph"] == "C"}
+        assert "partition level" in counters
+        assert "stash occupancy" in counters
+
+    def test_request_slices_carry_source(self, trace):
+        requests = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == PID_CORES
+        ]
+        assert requests
+        allowed = {"stash", "shadow_stash", "treetop", "shadow_path",
+                   "path", "unknown"}
+        for e in requests:
+            assert e["args"]["source"] in allowed

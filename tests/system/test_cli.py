@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_config, main, make_parser
@@ -65,3 +67,62 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             make_parser().parse_args([])
+
+
+class TestObservabilityFlags:
+    def test_run_writes_all_observability_outputs(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.json"
+        adversary = tmp_path / "adversary.jsonl"
+        code = main([
+            "run", "--scheme", "dynamic-3", "--workload", "namd",
+            "--requests", "1200", "--levels", "9", "--timing-protection",
+            "--trace", str(trace),
+            "--events", str(events),
+            "--metrics", str(metrics),
+            "--adversary-trace", str(adversary),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote metrics (JSON)" in out
+
+        payload = json.loads(metrics.read_text())
+        assert payload["counters"]["requests/data"] > 0
+        assert payload["config"].startswith("dynamic-3")
+
+        trace_doc = json.loads(trace.read_text())
+        assert trace_doc["traceEvents"]
+
+        event_lines = events.read_text().splitlines()
+        assert json.loads(event_lines[0])["type"] == "run_metadata"
+        assert any(
+            json.loads(line)["type"] == "RequestCompleted"
+            for line in event_lines[1:]
+        )
+
+        adversary_lines = adversary.read_text().splitlines()
+        assert json.loads(adversary_lines[0])["type"] == "run_metadata"
+        record = json.loads(adversary_lines[1])
+        assert record["type"] == "path_access"
+        assert set(record) >= {"kind", "leaf", "time"}
+
+    def test_run_without_flags_writes_nothing(self, tmp_path, capsys):
+        code = main([
+            "run", "--scheme", "tiny", "--workload", "namd",
+            "--requests", "600", "--levels", "9",
+        ])
+        assert code == 0
+        assert "wrote" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_profile_command(self, capsys):
+        code = main([
+            "profile", "--workload", "namd", "--requests", "800",
+            "--levels", "9",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "oram access" in out
+        assert "trace build" in out
+        assert "host time" in out

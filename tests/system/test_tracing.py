@@ -3,10 +3,14 @@
 import io
 from random import Random
 
+import pytest
+
 from repro.core.config import ShadowConfig
 from repro.core.controller import ShadowOramController
+from repro.obs.events import EventBus
 from repro.oram.config import OramConfig
-from repro.system.tracing import RequestTracer, trace_workload
+from repro.oram.tiny import AccessResult
+from repro.system.tracing import RequestRecord, RequestTracer, trace_workload
 
 CFG = OramConfig(levels=6, utilization=0.25, stash_capacity=200)
 
@@ -44,6 +48,66 @@ class TestTracer:
         tracer = RequestTracer()
         assert tracer.mean_latency() == 0.0
         assert tracer.advanced_fraction() == 0.0
+
+
+def make_result(op="read", served_from="path"):
+    return AccessResult(
+        addr=3 if op != "dummy" else -1,
+        op=op,
+        served_from=served_from,
+        issue=0.0,
+        data_ready=None if served_from is None else 10.0,
+        finish=20.0,
+    )
+
+
+class TestServedFromLabeling:
+    def test_real_request_without_source_is_unknown_not_dummy(self):
+        record = RequestRecord.from_result(0, make_result(served_from=None))
+        assert record.served_from == "unknown"
+
+    def test_dummy_request_is_labelled_dummy(self):
+        record = RequestRecord.from_result(
+            0, make_result(op="dummy", served_from=None)
+        )
+        assert record.served_from == "dummy"
+
+    def test_real_source_passes_through(self):
+        record = RequestRecord.from_result(0, make_result())
+        assert record.served_from == "path"
+
+
+class TestBusSubscriber:
+    def test_tracer_records_via_bus(self):
+        bus = EventBus()
+        tracer = RequestTracer.subscribed(bus)
+        ctl = ShadowOramController(
+            CFG, Random(4), ShadowConfig.static(3), bus=bus
+        )
+        rng = Random(5)
+        for _ in range(150):
+            ctl.access(rng.randrange(ctl.num_blocks))
+        assert len(tracer) == 150
+        assert sum(tracer.served_from_histogram().values()) == 150
+        for rec in tracer.records:
+            assert rec.finish >= rec.data_ready >= rec.issue
+
+    def test_bus_tracer_matches_manual_tracer(self):
+        bus = EventBus()
+        bus_tracer = RequestTracer.subscribed(bus)
+        ctl = ShadowOramController(
+            CFG, Random(4), ShadowConfig.static(3), bus=bus
+        )
+        manual = RequestTracer()
+        rng = Random(5)
+        now = 0.0
+        for _ in range(100):
+            result = ctl.access(rng.randrange(ctl.num_blocks), now=now)
+            manual.record(result)
+            now = result.finish
+        assert [
+            (r.addr, r.served_from, r.latency) for r in bus_tracer.records
+        ] == [(r.addr, r.served_from, r.latency) for r in manual.records]
 
 
 class TestCsvRoundTrip:
