@@ -1,9 +1,11 @@
 """Shared infrastructure for the figure-regeneration benchmarks.
 
 Every ``test_fig*.py`` file regenerates one table/figure of the paper.
-Simulation runs are cached here (keyed by scheme/workload/protection/
-geometry) because many figures share their baselines — exactly like
-re-using gem5 checkpoints across plots.
+Simulation runs go through the sweep engine
+(:mod:`repro.analysis.engine`): an in-process ``lru_cache`` memoises runs
+shared between figures — exactly like re-using gem5 checkpoints across
+plots — and an optional on-disk :class:`~repro.analysis.cache.ResultCache`
+makes the cache survive *across* benchmark invocations.
 
 Scale knobs (environment variables):
 
@@ -12,6 +14,9 @@ Scale knobs (environment variables):
                                  (default REPRO_BENCH_REQUESTS // 2)
 ``REPRO_BENCH_WORKLOADS`` comma list of workloads (default: all ten)
 ``REPRO_BENCH_SEED``      workload/ORAM seed (default 1)
+``REPRO_BENCH_CACHE_DIR`` on-disk result cache directory (default: no
+                           on-disk cache; runs are only memoised in
+                           process)
 """
 
 from __future__ import annotations
@@ -19,11 +24,12 @@ from __future__ import annotations
 import os
 from functools import lru_cache
 
+from repro.analysis.cache import ResultCache
+from repro.analysis.engine import SweepPoint, SweepRunner
 from repro.cpu.core import CpuConfig
 from repro.oram.config import OramConfig
 from repro.system.config import SystemConfig
 from repro.system.metrics import SimulationResult, geomean
-from repro.system.simulator import simulate
 from repro.workloads.spec import workload_names
 
 N_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "20000"))
@@ -32,6 +38,15 @@ N_SWEEP = int(
 )
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
 DEFAULT_LEVELS = 14
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR")
+
+# One shared runner: benchmarks request points one at a time (pytest-benchmark
+# owns the timing loop), so the runner stays serial; the win here is the
+# on-disk cache, which turns a re-run of the full figure suite into pure
+# cache hits.
+RUNNER = SweepRunner(
+    jobs=1, cache=ResultCache(CACHE_DIR) if CACHE_DIR else None
+)
 
 
 def bench_workloads() -> list[str]:
@@ -102,10 +117,14 @@ def run(
     config = make_config(scheme, tp=tp, levels=levels, treetop=treetop,
                          xor=xor, cpu=cpu)
     n = num_requests if num_requests is not None else N_REQUESTS
-    return simulate(
-        config, workload, num_requests=n, seed=SEED,
+    point = SweepPoint(
+        config=config,
+        workload=workload,
+        num_requests=n,
+        seed=SEED,
         record_progress=record_progress,
     )
+    return RUNNER.run_points([point])[0]
 
 
 def gmean_over(values: list[float]) -> float:

@@ -1,0 +1,386 @@
+"""The sweep engine: parallel execution of simulation grids with caching.
+
+Every figure in the paper is a sweep over (workload × scheme × parameter)
+grid points, and every grid point is an *independent, deterministic* job:
+a serializable :class:`SweepPoint` (full system configuration + workload
++ request count + seed).  :class:`SweepRunner` executes collections of
+points
+
+* **in parallel** across worker processes (``jobs > 1``,
+  ``ProcessPoolExecutor``) — points are shipped to workers as plain
+  dicts via :meth:`SweepPoint.to_job` and results return through
+  ``SimulationResult.from_dict``, so parallel results are bit-identical
+  to serial ones;
+* **through an on-disk cache** (:class:`~repro.analysis.cache.ResultCache`)
+  keyed by the config fingerprint, workload, request count, seed and
+  serialization schema version, so re-running a figure benchmark costs
+  zero ``simulate()`` calls once warm;
+* **observably** — each completed point emits
+  :class:`~repro.obs.events.SweepPointStarted` /
+  :class:`~repro.obs.events.SweepPointFinished` on an optional
+  :class:`~repro.obs.events.EventBus` (the PR-1 observability layer
+  counts them via ``MetricsCollector``) and invokes a per-point progress
+  hook in deterministic grid order.
+
+``repro.analysis.sweep.run_sweep``, ``benchmarks/_support.py`` and the
+``python -m repro sweep`` CLI are all thin layers over this module; so is
+any future scaling work (sharded grids, multi-host dispatch), which only
+needs to replace the executor.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Iterable, Sequence
+
+from repro.analysis.cache import ResultCache
+from repro.obs.events import EventBus, SweepPointFinished, SweepPointStarted
+from repro.obs.metrics import MetricsRegistry
+from repro.serialize import SCHEMA_VERSION
+from repro.system.config import SystemConfig
+from repro.system.metrics import NormalizedResult, SimulationResult, geomean
+from repro.system.simulator import simulate
+
+ProgressHook = Callable[[str, str, SimulationResult], None]
+
+
+# ----------------------------------------------------------------------
+# Jobs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: everything a worker needs to reproduce a run."""
+
+    config: SystemConfig
+    workload: str
+    num_requests: int
+    seed: int
+    record_progress: bool = False
+
+    @property
+    def scheme(self) -> str:
+        return self.config.name
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}/{self.config.name}"
+
+    def cache_key(self) -> str:
+        """Key under which this point's result is cached on disk."""
+        return ResultCache.key(
+            self.config.fingerprint(),
+            self.workload,
+            self.num_requests,
+            self.seed,
+            record_progress=self.record_progress,
+        )
+
+    # ------------------------------------------------------------------
+    def to_job(self) -> dict[str, object]:
+        """Serialize for shipping to a worker process."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "config": self.config.to_dict(),
+            "workload": self.workload,
+            "num_requests": self.num_requests,
+            "seed": self.seed,
+            "record_progress": self.record_progress,
+        }
+
+    @classmethod
+    def from_job(cls, job: dict[str, object]) -> "SweepPoint":
+        """Rebuild a point from :meth:`to_job` output."""
+        return cls(
+            config=SystemConfig.from_dict(job["config"]),
+            workload=job["workload"],
+            num_requests=job["num_requests"],
+            seed=job["seed"],
+            record_progress=bool(job.get("record_progress", False)),
+        )
+
+
+def execute_point(point: SweepPoint) -> SimulationResult:
+    """Run one grid point in-process (the serial execution path)."""
+    return simulate(
+        point.config,
+        point.workload,
+        num_requests=point.num_requests,
+        seed=point.seed,
+        record_progress=point.record_progress,
+    )
+
+
+def _execute_job(job: dict[str, object]) -> dict[str, object]:
+    """Worker-process entry point: dict in, dict out (picklable both ways)."""
+    start = perf_counter()
+    result = execute_point(SweepPoint.from_job(job))
+    return {"result": result.to_dict(), "elapsed_s": perf_counter() - start}
+
+
+def build_grid(
+    configs: Sequence[SystemConfig],
+    workloads: Iterable[str],
+    num_requests: int,
+    seed: int = 1,
+) -> list[SweepPoint]:
+    """The standard figure grid: workloads outer, schemes inner.
+
+    Every point carries its seed explicitly, so the grid is a complete,
+    deterministic description of the sweep — the same base seed is used
+    for every point (schemes must share their miss traces for the
+    normalisations of Figures 8/9/13/14 to be meaningful).
+    """
+    return [
+        SweepPoint(
+            config=config, workload=workload, num_requests=num_requests, seed=seed
+        )
+        for workload in workloads
+        for config in configs
+    ]
+
+
+# ----------------------------------------------------------------------
+# Sweep results (indexable collection the figure benchmarks consume)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class SweepResult:
+    """All runs of one sweep, indexed by (workload, scheme)."""
+
+    results: dict[tuple[str, str], SimulationResult]
+
+    def get(self, workload: str, scheme: str) -> SimulationResult:
+        return self.results[(workload, scheme)]
+
+    def schemes(self) -> list[str]:
+        return sorted({scheme for _w, scheme in self.results})
+
+    def workloads(self) -> list[str]:
+        seen: list[str] = []
+        for workload, _s in self.results:
+            if workload not in seen:
+                seen.append(workload)
+        return seen
+
+    def normalized(
+        self, baseline_scheme: str
+    ) -> dict[tuple[str, str], NormalizedResult]:
+        """Normalise every run to ``baseline_scheme`` on the same workload."""
+        out = {}
+        for (workload, scheme), result in self.results.items():
+            base = self.results[(workload, baseline_scheme)]
+            out[(workload, scheme)] = result.normalized_to(base)
+        return out
+
+    def geomean_normalized(
+        self, scheme: str, baseline_scheme: str
+    ) -> NormalizedResult:
+        """Geometric-mean normalised metrics of ``scheme`` across workloads."""
+        normalized = self.normalized(baseline_scheme)
+        rows = [normalized[(w, scheme)] for w in self.workloads()]
+        return NormalizedResult(
+            workload="gmean",
+            scheme=scheme,
+            baseline=baseline_scheme,
+            total=geomean([r.total for r in rows]),
+            data=geomean([max(r.data, 1e-9) for r in rows]),
+            interval=geomean([max(r.interval, 1e-9) for r in rows]),
+            energy=geomean([max(r.energy, 1e-9) for r in rows]),
+            speedup=geomean([r.speedup for r in rows]),
+        )
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class _PointOutcome:
+    point: SweepPoint
+    result: SimulationResult
+    cached: bool
+    elapsed_s: float
+
+
+class SweepRunner:
+    """Executes sweep grids with parallelism, caching, and observability.
+
+    Args:
+        jobs: Worker processes.  ``1`` runs everything serially in
+            process; ``None`` or ``0`` means one worker per CPU.  The
+            runner falls back to serial execution (with a warning) if the
+            platform cannot spawn a process pool.
+        cache: On-disk result cache, or ``None`` to always simulate.
+        bus: Observability bus for per-point start/finish events.
+        registry: Metrics registry; the runner maintains ``sweep/points``,
+            ``sweep/cache_hits``, ``sweep/cache_misses`` and
+            ``sweep/executed`` counters on it.
+        hook: Per-point progress callback ``(workload, scheme, result)``,
+            invoked in deterministic grid order.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        cache: ResultCache | None = None,
+        bus: EventBus | None = None,
+        registry: MetricsRegistry | None = None,
+        hook: ProgressHook | None = None,
+    ) -> None:
+        if jobs is None or jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        self.cache = cache
+        self.bus = bus
+        self.registry = registry
+        self.hook = hook
+
+    # ------------------------------------------------------------------
+    def run_points(self, points: Sequence[SweepPoint]) -> list[SimulationResult]:
+        """Execute every point; returns results in point order."""
+        total = len(points)
+        outcomes: list[_PointOutcome | None] = [None] * total
+
+        # Cache pass: resolve warm points without touching the executor.
+        pending: list[int] = []
+        for i, point in enumerate(points):
+            self._emit_started(point, i, total)
+            cached = self._lookup(point)
+            if cached is not None:
+                outcomes[i] = _PointOutcome(point, cached, True, 0.0)
+            else:
+                pending.append(i)
+
+        for i, result, elapsed in self._execute(points, pending):
+            outcomes[i] = _PointOutcome(points[i], result, False, elapsed)
+            self._store(points[i], result)
+
+        results: list[SimulationResult] = []
+        for i, outcome in enumerate(outcomes):
+            assert outcome is not None, f"point {i} never resolved"
+            self._emit_finished(outcome, i, total)
+            results.append(outcome.result)
+        return results
+
+    def run_grid(
+        self,
+        configs: Sequence[SystemConfig],
+        workloads: Iterable[str],
+        num_requests: int,
+        seed: int = 1,
+    ) -> SweepResult:
+        """Run the full (workload × config) grid and index the results."""
+        points = build_grid(configs, workloads, num_requests, seed=seed)
+        results = self.run_points(points)
+        return SweepResult(
+            {
+                (p.workload, p.scheme): result
+                for p, result in zip(points, results)
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _execute(
+        self, points: Sequence[SweepPoint], pending: list[int]
+    ) -> list[tuple[int, SimulationResult, float]]:
+        if not pending:
+            return []
+        if self.jobs > 1 and len(pending) > 1:
+            parallel = self._execute_parallel(points, pending)
+            if parallel is not None:
+                return parallel
+        out = []
+        for i in pending:
+            start = perf_counter()
+            out.append((i, execute_point(points[i]), perf_counter() - start))
+        return out
+
+    def _execute_parallel(
+        self, points: Sequence[SweepPoint], pending: list[int]
+    ) -> list[tuple[int, SimulationResult, float]] | None:
+        """Fan pending points out to worker processes.
+
+        Returns ``None`` when a process pool cannot be created (restricted
+        sandboxes, missing semaphores) so the caller falls back to serial.
+        """
+        workers = min(self.jobs, len(pending))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    (i, pool.submit(_execute_job, points[i].to_job()))
+                    for i in pending
+                ]
+                out = []
+                for i, future in futures:
+                    payload = future.result()
+                    out.append(
+                        (
+                            i,
+                            SimulationResult.from_dict(payload["result"]),
+                            payload["elapsed_s"],
+                        )
+                    )
+                return out
+        except (OSError, PermissionError, NotImplementedError) as exc:
+            warnings.warn(
+                f"sweep engine: process pool unavailable ({exc!r}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+
+    # ------------------------------------------------------------------
+    # Cache + observability plumbing
+    # ------------------------------------------------------------------
+    def _lookup(self, point: SweepPoint) -> SimulationResult | None:
+        if self.cache is None:
+            return None
+        return self.cache.get(point.cache_key())
+
+    def _store(self, point: SweepPoint, result: SimulationResult) -> None:
+        if self.cache is not None:
+            self.cache.put(point.cache_key(), result)
+
+    def _emit_started(self, point: SweepPoint, index: int, total: int) -> None:
+        bus = self.bus
+        if bus is not None and bus._subs:
+            bus.emit(
+                SweepPointStarted(
+                    workload=point.workload,
+                    scheme=point.scheme,
+                    index=index,
+                    total=total,
+                )
+            )
+
+    def _emit_finished(
+        self, outcome: _PointOutcome, index: int, total: int
+    ) -> None:
+        point = outcome.point
+        if self.registry is not None:
+            self.registry.counter("sweep/points").inc()
+            if outcome.cached:
+                self.registry.counter("sweep/cache_hits").inc()
+            else:
+                self.registry.counter("sweep/executed").inc()
+                if self.cache is not None:
+                    self.registry.counter("sweep/cache_misses").inc()
+        bus = self.bus
+        if bus is not None and bus._subs:
+            bus.emit(
+                SweepPointFinished(
+                    workload=point.workload,
+                    scheme=point.scheme,
+                    index=index,
+                    total=total,
+                    cached=outcome.cached,
+                    elapsed_s=outcome.elapsed_s,
+                )
+            )
+        if self.hook is not None:
+            self.hook(point.workload, point.scheme, outcome.result)

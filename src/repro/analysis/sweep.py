@@ -1,62 +1,24 @@
 """Parameter-sweep drivers used by the figure benchmarks.
 
 Every figure in the paper's evaluation is a sweep over either workloads,
-partition levels, counter widths, CPU types or ORAM sizes; this module
-centralises the looping/normalisation so each benchmark file stays a
-declarative description of its figure.
+partition levels, counter widths, CPU types or ORAM sizes.  The actual
+looping, parallelism and caching live in
+:mod:`repro.analysis.engine`; this module keeps the historical
+:func:`run_sweep` entry point (and re-exports :class:`SweepResult`) so
+each benchmark file stays a declarative description of its figure.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.analysis.cache import ResultCache
+from repro.analysis.engine import SweepResult, SweepRunner
+from repro.obs.events import EventBus
 from repro.system.config import SystemConfig
-from repro.system.metrics import NormalizedResult, SimulationResult, geomean
-from repro.system.simulator import simulate
+from repro.system.metrics import SimulationResult
 
-
-@dataclass(slots=True)
-class SweepResult:
-    """All runs of one sweep, indexed by (workload, scheme)."""
-
-    results: dict[tuple[str, str], SimulationResult]
-
-    def get(self, workload: str, scheme: str) -> SimulationResult:
-        return self.results[(workload, scheme)]
-
-    def schemes(self) -> list[str]:
-        return sorted({scheme for _w, scheme in self.results})
-
-    def workloads(self) -> list[str]:
-        seen: list[str] = []
-        for workload, _s in self.results:
-            if workload not in seen:
-                seen.append(workload)
-        return seen
-
-    def normalized(self, baseline_scheme: str) -> dict[tuple[str, str], NormalizedResult]:
-        """Normalise every run to ``baseline_scheme`` on the same workload."""
-        out = {}
-        for (workload, scheme), result in self.results.items():
-            base = self.results[(workload, baseline_scheme)]
-            out[(workload, scheme)] = result.normalized_to(base)
-        return out
-
-    def geomean_normalized(self, scheme: str, baseline_scheme: str) -> NormalizedResult:
-        """Geometric-mean normalised metrics of ``scheme`` across workloads."""
-        normalized = self.normalized(baseline_scheme)
-        rows = [normalized[(w, scheme)] for w in self.workloads()]
-        return NormalizedResult(
-            workload="gmean",
-            scheme=scheme,
-            baseline=baseline_scheme,
-            total=geomean([r.total for r in rows]),
-            data=geomean([max(r.data, 1e-9) for r in rows]),
-            interval=geomean([max(r.interval, 1e-9) for r in rows]),
-            energy=geomean([max(r.energy, 1e-9) for r in rows]),
-            speedup=geomean([r.speedup for r in rows]),
-        )
+__all__ = ["SweepResult", "run_sweep"]
 
 
 def run_sweep(
@@ -65,13 +27,25 @@ def run_sweep(
     num_requests: int,
     seed: int = 1,
     hook: Callable[[str, str, SimulationResult], None] | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    bus: EventBus | None = None,
 ) -> SweepResult:
-    """Run every (config, workload) pair and collect the results."""
-    results: dict[tuple[str, str], SimulationResult] = {}
-    for workload in workloads:
-        for config in configs:
-            result = simulate(config, workload, num_requests=num_requests, seed=seed)
-            results[(workload, config.name)] = result
-            if hook is not None:
-                hook(workload, config.name, result)
-    return SweepResult(results)
+    """Run every (config, workload) pair and collect the results.
+
+    Args:
+        configs: Scheme/parameter points (the inner grid axis).
+        workloads: Workload names (the outer grid axis).
+        num_requests: Memory instructions generated per core.
+        seed: Base seed shared by every point (schemes must share miss
+            traces for per-workload normalisation to be meaningful).
+        hook: Per-point progress callback ``(workload, scheme, result)``,
+            invoked in deterministic grid order.
+        jobs: Worker processes (``1`` = serial; ``0``/``None`` = one per
+            CPU).  Parallel results are bit-identical to serial.
+        cache: Optional on-disk :class:`ResultCache`; warm points skip
+            simulation entirely.
+        bus: Optional observability bus receiving per-point events.
+    """
+    runner = SweepRunner(jobs=jobs, cache=cache, bus=bus, hook=hook)
+    return runner.run_grid(configs, workloads, num_requests, seed=seed)

@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro run --trace out.json --events out.jsonl --metrics out.json
     python -m repro profile --workload mcf --requests 20000
     python -m repro compare --workload h264ref --timing-protection
+    python -m repro sweep --workloads mcf,libquantum --schemes insecure,tiny,dynamic-3 --jobs 4
     python -m repro workloads
     python -m repro overhead
 
@@ -22,8 +23,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.cache import ResultCache
 from repro.analysis.report import format_table
+from repro.analysis.sweep import run_sweep
 from repro.core.config import ShadowConfig
+from repro.obs.events import SweepPointFinished
 from repro.obs import (
     AdversaryTraceWriter,
     EventBus,
@@ -188,6 +192,70 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    if not schemes:
+        raise SystemExit("--schemes must name at least one scheme")
+    if args.workloads.strip().lower() == "all":
+        workloads = workload_names()
+    else:
+        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        unknown = [w for w in workloads if w not in workload_names()]
+        if unknown:
+            raise SystemExit(
+                f"unknown workloads: {', '.join(unknown)}; "
+                f"known: {', '.join(workload_names())}"
+            )
+
+    configs = []
+    for scheme in schemes:
+        sub = argparse.Namespace(**vars(args))
+        sub.scheme = scheme
+        if scheme == "insecure":
+            sub.timing_protection = False
+        configs.append(build_config(sub))
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    bus = EventBus()
+
+    def progress(event: SweepPointFinished) -> None:
+        status = "cached" if event.cached else f"{event.elapsed_s:.2f}s"
+        print(f"[{event.index + 1}/{event.total}] "
+              f"{event.workload}/{event.scheme}: {status}")
+
+    bus.subscribe(progress, SweepPointFinished)
+    sweep = run_sweep(
+        configs, workloads, args.requests,
+        seed=args.seed, jobs=args.jobs, cache=cache, bus=bus,
+    )
+
+    baseline = configs[0].name
+    rows = []
+    for workload in workloads:
+        for config in configs:
+            result = sweep.get(workload, config.name)
+            base = sweep.get(workload, baseline)
+            rows.append([
+                workload,
+                result.scheme,
+                result.total_cycles / 1e6,
+                base.total_cycles / result.total_cycles,
+                result.onchip_hit_rate,
+            ])
+    print(format_table(
+        ["workload", "scheme", "Mcycles", f"speedup vs {baseline}",
+         "on-chip hits"],
+        rows,
+        title=f"Sweep ({len(workloads)} workloads x {len(schemes)} schemes, "
+              f"jobs={args.jobs})",
+    ))
+    if cache is not None:
+        print(f"cache {args.cache_dir}: {cache.hits} hits, "
+              f"{cache.misses} misses, {cache.stores} stored, "
+              f"{len(cache)} entries on disk")
+    return 0
+
+
 def cmd_workloads(_args: argparse.Namespace) -> int:
     rows = [
         [name, WORKLOADS[name].memory_intensity, WORKLOADS[name].description]
@@ -260,6 +328,34 @@ def make_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--width", type=int, default=3,
                        help="DRI counter width for the dynamic scheme")
     cmp_p.set_defaults(fn=cmd_compare)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a (workload x scheme) grid in parallel with result caching",
+    )
+    common(sweep_p)
+    sweep_p.add_argument(
+        "--workloads", default="mcf,libquantum",
+        help="comma-separated workload names, or 'all'",
+    )
+    sweep_p.add_argument(
+        "--schemes", default="insecure,tiny,dynamic-3",
+        help="comma-separated scheme names (first is the speedup baseline)",
+    )
+    sweep_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial, 0 = one per CPU); "
+             "parallel results are bit-identical to serial",
+    )
+    sweep_p.add_argument(
+        "--cache-dir", default=".repro-sweep-cache", metavar="DIR",
+        help="on-disk result cache location",
+    )
+    sweep_p.add_argument(
+        "--no-cache", action="store_true",
+        help="always simulate; do not read or write the result cache",
+    )
+    sweep_p.set_defaults(fn=cmd_sweep)
 
     wl_p = sub.add_parser("workloads", help="list available workloads")
     wl_p.set_defaults(fn=cmd_workloads)

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.serialize import serializable
 
+
+@serializable
 @dataclass(frozen=True, slots=True)
 class ShadowConfig:
     """Parameters of the shadow-block duplication layer.

@@ -35,7 +35,7 @@ from repro.core.partition import (
     PartitionPolicy,
 )
 from repro.core.queues import DupCandidate, hd_queue, rd_queue
-from repro.mem.dram import DramModel
+from repro.mem.dram import DramModel, PathTimer
 from repro.obs.events import DUP_HD, DUP_RD, BlockServed, DuplicationPlaced, EventBus
 from repro.oram.block import Block
 from repro.oram.config import OramConfig
@@ -84,8 +84,11 @@ class ShadowOramController(TinyOramController):
         dram: DramModel | None = None,
         observer: Observer | None = None,
         bus: EventBus | None = None,
+        timer: PathTimer | None = None,
     ) -> None:
-        super().__init__(config, rng, dram=dram, observer=observer, bus=bus)
+        super().__init__(
+            config, rng, dram=dram, observer=observer, bus=bus, timer=timer
+        )
         self.shadow_config = shadow_config or ShadowConfig()
         self.hot_cache = HotAddressCache(
             self.shadow_config.hot_cache_sets,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cpu.trace import LlcMiss, MemoryRequest, MissTrace
+from repro.serialize import serializable
 
 
 class SetAssociativeCache:
@@ -60,6 +61,7 @@ class SetAssociativeCache:
         return line_addr in self._sets[line_addr % self.sets]
 
 
+@serializable
 @dataclass(frozen=True, slots=True)
 class CacheConfig:
     """Cache hierarchy parameters (Table I defaults).

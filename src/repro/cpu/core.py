@@ -20,11 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cpu.trace import LlcMiss
+from repro.serialize import serializable
 
 IN_ORDER = "inorder"
 OUT_OF_ORDER = "o3"
 
 
+@serializable
 @dataclass(frozen=True, slots=True)
 class CpuConfig:
     """Core-model parameters.

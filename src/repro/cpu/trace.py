@@ -38,9 +38,13 @@ class MemoryRequest:
     dependent: bool = True
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class LlcMiss:
     """One LLC miss as presented to the ORAM controller.
+
+    Frozen: miss traces are shared — the simulator's ``build_miss_trace``
+    cache hands the same underlying misses to every scheme/parameter
+    point of a sweep — so a miss must be immutable once built.
 
     Attributes:
         addr: Block address requested from the ORAM.

@@ -24,8 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.mem.layout import SubtreeLayout
+from repro.serialize import serializable
 
 
+@serializable
 @dataclass(frozen=True, slots=True)
 class DramConfig:
     """DDR3-1333 dual-channel configuration (Table I).
@@ -293,4 +295,69 @@ class DramModel:
             finish=done,
             activations=1,
             blocks_on_bus=1,
+        )
+
+
+class PathTimer:
+    """Path-access timing strategy: the treetop / XOR selection seam.
+
+    The ORAM controller asks one question per path access — "when does
+    each block arrive, and when is the access done?" — but *which* DRAM
+    routine answers is a property of the system configuration, not of the
+    protocol: plain streaming reads, XOR-compressed reads (one block on
+    the bus, Section IV-E), treetop caching (top levels never touch DRAM),
+    or the zero-latency functional mode used by the correctness and
+    security suites.  This class owns that selection so the scheduling
+    backend can inject the timing policy instead of the controller
+    re-deriving it inline on every access.
+
+    Args:
+        dram: Timing model, or ``None`` for pure functional simulation
+            (every block arrives instantly at ``now``).
+        levels: Leaf level ``L`` of the tree served.
+        z: Slots per bucket.
+        treetop_levels: Root-ward levels cached on chip; path accesses
+            skip them in DRAM.
+        xor_compression: Serve reads through the Ring-ORAM XOR bandwidth
+            compression model.
+    """
+
+    __slots__ = ("dram", "levels", "z", "treetop_levels", "xor_compression")
+
+    def __init__(
+        self,
+        dram: DramModel | None,
+        levels: int,
+        z: int,
+        treetop_levels: int = 0,
+        xor_compression: bool = False,
+    ) -> None:
+        self.dram = dram
+        self.levels = levels
+        self.z = z
+        self.treetop_levels = treetop_levels
+        self.xor_compression = xor_compression
+
+    def read(self, now: float) -> PathTiming:
+        """Timing of a full path read starting at ``now``."""
+        if self.dram is None:
+            return self._functional(now)
+        if self.xor_compression:
+            return self.dram.read_path_xor(now, self.treetop_levels)
+        return self.dram.read_path(now, self.treetop_levels)
+
+    def write(self, now: float) -> PathTiming:
+        """Timing of a full path write starting at ``now``."""
+        if self.dram is None:
+            return self._functional(now)
+        return self.dram.write_path(now, self.treetop_levels)
+
+    def _functional(self, now: float) -> PathTiming:
+        return PathTiming(
+            start=now,
+            arrival_offsets=[[0.0] * self.z for _ in range(self.levels + 1)],
+            internal_finish=now,
+            finish=now,
+            activations=0,
+            blocks_on_bus=0,
         )

@@ -165,6 +165,32 @@ class HotAddressTouched:
     ts: float
 
 
+@dataclass(slots=True, frozen=True)
+class SweepPointStarted:
+    """The sweep engine picked up one grid point (before cache lookup)."""
+
+    workload: str
+    scheme: str
+    index: int
+    total: int
+
+
+@dataclass(slots=True, frozen=True)
+class SweepPointFinished:
+    """One grid point resolved — from the cache or by simulation.
+
+    ``elapsed_s`` is wall-clock simulation time (``0.0`` for cache hits);
+    unlike the simulator events above it is host time, not model cycles.
+    """
+
+    workload: str
+    scheme: str
+    index: int
+    total: int
+    cached: bool
+    elapsed_s: float
+
+
 EVENT_TYPES: tuple[type, ...] = (
     PathReadStarted,
     PathReadFinished,
@@ -177,6 +203,8 @@ EVENT_TYPES: tuple[type, ...] = (
     DummyIssued,
     SlotAligned,
     HotAddressTouched,
+    SweepPointStarted,
+    SweepPointFinished,
 )
 
 

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.serialize import serializable
 
+
+@serializable
 @dataclass(frozen=True, slots=True)
 class OramConfig:
     """Geometry and protocol parameters of a Tiny ORAM instance.

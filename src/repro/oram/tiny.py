@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from random import Random
 from typing import Callable
 
-from repro.mem.dram import DramModel, PathTiming
+from repro.mem.dram import DramModel, PathTimer, PathTiming
 from repro.obs.events import (
     PURPOSE_DUMMY,
     PURPOSE_EVICTION,
@@ -45,17 +45,6 @@ from repro.oram.tree import OramTree
 ObservedEvent = tuple[str, int, float]
 Observer = Callable[[ObservedEvent], None]
 
-
-def _zero_timing(now: float, config: OramConfig) -> PathTiming:
-    """Functional-mode timing: every block arrives instantly."""
-    return PathTiming(
-        start=now,
-        arrival_offsets=[[0.0] * config.z for _ in range(config.levels + 1)],
-        internal_finish=now,
-        finish=now,
-        activations=0,
-        blocks_on_bus=0,
-    )
 
 # Where an access was served from. "path" = the real block arriving along
 # the read path; "shadow_path" = a shadow copy arriving earlier on the read
@@ -154,6 +143,10 @@ class TinyOramController:
         bus: Observability event bus.  When ``None`` a private bus is
             created; emission sites are no-ops until a subscriber attaches
             (the fast path is a single ``if not bus._subs`` check).
+        timer: Path-access timing strategy.  ``None`` derives the standard
+            one from ``config`` + ``dram`` (treetop/XOR selection lives in
+            :class:`~repro.mem.dram.PathTimer`, not here); the scheduling
+            backend injects its own.
     """
 
     def __init__(
@@ -163,10 +156,22 @@ class TinyOramController:
         dram: DramModel | None = None,
         observer: Observer | None = None,
         bus: EventBus | None = None,
+        timer: PathTimer | None = None,
     ) -> None:
         self.config = config
         self.rng = rng
         self.dram = dram
+        self.timer = (
+            timer
+            if timer is not None
+            else PathTimer(
+                dram,
+                config.levels,
+                config.z,
+                config.treetop_levels,
+                config.xor_compression,
+            )
+        )
         self.observer = observer
         self.bus = bus if bus is not None else EventBus()
         self.tree = OramTree(config.levels, config.z)
@@ -471,11 +476,7 @@ class TinyOramController:
         return data_ready, served_from, served_level, timing
 
     def _read_timing(self, now: float) -> PathTiming:
-        if self.dram is None:
-            return _zero_timing(now, self.config)
-        if self.config.xor_compression:
-            return self.dram.read_path_xor(now, self.config.treetop_levels)
-        return self.dram.read_path(now, self.config.treetop_levels)
+        return self.timer.read(now)
 
     def _stash_insert(self, blk: Block, level: int) -> None:
         """Insert a block read from tree ``level`` into the stash.
@@ -492,11 +493,7 @@ class TinyOramController:
     def _path_write(self, leaf: int, now: float) -> PathTiming:
         contents = self._build_path_contents(leaf)
         self.tree.write_path(leaf, contents)
-        timing = (
-            self.dram.write_path(now, self.config.treetop_levels)
-            if self.dram is not None
-            else _zero_timing(now, self.config)
-        )
+        timing = self.timer.write(now)
         self.stats.path_writes += 1
         self.stats.activations += timing.activations
         self.stats.blocks_on_bus += timing.blocks_on_bus

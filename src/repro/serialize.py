@@ -1,0 +1,106 @@
+"""Dataclass serialization and stable fingerprints.
+
+The sweep engine treats one simulation run as a *job*: a serializable
+description (configuration + workload + request count + seed) that can be
+shipped to a worker process and used as an on-disk cache key.  This module
+is the leaf-level machinery behind that: flat frozen config dataclasses
+gain ``to_dict`` / ``from_dict`` / ``fingerprint`` via the
+:func:`serializable` decorator, and composite types (``SystemConfig``,
+``SimulationResult``) implement the same trio by hand on top of
+:func:`dataclass_to_dict` / :func:`dataclass_from_dict`.
+
+Fingerprints are hex SHA-256 digests of the canonical JSON rendering
+(sorted keys, no whitespace) tagged with the class name, so two configs
+fingerprint equal iff they serialize identically.  Fingerprints are
+*stable across processes and sessions* — unlike ``hash()`` they are safe
+to use as cache keys.
+
+``SCHEMA_VERSION`` versions the serialized layout of results and jobs;
+the on-disk result cache folds it into every key so stale entries from an
+older layout can never be deserialized into a newer one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields, is_dataclass
+from hashlib import sha256
+from typing import Any, TypeVar
+
+# Version of the serialized job/result layout.  Bump whenever the dict
+# rendering of SystemConfig or SimulationResult changes shape; the result
+# cache keys on it, so a bump invalidates every cached entry at once.
+SCHEMA_VERSION = 1
+
+T = TypeVar("T")
+
+
+def dataclass_to_dict(obj: Any) -> dict[str, Any]:
+    """Flatten a *flat* dataclass into ``{field: value}``.
+
+    Values are taken verbatim; nested dataclasses are the caller's
+    responsibility (see ``SystemConfig.to_dict`` for the composite case).
+    """
+    if not is_dataclass(obj) or isinstance(obj, type):
+        raise TypeError(f"expected a dataclass instance, got {obj!r}")
+    return {f.name: getattr(obj, f.name) for f in fields(obj)}
+
+
+def dataclass_from_dict(cls: type[T], data: dict[str, Any]) -> T:
+    """Rebuild ``cls`` from a dict produced by :func:`dataclass_to_dict`.
+
+    Unknown keys are ignored (forward compatibility); missing keys fall
+    back to the dataclass defaults, so adding a defaulted field does not
+    invalidate previously serialized payloads.
+    """
+    known = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON rendering: sorted keys, compact separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(payload: Any) -> str:
+    """Hex SHA-256 of the canonical JSON rendering of ``payload``."""
+    return sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def fingerprint_payload(type_name: str, payload: dict[str, Any]) -> str:
+    """Hash a serialized object, tagged with its type name."""
+    return stable_hash({"__type__": type_name, **payload})
+
+
+def serializable(cls: type[T]) -> type[T]:
+    """Class decorator adding ``to_dict``/``from_dict``/``fingerprint``.
+
+    Intended for flat frozen config dataclasses::
+
+        @serializable
+        @dataclass(frozen=True, slots=True)
+        class OramConfig: ...
+
+    Methods already defined on the class are left untouched, so composite
+    classes can hand-roll any subset.
+    """
+
+    def to_dict(self: Any) -> dict[str, Any]:
+        """Serialize to a JSON-compatible ``{field: value}`` dict."""
+        return dataclass_to_dict(self)
+
+    def from_dict(klass: type[T], data: dict[str, Any]) -> T:
+        """Rebuild from :meth:`to_dict` output (unknown keys ignored)."""
+        return dataclass_from_dict(klass, data)
+
+    def fingerprint(self: Any) -> str:
+        """Stable content hash, usable as a cross-process cache key."""
+        return fingerprint_payload(type(self).__name__, self.to_dict())
+
+    if "to_dict" not in cls.__dict__:
+        cls.to_dict = to_dict  # type: ignore[attr-defined]
+    if "from_dict" not in cls.__dict__:
+        cls.from_dict = classmethod(from_dict)  # type: ignore[attr-defined]
+    if "fingerprint" not in cls.__dict__:
+        cls.fingerprint = fingerprint  # type: ignore[attr-defined]
+    return cls

@@ -9,8 +9,10 @@ from repro.cpu.cache import CacheConfig
 from repro.cpu.core import CpuConfig
 from repro.mem.dram import DramConfig
 from repro.oram.config import OramConfig
+from repro.serialize import fingerprint_payload, serializable
 
 
+@serializable
 @dataclass(frozen=True, slots=True)
 class TimingProtectionConfig:
     """Constant-rate request protection (Fletcher et al., Section II-B).
@@ -92,6 +94,44 @@ class SystemConfig:
             name=f"dynamic-{counter_bits}",
             shadow=ShadowConfig.dynamic_counter(counter_bits),
         ).with_(**overrides)
+
+    # ------------------------------------------------------------------
+    # Serialization: a config is one half of a sweep-engine job, so it
+    # must round-trip through JSON and hash stably across processes.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """Serialize to a nested JSON-compatible dict."""
+        return {
+            "name": self.name,
+            "oram": self.oram.to_dict(),
+            "dram": self.dram.to_dict(),
+            "cpu": self.cpu.to_dict(),
+            "cache": self.cache.to_dict(),
+            "shadow": self.shadow.to_dict() if self.shadow is not None else None,
+            "timing": self.timing.to_dict(),
+            "insecure": self.insecure,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "SystemConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        shadow = data.get("shadow")
+        return cls(
+            name=data["name"],
+            oram=OramConfig.from_dict(data["oram"]),
+            dram=DramConfig.from_dict(data["dram"]),
+            cpu=CpuConfig.from_dict(data["cpu"]),
+            cache=CacheConfig.from_dict(data["cache"]),
+            shadow=ShadowConfig.from_dict(shadow) if shadow is not None else None,
+            timing=TimingProtectionConfig.from_dict(data["timing"]),
+            insecure=data["insecure"],
+            seed=data["seed"],
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash over the full nested configuration."""
+        return fingerprint_payload(type(self).__name__, self.to_dict())
 
     # ------------------------------------------------------------------
     def with_(self, **changes: object) -> "SystemConfig":

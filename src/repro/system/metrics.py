@@ -17,7 +17,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.core.controller import ShadowStats
 from repro.oram.tiny import OramStats
+from repro.serialize import dataclass_from_dict, dataclass_to_dict
 
 
 @dataclass(slots=True)
@@ -58,6 +60,42 @@ class SimulationResult:
         if self.llc_misses == 0:
             return 0.0
         return self.total_cycles / self.llc_misses
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize to a JSON-compatible dict (sweep jobs + result cache).
+
+        ``shadow_stats`` is only serialized when it is the standard
+        :class:`~repro.core.controller.ShadowStats`; ad-hoc stat objects
+        attached by experiments are dropped with a ``None``.
+        """
+        out = dataclass_to_dict(self)
+        out["oram_stats"] = (
+            dataclass_to_dict(self.oram_stats) if self.oram_stats else None
+        )
+        out["shadow_stats"] = (
+            dataclass_to_dict(self.shadow_stats)
+            if isinstance(self.shadow_stats, ShadowStats)
+            else None
+        )
+        out["completions"] = list(self.completions)
+        out["partition_levels"] = list(self.partition_levels)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        data = dict(data)
+        oram_stats = data.get("oram_stats")
+        shadow_stats = data.get("shadow_stats")
+        data["oram_stats"] = (
+            dataclass_from_dict(OramStats, oram_stats) if oram_stats else None
+        )
+        data["shadow_stats"] = (
+            dataclass_from_dict(ShadowStats, shadow_stats) if shadow_stats else None
+        )
+        data["completions"] = list(data.get("completions") or [])
+        data["partition_levels"] = list(data.get("partition_levels") or [])
+        return dataclass_from_dict(cls, data)
 
     def normalized_to(self, baseline: "SimulationResult") -> "NormalizedResult":
         """Normalise times/energy to another run of the same workload."""

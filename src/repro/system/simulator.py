@@ -3,9 +3,14 @@
 This is the reproduction's replacement for gem5+DRAMSim2 (DESIGN.md
 substitutions 1 and 3).  A run takes a workload name, generates its
 deterministic request stream, filters it through the Table-I cache
-hierarchy, and then serves every LLC miss through the configured ORAM
-(Tiny, RD-Dup, HD-Dup, static-P or dynamic-w) or the insecure baseline,
-producing the metrics the paper's figures plot.
+hierarchy, and then serves every LLC miss through the configured backend
+(Tiny, RD-Dup, HD-Dup, static-P or dynamic-w ORAM, or the insecure DRAM
+baseline), producing the metrics the paper's figures plot.
+
+The class is a *scheduling frontend*: it decides which core's miss issues
+next (a heap keyed by per-core readiness), drives the miss-issue policies
+and latency accounting, and delegates the actual serving to a
+:class:`~repro.system.backend.Backend`.
 
 Example:
     >>> from repro.system.config import SystemConfig
@@ -17,16 +22,20 @@ Example:
 
 from __future__ import annotations
 
+import heapq
 from functools import lru_cache
-from random import Random
 
-from repro.core.controller import ShadowOramController
 from repro.cpu.cache import CacheConfig, CacheHierarchy
 from repro.cpu.core import MissIssuePolicy
 from repro.cpu.trace import MissTrace
-from repro.mem.dram import DramModel
 from repro.obs.events import EventBus
 from repro.oram.tiny import Observer, TinyOramController
+from repro.system.backend import (
+    Backend,
+    InsecureDramBackend,
+    OramBackend,
+    build_oram_controller,
+)
 from repro.system.config import SystemConfig
 from repro.system.energy import EnergyConfig, EnergyModel
 from repro.system.metrics import SimulationResult
@@ -47,7 +56,9 @@ def build_miss_trace(
     Cached: the cache hierarchy is identical across ORAM schemes, so
     figure sweeps re-use the same miss trace for every scheme/parameter
     point, exactly like replaying one gem5 checkpoint.  Callers must treat
-    the returned trace as read-only.
+    the returned trace as read-only; the simulator hands out defensive
+    copies (see :meth:`SystemSimulator._per_core_traces`) so cached and
+    parallel runs cannot corrupt each other.
     """
     workload = get_workload(workload_name)
     requests = workload.requests(seed, num_requests, address_space)
@@ -101,28 +112,31 @@ class SystemSimulator:
         """
         if seed is None:
             seed = self.config.seed
-        if self.config.insecure:
-            return self._run_insecure(workload_name, num_requests, seed)
-        return self._run_oram(
-            workload_name, num_requests, seed, record_progress, keep_stats
-        )
+        backend = self._build_backend(seed, record_progress, keep_stats)
+        traces = self._per_core_traces(workload_name, num_requests, seed)
+        return self._drive(backend, workload_name, traces, record_progress)
 
     # ------------------------------------------------------------------
-    def _build_controller(self, seed: int) -> TinyOramController:
+    def _build_backend(
+        self, seed: int, record_progress: bool, keep_stats: bool
+    ) -> Backend:
         cfg = self.config
-        dram = DramModel(cfg.dram, cfg.oram.levels, cfg.oram.z)
-        rng = Random(seed)
-        if cfg.shadow is None:
-            return TinyOramController(
-                cfg.oram, rng, dram=dram, bus=self.bus, observer=self.observer
-            )
-        return ShadowOramController(
-            cfg.oram,
-            rng,
-            cfg.shadow,
-            dram=dram,
-            bus=self.bus,
-            observer=self.observer,
+        if cfg.insecure:
+            return InsecureDramBackend(cfg, self.energy_model)
+        controller = self._build_controller(seed)
+        scheduler = RequestScheduler(controller, cfg.timing, bus=self.bus)
+        return OramBackend(
+            cfg,
+            controller,
+            scheduler,
+            self.energy_model,
+            record_progress=record_progress,
+            keep_stats=keep_stats,
+        )
+
+    def _build_controller(self, seed: int) -> TinyOramController:
+        return build_oram_controller(
+            self.config, seed, bus=self.bus, observer=self.observer
         )
 
     def _per_core_traces(
@@ -132,8 +146,21 @@ class SystemSimulator:
         cores = cfg.cpu.cores
         space = cfg.oram.num_blocks
         if cores == 1:
+            base = build_miss_trace(
+                workload_name, num_requests, seed, space, cfg.cache
+            )
+            # Defensive copy: the lru_cache'd trace is shared across every
+            # scheme/parameter point of a sweep, so callers must never see
+            # the cached list itself.  LlcMiss is frozen, so copying the
+            # list is enough to make the trace corruption-proof.
             return [
-                build_miss_trace(workload_name, num_requests, seed, space, cfg.cache)
+                MissTrace(
+                    workload=base.workload,
+                    misses=list(base.misses),
+                    raw_requests=base.raw_requests,
+                    l1_hits=base.l1_hits,
+                    l2_hits=base.l2_hits,
+                )
             ]
         # The paper duplicates the benchmark, one task per core, each with
         # its own copy of the data: carve the ORAM space into per-core
@@ -175,163 +202,68 @@ class SystemSimulator:
         return traces
 
     # ------------------------------------------------------------------
-    def _run_oram(
+    def _drive(
         self,
+        backend: Backend,
         workload_name: str,
-        num_requests: int,
-        seed: int,
+        traces: list[MissTrace],
         record_progress: bool,
-        keep_stats: bool,
     ) -> SimulationResult:
-        cfg = self.config
-        controller = self._build_controller(seed)
-        scheduler = RequestScheduler(controller, cfg.timing, bus=self.bus)
-        traces = self._per_core_traces(workload_name, num_requests, seed)
-        policies = [MissIssuePolicy(cfg.cpu) for _ in traces]
-        cursors = [0] * len(traces)
+        """The scheduling frontend: one loop for every backend.
 
+        Core selection uses a min-heap keyed by each core's next-miss
+        ready time.  A core's readiness only changes when *its own* miss
+        completes (the issue policies are per-core state machines), so an
+        entry pushed after serving a core stays valid until popped —
+        no re-keying is ever needed.  Ties break toward the lowest core
+        index, matching the previous linear scan.
+        """
+        policies = [MissIssuePolicy(self.config.cpu) for _ in traces]
+        cursors = [0] * len(traces)
         total_misses = sum(len(t.misses) for t in traces)
+
+        heap: list[tuple[float, int]] = [
+            (policies[core].ready_time(trace.misses[0]), core)
+            for core, trace in enumerate(traces)
+            if trace.misses
+        ]
+        heapq.heapify(heap)
+
         end_time = 0.0
         latency_sum = 0.0
-        real_requests = 0
         completions: list[float] = []
-        partition_levels: list[int] = []
-        is_shadow = isinstance(controller, ShadowOramController)
-
         bus = self.bus
         observed = bool(bus._subs)
-        remaining = total_misses
-        while remaining:
-            core = self._next_core(traces, policies, cursors)
-            miss = traces[core].misses[cursors[core]]
+
+        while heap:
+            ready, core = heapq.heappop(heap)
+            trace = traces[core]
+            miss = trace.misses[cursors[core]]
             cursors[core] += 1
-            remaining -= 1
-            policy = policies[core]
-            ready = policy.ready_time(miss)
             if observed:
                 bus.core = core
-
-            if controller.peek_onchip(miss.addr, miss.op):
-                result = controller.access(miss.addr, miss.op, now=ready)
-                launch = ready
-            else:
-                launch = scheduler.launch_real(ready)
-                result = controller.access(miss.addr, miss.op, now=launch)
-                if result.path_accesses > 0:
-                    scheduler.complete_real(launch, result.finish)
-                    real_requests += 1
-                # else: a dummy fired by the scheduler pulled the block on
-                # chip between readiness and launch — served as a hit.
-
-            policy.issued(launch)
-            data_ready = result.data_ready
-            policy.complete(miss, data_ready)
-            latency_sum += data_ready - ready
-            end_time = max(end_time, data_ready, result.finish)
-            if record_progress:
-                completions.append(data_ready)
-                if is_shadow:
-                    partition_levels.append(controller.partition.level)
-
-            if miss.writeback_addr is not None:
-                wb_launch = scheduler.launch_real(data_ready)
-                wb = controller.access(miss.writeback_addr, "write", now=wb_launch)
-                if wb.path_accesses > 0:
-                    scheduler.complete_real(wb_launch, wb.finish)
-                    real_requests += 1
-                end_time = max(end_time, wb.finish)
-
-        energy = self.energy_model.oram_energy_nj(controller.stats, end_time)
-        return SimulationResult(
-            workload=workload_name,
-            scheme=cfg.name,
-            llc_misses=total_misses,
-            total_cycles=end_time,
-            data_access_cycles=scheduler.data_busy,
-            real_requests=real_requests,
-            dummy_requests=scheduler.dummy_requests,
-            onchip_hits=controller.stats.onchip_serves,
-            shadow_path_serves=controller.stats.shadow_path_serves,
-            mean_data_latency=latency_sum / total_misses if total_misses else 0.0,
-            energy_nj=energy,
-            stash_peak=controller.stash.peak_real,
-            oram_stats=controller.stats if keep_stats else None,
-            shadow_stats=(
-                controller.shadow_stats if keep_stats and is_shadow else None
-            ),
-            completions=completions,
-            partition_levels=partition_levels,
-        )
-
-    @staticmethod
-    def _next_core(
-        traces: list[MissTrace],
-        policies: list[MissIssuePolicy],
-        cursors: list[int],
-    ) -> int:
-        """Pick the core whose next miss is ready earliest."""
-        best_core = -1
-        best_ready = float("inf")
-        for core, trace in enumerate(traces):
-            if cursors[core] >= len(trace.misses):
-                continue
-            ready = policies[core].ready_time(trace.misses[cursors[core]])
-            if ready < best_ready:
-                best_ready = ready
-                best_core = core
-        return best_core
-
-    # ------------------------------------------------------------------
-    def _run_insecure(
-        self, workload_name: str, num_requests: int, seed: int
-    ) -> SimulationResult:
-        cfg = self.config
-        dram = DramModel(cfg.dram, cfg.oram.levels, cfg.oram.z)
-        traces = self._per_core_traces(workload_name, num_requests, seed)
-        policies = [MissIssuePolicy(cfg.cpu) for _ in traces]
-        cursors = [0] * len(traces)
-        total_misses = sum(len(t.misses) for t in traces)
-
-        mem_free = 0.0
-        end_time = 0.0
-        latency_sum = 0.0
-        busy = 0.0
-        remaining = total_misses
-        while remaining:
-            core = self._next_core(traces, policies, cursors)
-            miss = traces[core].misses[cursors[core]]
-            cursors[core] += 1
-            remaining -= 1
             policy = policies[core]
-            ready = policy.ready_time(miss)
-            start = max(ready, mem_free)
-            timing = dram.single_block_access(start)
-            mem_free = timing.finish
-            busy += timing.finish - start
-            policy.issued(start)
-            policy.complete(miss, timing.finish)
-            latency_sum += timing.finish - ready
-            end_time = max(end_time, timing.finish)
-            if miss.writeback_addr is not None:
-                wb = dram.single_block_access(mem_free)
-                mem_free = wb.finish
-                busy += wb.finish - wb.start
-                end_time = max(end_time, wb.finish)
 
-        energy = self.energy_model.insecure_energy_nj(total_misses, end_time)
-        return SimulationResult(
-            workload=workload_name,
-            scheme=cfg.name,
-            llc_misses=total_misses,
-            total_cycles=end_time,
-            data_access_cycles=busy,
-            real_requests=total_misses,
-            dummy_requests=0,
-            onchip_hits=0,
-            shadow_path_serves=0,
-            mean_data_latency=latency_sum / total_misses if total_misses else 0.0,
-            energy_nj=energy,
-            stash_peak=0,
+            outcome = backend.serve(miss, ready)
+            policy.issued(outcome.launch)
+            policy.complete(miss, outcome.data_ready)
+            latency_sum += outcome.data_ready - ready
+            end_time = max(end_time, outcome.data_ready, outcome.finish)
+            if record_progress:
+                completions.append(outcome.data_ready)
+
+            if miss.writeback_addr is not None:
+                wb_finish = backend.writeback(
+                    miss.writeback_addr, outcome.data_ready
+                )
+                end_time = max(end_time, wb_finish)
+
+            if cursors[core] < len(trace.misses):
+                next_ready = policy.ready_time(trace.misses[cursors[core]])
+                heapq.heappush(heap, (next_ready, core))
+
+        return backend.finalize(
+            workload_name, total_misses, end_time, latency_sum, completions
         )
 
 

@@ -16,6 +16,7 @@ a (workload, seed) pair is fully deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from hashlib import sha256
 from random import Random
 from typing import Callable, Sequence
 
@@ -217,8 +218,15 @@ class Workload:
     def requests(
         self, seed: int, num_requests: int, address_space: int
     ) -> list[MemoryRequest]:
-        """Generate the deterministic request stream for ``seed``."""
-        rng = Random(seed ^ hash(self.name) & 0xFFFFFFFF)
+        """Generate the deterministic request stream for ``seed``.
+
+        The per-workload seed tweak must be stable across *processes*
+        (``hash(str)`` is randomized per interpreter), or identical jobs
+        would produce different traces in sweep workers and cache lookups
+        would return streams no fresh run can reproduce.
+        """
+        name_hash = int.from_bytes(sha256(self.name.encode()).digest()[:4], "big")
+        rng = Random(seed ^ name_hash)
         reqs = self.generate(rng, num_requests, address_space)
         for req in reqs:
             if not 0 <= req.addr < address_space:

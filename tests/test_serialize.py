@@ -1,0 +1,186 @@
+"""Round-trip tests for the serialization layer (configs as jobs)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ShadowConfig
+from repro.cpu.cache import CacheConfig
+from repro.cpu.core import CpuConfig
+from repro.mem.dram import DramConfig
+from repro.oram.config import OramConfig
+from repro.serialize import (
+    SCHEMA_VERSION,
+    canonical_json,
+    dataclass_from_dict,
+    dataclass_to_dict,
+    stable_hash,
+)
+from repro.system.config import SystemConfig
+from repro.system.metrics import SimulationResult
+from repro.system.simulator import simulate
+
+SMALL = OramConfig(levels=9)
+
+SYSTEM_CONFIGS = [
+    SystemConfig.tiny(oram=SMALL),
+    SystemConfig.insecure_system(oram=SMALL),
+    SystemConfig.rd_dup(oram=SMALL),
+    SystemConfig.hd_dup(oram=SMALL),
+    SystemConfig.static(4, oram=SMALL),
+    SystemConfig.dynamic(3, oram=SMALL),
+    SystemConfig.dynamic(3, oram=SMALL).with_timing_protection(),
+    SystemConfig.tiny(oram=SMALL).with_(cpu=CpuConfig.out_of_order(cores=4)),
+]
+
+
+class TestHelpers:
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_stable_hash_differs_on_value_change(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = dataclass_to_dict(OramConfig())
+        data["added_in_schema_99"] = True
+        assert dataclass_from_dict(OramConfig, data) == OramConfig()
+
+    def test_from_dict_defaults_missing_keys(self):
+        data = dataclass_to_dict(OramConfig(levels=11))
+        del data["z"]
+        assert dataclass_from_dict(OramConfig, data) == OramConfig(levels=11)
+
+
+class TestConfigRoundTrip:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            OramConfig(levels=11, treetop_levels=4, xor_compression=True),
+            ShadowConfig(),
+            ShadowConfig.rd_only(),
+            ShadowConfig.hd_only(12),
+            CpuConfig.out_of_order(cores=4),
+            CacheConfig(),
+            DramConfig(),
+        ],
+        ids=lambda c: type(c).__name__,
+    )
+    def test_component_round_trip(self, config):
+        rebuilt = type(config).from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.fingerprint() == config.fingerprint()
+
+    @pytest.mark.parametrize("config", SYSTEM_CONFIGS, ids=lambda c: c.name)
+    def test_system_config_round_trip(self, config):
+        data = config.to_dict()
+        # The dict must survive JSON (that is how jobs ship to workers).
+        data = json.loads(json.dumps(data))
+        rebuilt = SystemConfig.from_dict(data)
+        assert rebuilt == config
+        assert rebuilt.fingerprint() == config.fingerprint()
+
+    def test_fingerprint_sensitivity(self):
+        base = SystemConfig.dynamic(3, oram=SMALL)
+        prints = {
+            base.fingerprint(),
+            base.with_(seed=99).fingerprint(),
+            SystemConfig.dynamic(2, oram=SMALL).fingerprint(),
+            SystemConfig.dynamic(3, oram=OramConfig(levels=10)).fingerprint(),
+            base.with_timing_protection().fingerprint(),
+        }
+        assert len(prints) == 5
+
+    def test_fingerprint_ignores_schema_irrelevant_identity(self):
+        a = SystemConfig.dynamic(3, oram=SMALL)
+        b = SystemConfig.dynamic(3, oram=SMALL)
+        assert a is not b
+        assert a.fingerprint() == b.fingerprint()
+
+    @given(
+        levels=st.integers(min_value=1, max_value=20),
+        z=st.integers(min_value=1, max_value=8),
+        a=st.integers(min_value=1, max_value=8),
+        utilization=st.floats(min_value=0.05, max_value=1.0),
+        onchip_latency=st.floats(
+            min_value=0.0, max_value=100.0, allow_nan=False
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_oram_config_property_round_trip(
+        self, levels, z, a, utilization, onchip_latency
+    ):
+        config = OramConfig(
+            levels=levels,
+            z=z,
+            a=a,
+            utilization=utilization,
+            onchip_latency=onchip_latency,
+        )
+        assert OramConfig.from_dict(config.to_dict()) == config
+
+
+class TestSimulationResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate(
+            SystemConfig.dynamic(3, oram=SMALL),
+            "mcf",
+            num_requests=1500,
+            record_progress=True,
+        )
+
+    def test_round_trip_is_exact(self, result):
+        rebuilt = SimulationResult.from_dict(result.to_dict())
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.total_cycles == result.total_cycles
+        assert rebuilt.completions == result.completions
+        assert rebuilt.oram_stats == result.oram_stats
+        assert rebuilt.shadow_stats == result.shadow_stats
+
+    def test_round_trip_survives_json(self, result):
+        data = json.loads(json.dumps(result.to_dict()))
+        rebuilt = SimulationResult.from_dict(data)
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_nonstandard_shadow_stats_dropped(self, result):
+        result_dict = result.to_dict()
+        copy = SimulationResult.from_dict(result_dict)
+        copy.shadow_stats = object()  # an experiment's ad-hoc stats
+        assert SimulationResult.from_dict(copy.to_dict()).shadow_stats is None
+
+    @given(
+        floats=st.lists(
+            st.floats(
+                min_value=0.0, max_value=1e12, allow_nan=False
+            ),
+            min_size=0,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_float_lists_survive_exactly(self, floats):
+        result = SimulationResult(
+            workload="w",
+            scheme="s",
+            llc_misses=len(floats),
+            total_cycles=sum(floats),
+            data_access_cycles=0.0,
+            real_requests=0,
+            dummy_requests=0,
+            onchip_hits=0,
+            shadow_path_serves=0,
+            mean_data_latency=0.0,
+            energy_nj=0.0,
+            stash_peak=0,
+            completions=list(floats),
+        )
+        data = json.loads(json.dumps(result.to_dict()))
+        rebuilt = SimulationResult.from_dict(data)
+        assert rebuilt.completions == floats
+        assert rebuilt.total_cycles == result.total_cycles
+
+    def test_schema_version_is_an_int(self):
+        assert isinstance(SCHEMA_VERSION, int)
