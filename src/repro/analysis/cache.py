@@ -27,7 +27,9 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
+from typing import Callable
 
 from repro.serialize import SCHEMA_VERSION, stable_hash
 from repro.system.metrics import SimulationResult
@@ -43,6 +45,16 @@ class ResultCache:
         hits / misses / stores: Lookup counters for this instance — the
             acceptance tests assert a warm sweep is served entirely from
             here (``misses == 0``).
+        put_errors: Disk failures absorbed by :meth:`put` (ENOSPC,
+            read-only directory, quota...).  The sweep engine surfaces
+            this as the ``cache/put_errors`` metric.
+        write_disabled: Set after the first put failure: further stores
+            become silent no-ops so one full disk degrades a sweep to
+            cache-less execution instead of aborting it.  Reads keep
+            working — whatever made it to disk stays usable.
+        fault_hook: Test/fault-injection seam invoked just before the
+            disk write inside :meth:`put`; an ``OSError`` it raises takes
+            the same degrade path as a real disk error.
     """
 
     def __init__(self, root: str | Path) -> None:
@@ -50,6 +62,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.put_errors = 0
+        self.write_disabled = False
+        self.fault_hook: Callable[[], None] | None = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -92,25 +107,49 @@ class ResultCache:
         self.hits += 1
         return result
 
-    def put(self, key: str, result: SimulationResult) -> None:
-        """Store a result atomically under ``key``."""
+    def put(self, key: str, result: SimulationResult) -> bool:
+        """Store a result atomically under ``key``.
+
+        Returns ``True`` on success.  Disk errors (``ENOSPC``, read-only
+        cache directory, quota) are absorbed: the cache warns once, flips
+        into :attr:`write_disabled` mode and returns ``False`` — a sweep
+        must never die because its memoisation layer ran out of disk.
+        """
+        if self.write_disabled:
+            return False
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"schema": SCHEMA_VERSION, "result": result.to_dict()}
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
-        )
+        tmp = None
         try:
+            if self.fault_hook is not None:
+                self.fault_hook()
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = {"schema": SCHEMA_VERSION, "result": result.to_dict()}
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
             with os.fdopen(fd, "w") as stream:
                 json.dump(payload, stream)
             os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+            tmp = None
+        except OSError as exc:
+            self.put_errors += 1
+            self.write_disabled = True
+            warnings.warn(
+                f"result cache {self.root}: write failed ({exc!r}); "
+                "disabling cache writes for the rest of the run "
+                "(existing entries stay readable)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return False
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
         self.stores += 1
+        return True
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -15,12 +15,29 @@ points
   keyed by the config fingerprint, workload, request count, seed and
   serialization schema version, so re-running a figure benchmark costs
   zero ``simulate()`` calls once warm;
-* **observably** — each completed point emits
+* **fault-tolerantly** — per-point timeouts, bounded retries with
+  exponential backoff, ``BrokenProcessPool`` detection with pool respawn
+  and serial re-execution of in-flight points, a crash-safe
+  completed-point ledger (:class:`~repro.analysis.manifest.SweepLedger`)
+  behind ``python -m repro sweep --resume``, and graceful
+  ``KeyboardInterrupt`` handling (pending futures cancelled, completed
+  points flushed, a partial :class:`SweepReport` raised as
+  :class:`SweepInterrupted`).  Every run produces a :class:`SweepReport`
+  accounting for every grid point (ok / cached / retried / timed-out /
+  failed / interrupted);
+* **observably** — per-point
   :class:`~repro.obs.events.SweepPointStarted` /
-  :class:`~repro.obs.events.SweepPointFinished` on an optional
-  :class:`~repro.obs.events.EventBus` (the PR-1 observability layer
-  counts them via ``MetricsCollector``) and invokes a per-point progress
-  hook in deterministic grid order.
+  :class:`~repro.obs.events.SweepPointFinished` /
+  :class:`~repro.obs.events.SweepPointRetried` /
+  :class:`~repro.obs.events.SweepPointFailed` events on an optional
+  :class:`~repro.obs.events.EventBus`, ``sweep/*`` metrics counters, and
+  a per-point progress hook invoked in deterministic grid order.
+
+Deterministic fault injection (:mod:`repro.faults`) threads through the
+same seams: a :class:`~repro.faults.injector.FaultPlan` handed to the
+runner is shipped inside each worker job and applied to the cache and
+the simulator backend, so the failure sequence — and the final report —
+is a pure function of (grid, plan, seed).
 
 ``repro.analysis.sweep.run_sweep``, ``benchmarks/_support.py`` and the
 ``python -m repro sweep`` CLI are all thin layers over this module; so is
@@ -31,21 +48,44 @@ needs to replace the executor.
 from __future__ import annotations
 
 import os
+import time
 import warnings
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.analysis.cache import ResultCache
-from repro.obs.events import EventBus, SweepPointFinished, SweepPointStarted
+from repro.analysis.manifest import SweepLedger, grid_fingerprint
+from repro.faults.injector import FaultInjector, FaultPlan
+from repro.obs.events import (
+    EventBus,
+    SweepPointFailed,
+    SweepPointFinished,
+    SweepPointRetried,
+    SweepPointStarted,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.serialize import SCHEMA_VERSION
+from repro.system.backend import BackendFilter
 from repro.system.config import SystemConfig
 from repro.system.metrics import NormalizedResult, SimulationResult, geomean
 from repro.system.simulator import simulate
 
 ProgressHook = Callable[[str, str, SimulationResult], None]
+
+# Per-point terminal statuses (SweepReport / SweepPointFailed.status).
+STATUS_OK = "ok"
+STATUS_CACHED = "cached"
+STATUS_RETRIED = "retried"  # succeeded after >= 1 failed attempt
+STATUS_TIMEOUT = "timed-out"
+STATUS_FAILED = "failed"
+STATUS_INTERRUPTED = "interrupted"
+
+FAILURE_STATUSES = (STATUS_TIMEOUT, STATUS_FAILED, STATUS_INTERRUPTED)
 
 
 # ----------------------------------------------------------------------
@@ -103,7 +143,9 @@ class SweepPoint:
         )
 
 
-def execute_point(point: SweepPoint) -> SimulationResult:
+def execute_point(
+    point: SweepPoint, backend_filter: BackendFilter | None = None
+) -> SimulationResult:
     """Run one grid point in-process (the serial execution path)."""
     return simulate(
         point.config,
@@ -111,13 +153,30 @@ def execute_point(point: SweepPoint) -> SimulationResult:
         num_requests=point.num_requests,
         seed=point.seed,
         record_progress=point.record_progress,
+        backend_filter=backend_filter,
     )
 
 
 def _execute_job(job: dict[str, object]) -> dict[str, object]:
-    """Worker-process entry point: dict in, dict out (picklable both ways)."""
+    """Worker-process entry point: dict in, dict out (picklable both ways).
+
+    When the job carries a fault plan, the worker rebuilds the injector
+    (``in_worker=True``) and fires point-level faults before simulating —
+    this is where ``worker-crash``/``worker-hang`` specs actually crash
+    and hang real worker processes.
+    """
     start = perf_counter()
-    result = execute_point(SweepPoint.from_job(job))
+    backend_filter: BackendFilter | None = None
+    faults = job.get("faults")
+    if faults:
+        injector = FaultPlan.from_dict(faults).injector(in_worker=True)
+        injector.before_point(
+            int(job.get("index", 0)), int(job.get("attempt", 1))
+        )
+        backend_filter = injector.backend_filter()
+    result = execute_point(
+        SweepPoint.from_job(job), backend_filter=backend_filter
+    )
     return {"result": result.to_dict(), "elapsed_s": perf_counter() - start}
 
 
@@ -154,6 +213,9 @@ class SweepResult:
 
     def get(self, workload: str, scheme: str) -> SimulationResult:
         return self.results[(workload, scheme)]
+
+    def has(self, workload: str, scheme: str) -> bool:
+        return (workload, scheme) in self.results
 
     def schemes(self) -> list[str]:
         return sorted({scheme for _w, scheme in self.results})
@@ -194,31 +256,203 @@ class SweepResult:
 
 
 # ----------------------------------------------------------------------
-# The runner
+# Per-point accounting
 # ----------------------------------------------------------------------
+@dataclass(slots=True)
+class PointReport:
+    """One grid point's fate in a :class:`SweepReport`."""
+
+    index: int
+    workload: str
+    scheme: str
+    status: str
+    attempts: int
+    elapsed_s: float
+    error: str | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status not in FAILURE_STATUSES
+
+
+@dataclass(slots=True)
+class SweepReport:
+    """Structured account of every grid point of one sweep run."""
+
+    total: int
+    points: list[PointReport] = field(default_factory=list)
+    interrupted: bool = False
+    pool_respawns: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Every point resolved to a result (from cache or execution)."""
+        return (
+            not self.interrupted
+            and len(self.points) == self.total
+            and all(p.succeeded for p in self.points)
+        )
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for point in self.points:
+            out[point.status] = out.get(point.status, 0) + 1
+        return out
+
+    def failures(self) -> list[PointReport]:
+        return [p for p in self.points if not p.succeeded]
+
+    def summary(self) -> str:
+        counts = self.counts()
+        parts = [f"{counts[s]} {s}" for s in sorted(counts)]
+        head = f"{self.total} points: " + ", ".join(parts)
+        if self.pool_respawns:
+            head += f"; {self.pool_respawns} pool respawn(s)"
+        if self.interrupted:
+            head += "; interrupted"
+        return head
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "total": self.total,
+            "interrupted": self.interrupted,
+            "pool_respawns": self.pool_respawns,
+            "counts": self.counts(),
+            "points": [
+                {
+                    "index": p.index,
+                    "workload": p.workload,
+                    "scheme": p.scheme,
+                    "status": p.status,
+                    "attempts": p.attempts,
+                    "elapsed_s": p.elapsed_s,
+                    "error": p.error,
+                }
+                for p in self.points
+            ],
+        }
+
+
+class SweepExecutionError(RuntimeError):
+    """Raised (under ``on_failure="raise"``) when grid points failed."""
+
+    def __init__(self, report: SweepReport) -> None:
+        failures = report.failures()
+        first = failures[0] if failures else None
+        detail = (
+            f" (first: {first.workload}/{first.scheme}: {first.error})"
+            if first is not None
+            else ""
+        )
+        super().__init__(
+            f"sweep failed: {len(failures)} of {report.total} points "
+            f"did not resolve{detail}"
+        )
+        self.report = report
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """KeyboardInterrupt enriched with the partial sweep state.
+
+    Completed points have already been flushed to the cache and ledger;
+    ``results`` is aligned with the submitted points (``None`` where
+    interrupted) and ``report`` accounts for every point.
+    """
+
+    def __init__(
+        self, report: SweepReport, results: list[SimulationResult | None]
+    ) -> None:
+        super().__init__("sweep interrupted")
+        self.report = report
+        self.results = results
+
+
 @dataclass(slots=True)
 class _PointOutcome:
     point: SweepPoint
-    result: SimulationResult
-    cached: bool
+    result: SimulationResult | None
+    status: str
+    attempts: int
     elapsed_s: float
+    error: str | None = None
+    resumed: bool = False
+
+    @property
+    def cached(self) -> bool:
+        return self.status == STATUS_CACHED
 
 
+@dataclass(slots=True)
+class _ExecOutcome:
+    result: SimulationResult | None
+    status: str
+    attempts: int
+    elapsed_s: float
+    error: str | None = None
+
+
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool whose workers may be hung or dead.
+
+    ``shutdown`` alone never kills a running worker, so a hung grid point
+    would stall interpreter exit; terminating the processes first makes
+    abandonment immediate.  (``_processes`` is executor-private but has
+    been stable since 3.7; guarded in case it moves.)
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
 class SweepRunner:
-    """Executes sweep grids with parallelism, caching, and observability.
+    """Executes sweep grids with parallelism, caching, fault tolerance
+    and observability.
 
     Args:
         jobs: Worker processes.  ``1`` runs everything serially in
             process; ``None`` or ``0`` means one worker per CPU.  The
-            runner falls back to serial execution (with a warning) if the
-            platform cannot spawn a process pool.
+            runner falls back to serial execution (with a warning naming
+            the cause) if the platform cannot spawn a process pool.
         cache: On-disk result cache, or ``None`` to always simulate.
-        bus: Observability bus for per-point start/finish events.
+        bus: Observability bus for per-point start/finish/retry/fail
+            events.
         registry: Metrics registry; the runner maintains ``sweep/points``,
-            ``sweep/cache_hits``, ``sweep/cache_misses`` and
-            ``sweep/executed`` counters on it.
+            ``sweep/cache_hits``, ``sweep/cache_misses``,
+            ``sweep/executed``, ``sweep/retries``, ``sweep/timeouts``,
+            ``sweep/failed``, ``sweep/resumed``, ``sweep/pool_respawns``
+            and ``cache/put_errors`` counters on it.
         hook: Per-point progress callback ``(workload, scheme, result)``,
-            invoked in deterministic grid order.
+            invoked in deterministic grid order (skipped for points
+            without a result).
+        timeout_s: Per-point wall-clock budget, enforced on the parallel
+            path (a worker past its deadline is abandoned with the pool
+            and the point retried or reported ``timed-out``).  ``None``
+            disables; the serial in-process path cannot preempt a running
+            simulation and ignores it.
+        retries: Extra attempts per point after a failed one (crash,
+            worker death, timeout).  ``0`` fails fast.
+        backoff_s: Base of the exponential retry backoff — attempt *n*
+            waits ``backoff_s * 2**(n-1)`` seconds.  ``0`` disables.
+        ledger: Optional completed-point ledger enabling checkpoint /
+            resume; pair with ``resume=True`` to pick up a previous run.
+        resume: Load ``ledger`` instead of truncating it; points it
+            records resolve from the cache with zero re-execution
+            (counted by ``sweep/resumed``).
+        faults: Deterministic fault-injection plan (:mod:`repro.faults`),
+            shipped to workers inside each job.
+        on_failure: ``"raise"`` (default) raises
+            :class:`SweepExecutionError` if any point fails —
+            the historical all-or-nothing contract the figure benchmarks
+            rely on.  ``"report"`` returns partial results (``None``
+            holes) and leaves judgement to the caller via
+            :attr:`last_report`.
     """
 
     def __init__(
@@ -228,41 +462,145 @@ class SweepRunner:
         bus: EventBus | None = None,
         registry: MetricsRegistry | None = None,
         hook: ProgressHook | None = None,
+        timeout_s: float | None = None,
+        retries: int = 0,
+        backoff_s: float = 0.0,
+        ledger: SweepLedger | None = None,
+        resume: bool = False,
+        faults: FaultPlan | None = None,
+        on_failure: str = "raise",
     ) -> None:
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if on_failure not in ("raise", "report"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'report', got {on_failure!r}"
+            )
         self.jobs = jobs
         self.cache = cache
         self.bus = bus
         self.registry = registry
         self.hook = hook
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.ledger = ledger
+        self.resume = resume
+        self.faults = faults
+        self.on_failure = on_failure
+        self.last_report: SweepReport | None = None
+        self._grid_total = 0
+        self._pool_respawns = 0
 
     # ------------------------------------------------------------------
     def run_points(self, points: Sequence[SweepPoint]) -> list[SimulationResult]:
-        """Execute every point; returns results in point order."""
+        """Execute every point; returns results in point order.
+
+        Under ``on_failure="report"`` unresolved points yield ``None``
+        entries; inspect :attr:`last_report` for their statuses.
+        """
+        results, report = self.run_points_report(points)
+        if not report.ok and self.on_failure == "raise":
+            raise SweepExecutionError(report)
+        return results
+
+    def run_points_report(
+        self, points: Sequence[SweepPoint]
+    ) -> tuple[list[SimulationResult | None], SweepReport]:
+        """Execute every point; returns (results, per-point report)."""
         total = len(points)
+        self._grid_total = total
+        self._pool_respawns = 0
         outcomes: list[_PointOutcome | None] = [None] * total
 
-        # Cache pass: resolve warm points without touching the executor.
-        pending: list[int] = []
+        injector = (
+            self.faults.injector(in_worker=False)
+            if self.faults is not None
+            else None
+        )
+        cache = (
+            injector.wrap_cache(self.cache)
+            if injector is not None
+            else self.cache
+        )
+        resumed = self._prepare_ledger(points, total)
+
+        interrupted = False
+        try:
+            # Cache pass: resolve warm points without touching the executor.
+            pending: list[int] = []
+            for i, point in enumerate(points):
+                self._emit_started(point, i, total)
+                hit = self._lookup(cache, point)
+                if hit is not None:
+                    outcomes[i] = _PointOutcome(
+                        point,
+                        hit,
+                        STATUS_CACHED,
+                        0,
+                        0.0,
+                        resumed=i in resumed,
+                    )
+                    self._record_ledger(i, point, STATUS_CACHED)
+                else:
+                    pending.append(i)
+
+            for i, exec_outcome in self._execute(points, pending, injector):
+                outcomes[i] = _PointOutcome(
+                    points[i],
+                    exec_outcome.result,
+                    exec_outcome.status,
+                    exec_outcome.attempts,
+                    exec_outcome.elapsed_s,
+                    exec_outcome.error,
+                )
+                if exec_outcome.result is not None:
+                    self._store(cache, points[i], exec_outcome.result)
+                    self._record_ledger(i, points[i], exec_outcome.status)
+        except KeyboardInterrupt:
+            # Pending futures were cancelled and workers stopped by the
+            # executor generator's cleanup; completed points are already
+            # flushed to the cache and ledger.  Account for the rest.
+            interrupted = True
+
         for i, point in enumerate(points):
-            self._emit_started(point, i, total)
-            cached = self._lookup(point)
-            if cached is not None:
-                outcomes[i] = _PointOutcome(point, cached, True, 0.0)
-            else:
-                pending.append(i)
+            if outcomes[i] is None:
+                outcomes[i] = _PointOutcome(
+                    point,
+                    None,
+                    STATUS_INTERRUPTED,
+                    0,
+                    0.0,
+                    error="KeyboardInterrupt",
+                )
 
-        for i, result, elapsed in self._execute(points, pending):
-            outcomes[i] = _PointOutcome(points[i], result, False, elapsed)
-            self._store(points[i], result)
-
-        results: list[SimulationResult] = []
+        report = SweepReport(
+            total=total,
+            interrupted=interrupted,
+            pool_respawns=self._pool_respawns,
+        )
+        results: list[SimulationResult | None] = []
         for i, outcome in enumerate(outcomes):
             assert outcome is not None, f"point {i} never resolved"
             self._emit_finished(outcome, i, total)
+            report.points.append(
+                PointReport(
+                    index=i,
+                    workload=outcome.point.workload,
+                    scheme=outcome.point.scheme,
+                    status=outcome.status,
+                    attempts=outcome.attempts,
+                    elapsed_s=outcome.elapsed_s,
+                    error=outcome.error,
+                )
+            )
             results.append(outcome.result)
-        return results
+        self.last_report = report
+        if interrupted:
+            raise SweepInterrupted(report, results)
+        return results, report
 
     def run_grid(
         self,
@@ -271,13 +609,18 @@ class SweepRunner:
         num_requests: int,
         seed: int = 1,
     ) -> SweepResult:
-        """Run the full (workload × config) grid and index the results."""
+        """Run the full (workload × config) grid and index the results.
+
+        Under ``on_failure="report"`` failed points are simply absent
+        from the returned :class:`SweepResult`.
+        """
         points = build_grid(configs, workloads, num_requests, seed=seed)
         results = self.run_points(points)
         return SweepResult(
             {
                 (p.workload, p.scheme): result
                 for p, result in zip(points, results)
+                if result is not None
             }
         )
 
@@ -285,66 +628,315 @@ class SweepRunner:
     # Execution strategies
     # ------------------------------------------------------------------
     def _execute(
-        self, points: Sequence[SweepPoint], pending: list[int]
-    ) -> list[tuple[int, SimulationResult, float]]:
+        self,
+        points: Sequence[SweepPoint],
+        pending: list[int],
+        injector: FaultInjector | None,
+    ) -> Iterator[tuple[int, _ExecOutcome]]:
         if not pending:
-            return []
+            return
         if self.jobs > 1 and len(pending) > 1:
-            parallel = self._execute_parallel(points, pending)
-            if parallel is not None:
-                return parallel
-        out = []
+            workers = min(self.jobs, len(pending))
+            pool = self._make_pool(workers)
+            if pool is not None:
+                yield from self._execute_parallel(
+                    pool, workers, points, pending, injector
+                )
+                return
+        yield from self._execute_serial(points, pending, injector)
+
+    def _execute_serial(
+        self,
+        points: Sequence[SweepPoint],
+        pending: list[int],
+        injector: FaultInjector | None,
+    ) -> Iterator[tuple[int, _ExecOutcome]]:
         for i in pending:
+            yield i, self._run_attempts_inprocess(points[i], i, injector)
+
+    def _run_attempts_inprocess(
+        self,
+        point: SweepPoint,
+        index: int,
+        injector: FaultInjector | None,
+        first_attempt: int = 1,
+        budget: int | None = None,
+    ) -> _ExecOutcome:
+        """Retry loop for in-process execution (serial path and the
+        post-``BrokenProcessPool`` re-execution of in-flight points)."""
+        if budget is None:
+            budget = max(self.retries + 1 - (first_attempt - 1), 1)
+        attempt = first_attempt
+        failures = first_attempt - 1
+        last_error: str | None = None
+        while True:
             start = perf_counter()
-            out.append((i, execute_point(points[i]), perf_counter() - start))
-        return out
+            try:
+                backend_filter: BackendFilter | None = None
+                if injector is not None:
+                    injector.before_point(index, attempt)
+                    backend_filter = injector.backend_filter()
+                result = execute_point(point, backend_filter=backend_filter)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                last_error = repr(exc)
+                failures += 1
+                if attempt - first_attempt + 1 < budget:
+                    self._note_retry(point, index, attempt, last_error)
+                    self._sleep_backoff(failures)
+                    attempt += 1
+                    continue
+                return _ExecOutcome(
+                    None,
+                    STATUS_FAILED,
+                    attempt,
+                    perf_counter() - start,
+                    last_error,
+                )
+            return _ExecOutcome(
+                result,
+                STATUS_RETRIED if failures else STATUS_OK,
+                attempt,
+                perf_counter() - start,
+                last_error,
+            )
 
     def _execute_parallel(
-        self, points: Sequence[SweepPoint], pending: list[int]
-    ) -> list[tuple[int, SimulationResult, float]] | None:
-        """Fan pending points out to worker processes.
+        self,
+        pool: ProcessPoolExecutor,
+        workers: int,
+        points: Sequence[SweepPoint],
+        pending: list[int],
+        injector: FaultInjector | None,
+    ) -> Iterator[tuple[int, _ExecOutcome]]:
+        """Fan pending points out to worker processes, fault-tolerantly.
 
-        Returns ``None`` when a process pool cannot be created (restricted
-        sandboxes, missing semaphores) so the caller falls back to serial.
+        Yields per-point outcomes as their futures resolve (submission
+        order).  Failure handling:
+
+        * a job exception consumes one attempt; the point is retried
+          (with backoff) while budget remains, else reported ``failed``;
+        * a per-point timeout abandons the pool (the hung worker cannot
+          be cancelled), respawns it, retries the hung point and
+          resubmits the other in-flight points without charging them an
+          attempt;
+        * ``BrokenProcessPool`` (a worker died) respawns the pool and
+          re-executes every in-flight point serially in-process — each is
+          guaranteed at least one more attempt, so one crashed worker
+          cannot sink its innocent batch-mates.
         """
-        workers = min(self.jobs, len(pending))
+        attempts = {i: 0 for i in pending}
+        queue: deque[int] = deque(pending)
+
+        def drain_inprocess() -> Iterator[tuple[int, _ExecOutcome]]:
+            while queue:
+                j = queue.popleft()
+                yield j, self._run_attempts_inprocess(
+                    points[j], j, injector, first_attempt=attempts[j] + 1
+                )
+
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    (i, pool.submit(_execute_job, points[i].to_job()))
-                    for i in pending
-                ]
-                out = []
-                for i, future in futures:
-                    payload = future.result()
-                    out.append(
-                        (
-                            i,
+            while queue:
+                batch = list(queue)
+                queue.clear()
+                futures = []
+                for i in batch:
+                    attempts[i] += 1
+                    futures.append(
+                        (i, pool.submit(_execute_job, self._job(points[i], i, attempts[i])))
+                    )
+                for pos, (i, future) in enumerate(futures):
+                    try:
+                        payload = future.result(timeout=self.timeout_s)
+                    except FuturesTimeoutError:
+                        self._count("sweep/timeouts")
+                        pool = self._respawn_pool(
+                            pool,
+                            workers,
+                            f"point {points[i].label} exceeded the "
+                            f"{self.timeout_s}s per-point timeout",
+                        )
+                        # In-flight batch-mates lost with the pool get
+                        # their attempt back and are resubmitted.
+                        for j, _lost in futures[pos + 1:]:
+                            attempts[j] -= 1
+                            queue.append(j)
+                        if attempts[i] <= self.retries:
+                            self._note_retry(
+                                points[i], i, attempts[i], "timeout"
+                            )
+                            queue.append(i)
+                        else:
+                            yield i, _ExecOutcome(
+                                None,
+                                STATUS_TIMEOUT,
+                                attempts[i],
+                                float(self.timeout_s or 0.0),
+                                f"exceeded per-point timeout "
+                                f"({self.timeout_s}s)",
+                            )
+                        if pool is None:
+                            yield from drain_inprocess()
+                            return
+                        break
+                    except BrokenProcessPool:
+                        pool = self._respawn_pool(
+                            pool,
+                            workers,
+                            "worker process died (BrokenProcessPool)",
+                        )
+                        for j, _lost in futures[pos:]:
+                            yield j, self._run_attempts_inprocess(
+                                points[j],
+                                j,
+                                injector,
+                                first_attempt=attempts[j] + 1,
+                            )
+                        if pool is None:
+                            yield from drain_inprocess()
+                            return
+                        break
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        error = repr(exc)
+                        if attempts[i] <= self.retries:
+                            self._note_retry(points[i], i, attempts[i], error)
+                            self._sleep_backoff(attempts[i])
+                            queue.append(i)
+                        else:
+                            yield i, _ExecOutcome(
+                                None,
+                                STATUS_FAILED,
+                                attempts[i],
+                                0.0,
+                                error,
+                            )
+                    else:
+                        failed_before = attempts[i] - 1
+                        yield i, _ExecOutcome(
                             SimulationResult.from_dict(payload["result"]),
+                            STATUS_RETRIED if failed_before else STATUS_OK,
+                            attempts[i],
                             payload["elapsed_s"],
                         )
-                    )
-                return out
-        except (OSError, PermissionError, NotImplementedError) as exc:
+        except (GeneratorExit, KeyboardInterrupt):
+            if pool is not None:
+                _abandon_pool(pool)
+                pool = None
+            raise
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _job(
+        self, point: SweepPoint, index: int, attempt: int
+    ) -> dict[str, object]:
+        job = point.to_job()
+        job["index"] = index
+        job["attempt"] = attempt
+        if self.faults is not None:
+            job["faults"] = self.faults.to_dict()
+        return job
+
+    def _make_pool(self, workers: int) -> ProcessPoolExecutor | None:
+        """Create the worker pool, or ``None`` for the serial fallback.
+
+        Restricted sandboxes surface as ``OSError``/``PermissionError``/
+        ``NotImplementedError``; a stripped-down ``multiprocessing``
+        (missing start methods, no ``_multiprocessing`` extension) as
+        ``ImportError``/``RuntimeError``.  All of them degrade to serial
+        execution with a warning naming the cause.
+        """
+        try:
+            return ProcessPoolExecutor(max_workers=workers)
+        except (
+            OSError,
+            PermissionError,
+            NotImplementedError,
+            ImportError,
+            RuntimeError,
+        ) as exc:
             warnings.warn(
-                f"sweep engine: process pool unavailable ({exc!r}); "
+                f"sweep engine: process pool unavailable "
+                f"({type(exc).__name__}: {exc}); "
                 "falling back to serial execution",
                 RuntimeWarning,
                 stacklevel=3,
             )
             return None
 
+    def _respawn_pool(
+        self, pool: ProcessPoolExecutor, workers: int, reason: str
+    ) -> ProcessPoolExecutor | None:
+        _abandon_pool(pool)
+        self._pool_respawns += 1
+        self._count("sweep/pool_respawns")
+        warnings.warn(
+            f"sweep engine: {reason}; respawning worker pool",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return self._make_pool(workers)
+
+    def _sleep_backoff(self, failure_number: int) -> None:
+        if self.backoff_s > 0:
+            time.sleep(self.backoff_s * (2 ** (failure_number - 1)))
+
+    # ------------------------------------------------------------------
+    # Ledger plumbing
+    # ------------------------------------------------------------------
+    def _prepare_ledger(
+        self, points: Sequence[SweepPoint], total: int
+    ) -> dict[int, str]:
+        if self.ledger is None:
+            return {}
+        grid = grid_fingerprint([p.cache_key() for p in points])
+        if self.resume:
+            completed = self.ledger.load(grid, total)
+            self.ledger.ensure_header(grid, total)
+            return completed
+        self.ledger.start(grid, total)
+        return {}
+
+    def _record_ledger(self, index: int, point: SweepPoint, status: str) -> None:
+        if self.ledger is not None:
+            self.ledger.record(index, point.cache_key(), status)
+
     # ------------------------------------------------------------------
     # Cache + observability plumbing
     # ------------------------------------------------------------------
-    def _lookup(self, point: SweepPoint) -> SimulationResult | None:
-        if self.cache is None:
+    def _lookup(self, cache, point: SweepPoint) -> SimulationResult | None:
+        if cache is None:
             return None
-        return self.cache.get(point.cache_key())
+        return cache.get(point.cache_key())
 
-    def _store(self, point: SweepPoint, result: SimulationResult) -> None:
-        if self.cache is not None:
-            self.cache.put(point.cache_key(), result)
+    def _store(self, cache, point: SweepPoint, result: SimulationResult) -> None:
+        if cache is not None:
+            if not cache.put(point.cache_key(), result):
+                self._count("cache/put_errors")
+
+    def _count(self, name: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(name).inc()
+
+    def _note_retry(
+        self, point: SweepPoint, index: int, attempt: int, error: str
+    ) -> None:
+        self._count("sweep/retries")
+        bus = self.bus
+        if bus is not None and bus._subs:
+            bus.emit(
+                SweepPointRetried(
+                    workload=point.workload,
+                    scheme=point.scheme,
+                    index=index,
+                    total=self._grid_total,
+                    attempt=attempt,
+                    error=error,
+                )
+            )
 
     def _emit_started(self, point: SweepPoint, index: int, total: int) -> None:
         bus = self.bus
@@ -362,25 +954,43 @@ class SweepRunner:
         self, outcome: _PointOutcome, index: int, total: int
     ) -> None:
         point = outcome.point
+        failed = outcome.status in FAILURE_STATUSES
         if self.registry is not None:
             self.registry.counter("sweep/points").inc()
-            if outcome.cached:
+            if outcome.status == STATUS_CACHED:
                 self.registry.counter("sweep/cache_hits").inc()
+                if outcome.resumed:
+                    self.registry.counter("sweep/resumed").inc()
+            elif failed:
+                self.registry.counter("sweep/failed").inc()
             else:
                 self.registry.counter("sweep/executed").inc()
                 if self.cache is not None:
                     self.registry.counter("sweep/cache_misses").inc()
         bus = self.bus
         if bus is not None and bus._subs:
-            bus.emit(
-                SweepPointFinished(
-                    workload=point.workload,
-                    scheme=point.scheme,
-                    index=index,
-                    total=total,
-                    cached=outcome.cached,
-                    elapsed_s=outcome.elapsed_s,
+            if failed:
+                bus.emit(
+                    SweepPointFailed(
+                        workload=point.workload,
+                        scheme=point.scheme,
+                        index=index,
+                        total=total,
+                        status=outcome.status,
+                        attempts=outcome.attempts,
+                        error=outcome.error or "",
+                    )
                 )
-            )
-        if self.hook is not None:
+            else:
+                bus.emit(
+                    SweepPointFinished(
+                        workload=point.workload,
+                        scheme=point.scheme,
+                        index=index,
+                        total=total,
+                        cached=outcome.cached,
+                        elapsed_s=outcome.elapsed_s,
+                    )
+                )
+        if self.hook is not None and outcome.result is not None:
             self.hook(point.workload, point.scheme, outcome.result)

@@ -1,0 +1,136 @@
+"""Sweep manifest: the crash-safe completed-point ledger behind --resume.
+
+A long sweep that dies at point 37/48 should not cost 37 re-simulations.
+The :class:`~repro.analysis.cache.ResultCache` already persists every
+completed point's *result*; what it cannot answer is "which points of
+*this grid* had completed, in which run, with what status".  The
+:class:`SweepLedger` records exactly that, as an append-only JSONL file:
+
+* a **header** line identifying the grid — a stable hash over the ordered
+  cache keys of every point, so a manifest can never be replayed against
+  a different grid (changed configs, reordered workloads, new seed);
+* one **entry** line per completed point ``{"index", "key", "status"}``,
+  appended (and flushed) the moment the point resolves.
+
+Append-only means an interrupt can at worst lose the final line — the
+truncated line is detected and skipped on load.  ``python -m repro sweep
+--resume`` hands the ledger to the runner, which treats recorded points
+as resolved-from-cache and re-executes only the remainder; the
+``sweep/resumed`` counter proves zero re-simulation in the tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.serialize import stable_hash
+
+LEDGER_SCHEMA = 1
+
+
+def grid_fingerprint(cache_keys: Sequence[str]) -> str:
+    """Stable identity of a sweep grid: its ordered point cache keys."""
+    return stable_hash({"schema": LEDGER_SCHEMA, "points": list(cache_keys)})
+
+
+class SweepLedger:
+    """Append-only completed-point record for one sweep grid.
+
+    Args:
+        path: Ledger file location (conventionally inside the cache dir,
+            named after the grid fingerprint).
+
+    Attributes:
+        completed: ``index -> status`` for every point recorded so far
+            (from a previous run after :meth:`load`, plus this run's
+            :meth:`record` calls).
+        resumed_from_previous: How many entries :meth:`load` accepted —
+            the "zero re-executions" acceptance counter.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.completed: dict[int, str] = {}
+        self.resumed_from_previous = 0
+        self._grid: str | None = None
+
+    # ------------------------------------------------------------------
+    def load(self, grid: str, total: int) -> dict[int, str]:
+        """Read a previous run's entries for this exact grid.
+
+        Returns the completed map (also kept on ``self``).  A missing
+        file, a different grid fingerprint, or a corrupt header all mean
+        "nothing to resume" — never an error.  Torn trailing lines are
+        skipped.
+        """
+        self._grid = grid
+        self.completed = {}
+        self.resumed_from_previous = 0
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return self.completed
+        if not lines:
+            return self.completed
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            return self.completed
+        if (
+            header.get("schema") != LEDGER_SCHEMA
+            or header.get("grid") != grid
+            or header.get("total") != total
+        ):
+            return self.completed
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+                index = int(entry["index"])
+                status = str(entry["status"])
+            except (ValueError, KeyError, TypeError):
+                continue  # torn tail of an interrupted run
+            if 0 <= index < total:
+                self.completed[index] = status
+        self.resumed_from_previous = len(self.completed)
+        return self.completed
+
+    def start(self, grid: str, total: int) -> None:
+        """Begin a fresh ledger for this grid (truncates any old file)."""
+        self._grid = grid
+        self.completed = {}
+        self.resumed_from_previous = 0
+        self._write_header(grid, total, mode="w")
+
+    def ensure_header(self, grid: str, total: int) -> None:
+        """After :meth:`load`: create the header if the file was absent."""
+        if not self.path.exists():
+            self._write_header(grid, total, mode="w")
+
+    def _write_header(self, grid: str, total: int, mode: str) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, mode) as stream:
+                json.dump(
+                    {"schema": LEDGER_SCHEMA, "grid": grid, "total": total},
+                    stream,
+                )
+                stream.write("\n")
+        except OSError:
+            pass  # a read-only disk degrades resume, never the sweep
+
+    # ------------------------------------------------------------------
+    def record(self, index: int, key: str, status: str) -> None:
+        """Append one completed point; flushed immediately (crash-safe)."""
+        if index in self.completed:
+            return
+        self.completed[index] = status
+        try:
+            with open(self.path, "a") as stream:
+                json.dump({"index": index, "key": key, "status": status},
+                          stream)
+                stream.write("\n")
+                stream.flush()
+        except OSError:
+            pass

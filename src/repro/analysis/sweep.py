@@ -14,6 +14,8 @@ from typing import Callable, Iterable, Sequence
 
 from repro.analysis.cache import ResultCache
 from repro.analysis.engine import SweepResult, SweepRunner
+from repro.analysis.manifest import SweepLedger
+from repro.faults.injector import FaultPlan
 from repro.obs.events import EventBus
 from repro.system.config import SystemConfig
 from repro.system.metrics import SimulationResult
@@ -30,6 +32,13 @@ def run_sweep(
     jobs: int = 1,
     cache: ResultCache | None = None,
     bus: EventBus | None = None,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    backoff_s: float = 0.0,
+    ledger: SweepLedger | None = None,
+    resume: bool = False,
+    faults: FaultPlan | None = None,
+    on_failure: str = "raise",
 ) -> SweepResult:
     """Run every (config, workload) pair and collect the results.
 
@@ -46,6 +55,21 @@ def run_sweep(
         cache: Optional on-disk :class:`ResultCache`; warm points skip
             simulation entirely.
         bus: Optional observability bus receiving per-point events.
+        timeout_s / retries / backoff_s / ledger / resume / faults /
+            on_failure: Fault-tolerance knobs, forwarded verbatim to
+            :class:`~repro.analysis.engine.SweepRunner` (see its docs).
     """
-    runner = SweepRunner(jobs=jobs, cache=cache, bus=bus, hook=hook)
+    runner = SweepRunner(
+        jobs=jobs,
+        cache=cache,
+        bus=bus,
+        hook=hook,
+        timeout_s=timeout_s,
+        retries=retries,
+        backoff_s=backoff_s,
+        ledger=ledger,
+        resume=resume,
+        faults=faults,
+        on_failure=on_failure,
+    )
     return runner.run_grid(configs, workloads, num_requests, seed=seed)

@@ -22,12 +22,21 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis.cache import ResultCache
+from repro.analysis.engine import SweepInterrupted, SweepRunner
+from repro.analysis.manifest import SweepLedger
 from repro.analysis.report import format_table
-from repro.analysis.sweep import run_sweep
 from repro.core.config import ShadowConfig
-from repro.obs.events import SweepPointFinished
+from repro.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpecError,
+    InvariantViolation,
+    RuntimeInvariants,
+)
+from repro.obs.events import SweepPointFailed, SweepPointFinished
 from repro.obs import (
     AdversaryTraceWriter,
     EventBus,
@@ -192,21 +201,23 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
+def _parse_workloads(spec: str) -> list[str]:
+    if spec.strip().lower() == "all":
+        return workload_names()
+    workloads = [w.strip() for w in spec.split(",") if w.strip()]
+    unknown = [w for w in workloads if w not in workload_names()]
+    if unknown:
+        raise SystemExit(
+            f"unknown workloads: {', '.join(unknown)}; "
+            f"known: {', '.join(workload_names())}"
+        )
+    return workloads
+
+
+def _build_sweep_configs(args: argparse.Namespace) -> list[SystemConfig]:
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
     if not schemes:
         raise SystemExit("--schemes must name at least one scheme")
-    if args.workloads.strip().lower() == "all":
-        workloads = workload_names()
-    else:
-        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
-        unknown = [w for w in workloads if w not in workload_names()]
-        if unknown:
-            raise SystemExit(
-                f"unknown workloads: {', '.join(unknown)}; "
-                f"known: {', '.join(workload_names())}"
-            )
-
     configs = []
     for scheme in schemes:
         sub = argparse.Namespace(**vars(args))
@@ -214,8 +225,33 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if scheme == "insecure":
             sub.timing_protection = False
         configs.append(build_config(sub))
+    return configs
+
+
+def _print_sweep_failures(report) -> None:
+    for point in report.failures():
+        print(f"  FAILED {point.workload}/{point.scheme}: "
+              f"{point.status} after {point.attempts} attempt(s)"
+              + (f" ({point.error})" if point.error else ""))
+
+
+# Exit codes of ``python -m repro sweep`` (documented in the README).
+EXIT_SWEEP_FAILED = 3
+EXIT_INTERRUPTED = 130
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    workloads = _parse_workloads(args.workloads)
+    configs = _build_sweep_configs(args)
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    ledger = (
+        SweepLedger(Path(args.cache_dir) / "sweep-ledger.jsonl")
+        if cache is not None
+        else None
+    )
+    if args.resume and ledger is None:
+        raise SystemExit("--resume needs the result cache (drop --no-cache)")
     bus = EventBus()
 
     def progress(event: SweepPointFinished) -> None:
@@ -223,16 +259,42 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"[{event.index + 1}/{event.total}] "
               f"{event.workload}/{event.scheme}: {status}")
 
+    def failure(event: SweepPointFailed) -> None:
+        print(f"[{event.index + 1}/{event.total}] "
+              f"{event.workload}/{event.scheme}: {event.status} "
+              f"after {event.attempts} attempt(s): {event.error}")
+
     bus.subscribe(progress, SweepPointFinished)
-    sweep = run_sweep(
-        configs, workloads, args.requests,
-        seed=args.seed, jobs=args.jobs, cache=cache, bus=bus,
+    bus.subscribe(failure, SweepPointFailed)
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache=cache,
+        bus=bus,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        backoff_s=args.backoff,
+        ledger=ledger,
+        resume=args.resume,
+        on_failure="report",
     )
+    try:
+        sweep = runner.run_grid(configs, workloads, args.requests,
+                                seed=args.seed)
+    except SweepInterrupted as interrupt:
+        report = interrupt.report
+        print(f"\ninterrupted -- {report.summary()}")
+        print("completed points are flushed; re-run with --resume to "
+              "finish without re-simulating them")
+        return EXIT_INTERRUPTED
+    report = runner.last_report
 
     baseline = configs[0].name
     rows = []
     for workload in workloads:
         for config in configs:
+            if not (sweep.has(workload, config.name)
+                    and sweep.has(workload, baseline)):
+                continue
             result = sweep.get(workload, config.name)
             base = sweep.get(workload, baseline)
             rows.append([
@@ -246,14 +308,108 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ["workload", "scheme", "Mcycles", f"speedup vs {baseline}",
          "on-chip hits"],
         rows,
-        title=f"Sweep ({len(workloads)} workloads x {len(schemes)} schemes, "
+        title=f"Sweep ({len(workloads)} workloads x {len(configs)} schemes, "
               f"jobs={args.jobs})",
     ))
     if cache is not None:
         print(f"cache {args.cache_dir}: {cache.hits} hits, "
               f"{cache.misses} misses, {cache.stores} stored, "
               f"{len(cache)} entries on disk")
+    if report is not None:
+        print(f"sweep report: {report.summary()}")
+        if not report.ok:
+            _print_sweep_failures(report)
+            return EXIT_SWEEP_FAILED
     return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    if args.list:
+        rows = []
+        for kind, cls in sorted(FAULT_KINDS.items()):
+            spec = cls()
+            fields = ", ".join(
+                f"{name}={value!r}"
+                for name, value in sorted(spec.to_dict().items())
+                if name != "kind"
+            )
+            rows.append([kind, fields or "-"])
+        print(format_table(
+            ["kind", "fields (defaults)"], rows,
+            title="Fault specs (--inject 'kind@point:field=value,...')",
+        ))
+        return 0
+    if not args.inject:
+        raise SystemExit("nothing to do: pass --list or --inject SPEC")
+    try:
+        plan = FaultPlan.parse(args.inject, seed=args.fault_seed)
+    except FaultSpecError as exc:
+        raise SystemExit(f"bad --inject spec: {exc}")
+
+    workloads = _parse_workloads(args.workloads)
+    configs = _build_sweep_configs(args)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    print(f"fault plan (seed {plan.seed}):")
+    for spec in plan.specs:
+        print(f"  {spec.to_dict()}")
+
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache=cache,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        backoff_s=args.backoff,
+        faults=plan,
+        on_failure="report",
+    )
+    runner.run_grid(configs, workloads, args.requests, seed=args.seed)
+    report = runner.last_report
+    print(f"sweep under faults: {report.summary()}")
+    rows = [
+        [p.workload, p.scheme, p.status, p.attempts,
+         p.error or "-"]
+        for p in report.points
+    ]
+    print(format_table(
+        ["workload", "scheme", "status", "attempts", "error"], rows,
+        title="Per-point fault report",
+    ))
+
+    # Invariant sweep: re-run the first point in-process with the
+    # backend-level faults applied and the runtime checker attached.
+    injector = plan.injector(in_worker=False)
+    invariants_report = None
+
+    def checked_filter(backend):
+        backend_filter = injector.backend_filter()
+        if backend_filter is not None:
+            backend = backend_filter(backend)
+        controller = getattr(backend, "controller", None)
+        if controller is not None:
+            nonlocal invariants_report
+            checker = RuntimeInvariants(
+                controller, policy=args.invariant_policy
+            )
+            checker.attach()
+            invariants_report = checker.report
+        return backend
+
+    try:
+        simulate(configs[0], workloads[0], num_requests=args.requests,
+                 seed=args.seed, backend_filter=checked_filter)
+    except InvariantViolation as violation:
+        print(f"runtime invariants aborted the run: {violation}")
+    if injector.fired():
+        print("fired faults (deterministic for this plan+seed):")
+        for entry in injector.fired():
+            print(f"  {entry}")
+    if invariants_report is not None:
+        print(f"runtime invariants ({args.invariant_policy}): "
+              f"{invariants_report.checks} checks, "
+              f"{len(invariants_report.violations)} violation(s)")
+        for violation in invariants_report.violations[:10]:
+            print(f"  {violation}")
+    return 0 if report.ok else EXIT_SWEEP_FAILED
 
 
 def cmd_workloads(_args: argparse.Namespace) -> int:
@@ -329,33 +485,81 @@ def make_parser() -> argparse.ArgumentParser:
                        help="DRI counter width for the dynamic scheme")
     cmp_p.set_defaults(fn=cmd_compare)
 
+    def sweep_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workloads", default="mcf,libquantum",
+            help="comma-separated workload names, or 'all'",
+        )
+        p.add_argument(
+            "--schemes", default="insecure,tiny,dynamic-3",
+            help="comma-separated scheme names (first is the speedup baseline)",
+        )
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes (1 = serial, 0 = one per CPU); "
+                 "parallel results are bit-identical to serial",
+        )
+        p.add_argument(
+            "--cache-dir", default=".repro-sweep-cache", metavar="DIR",
+            help="on-disk result cache location",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="always simulate; do not read or write the result cache",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-point wall-clock budget (parallel runs only); a point "
+                 "past its deadline is retried or reported timed-out",
+        )
+        p.add_argument(
+            "--retries", type=int, default=0, metavar="N",
+            help="extra attempts per point after a crash/timeout",
+        )
+        p.add_argument(
+            "--backoff", type=float, default=0.0, metavar="SECONDS",
+            help="base of the exponential retry backoff",
+        )
+
     sweep_p = sub.add_parser(
         "sweep",
         help="run a (workload x scheme) grid in parallel with result caching",
     )
     common(sweep_p)
+    sweep_flags(sweep_p)
     sweep_p.add_argument(
-        "--workloads", default="mcf,libquantum",
-        help="comma-separated workload names, or 'all'",
-    )
-    sweep_p.add_argument(
-        "--schemes", default="insecure,tiny,dynamic-3",
-        help="comma-separated scheme names (first is the speedup baseline)",
-    )
-    sweep_p.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes (1 = serial, 0 = one per CPU); "
-             "parallel results are bit-identical to serial",
-    )
-    sweep_p.add_argument(
-        "--cache-dir", default=".repro-sweep-cache", metavar="DIR",
-        help="on-disk result cache location",
-    )
-    sweep_p.add_argument(
-        "--no-cache", action="store_true",
-        help="always simulate; do not read or write the result cache",
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from the cache + completed-point "
+             "ledger (stored in the cache dir); completed points are not "
+             "re-simulated",
     )
     sweep_p.set_defaults(fn=cmd_sweep)
+
+    faults_p = sub.add_parser(
+        "faults",
+        help="deterministic fault injection: list specs or run a sweep "
+             "under an injected fault plan + runtime invariant checks",
+    )
+    common(faults_p)
+    sweep_flags(faults_p)
+    faults_p.add_argument(
+        "--list", action="store_true",
+        help="list available fault spec kinds and exit",
+    )
+    faults_p.add_argument(
+        "--inject", action="append", default=[], metavar="SPEC",
+        help="fault spec 'kind[@point][:field=value,...]' (repeatable), "
+             "e.g. worker-crash@2:attempt=1 or cache-corrupt:mode=truncate",
+    )
+    faults_p.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault injector's random choices",
+    )
+    faults_p.add_argument(
+        "--invariant-policy", choices=["raise", "degrade"], default="degrade",
+        help="what the runtime invariant checker does on a violation",
+    )
+    faults_p.set_defaults(fn=cmd_faults)
 
     wl_p = sub.add_parser("workloads", help="list available workloads")
     wl_p.set_defaults(fn=cmd_workloads)

@@ -1,0 +1,54 @@
+"""Deterministic fault injection + runtime invariants (DESIGN.md §8).
+
+This package is the standing proof that the sweep/simulation stack
+degrades gracefully: seeded, serializable fault specs
+(:mod:`repro.faults.spec`) are injected at the engine's existing seams by
+:class:`~repro.faults.injector.FaultInjector`, and
+:class:`~repro.faults.invariants.RuntimeInvariants` audits controller
+state per access with a configurable degrade-vs-raise policy.
+
+Try it from the shell::
+
+    python -m repro faults --list
+    python -m repro faults --inject worker-crash@2 --inject cache-corrupt
+"""
+
+from repro.faults.injector import FaultInjector, FaultPlan, InjectedCrash
+from repro.faults.invariants import (
+    InvariantReport,
+    InvariantViolation,
+    RuntimeInvariants,
+)
+from repro.faults.spec import (
+    FAULT_KINDS,
+    BitFlip,
+    CacheCorruption,
+    CacheOsError,
+    FaultSpec,
+    FaultSpecError,
+    StashPressure,
+    WorkerCrash,
+    WorkerHang,
+    parse_spec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "BitFlip",
+    "CacheCorruption",
+    "CacheOsError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultSpecError",
+    "InjectedCrash",
+    "InvariantReport",
+    "InvariantViolation",
+    "RuntimeInvariants",
+    "StashPressure",
+    "WorkerCrash",
+    "WorkerHang",
+    "parse_spec",
+    "spec_from_dict",
+]

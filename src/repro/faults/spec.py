@@ -1,0 +1,234 @@
+"""Fault taxonomy: small, serializable descriptions of what goes wrong.
+
+Each :class:`FaultSpec` names one adverse runtime condition the simulator
+or the sweep engine must survive, and *where* in the run it fires (grid
+point, attempt number, access index).  Specs are plain frozen dataclasses
+with a ``kind`` registry and dict round-tripping, so a whole
+:class:`FaultPlan` can be shipped to worker processes inside a sweep job
+and reconstructed bit-identically — same plan + same seed produces the
+same failure sequence in every process, which is what makes fault runs
+reproducible.
+
+The taxonomy (DESIGN.md §8):
+
+========================  =====================================================
+kind                      what it models
+========================  =====================================================
+``worker-crash``          a sweep worker dying mid-point (exception or hard
+                          ``os._exit`` that breaks the process pool)
+``worker-hang``           a grid point that never finishes (worker sleeps past
+                          the runner's per-point timeout)
+``cache-corrupt``         a torn / bit-rotted on-disk cache entry (truncation
+                          at a seeded offset, or garbage bytes)
+``cache-os-error``        the cache directory failing with ``OSError`` —
+                          ``ENOSPC``, read-only mount, quota
+``stash-pressure``        a transient stash-occupancy spike (capacity squeezed
+                          for a window of accesses)
+``bit-flip``              a DRAM payload/metadata bit-flip in a tree bucket,
+                          the fault :mod:`repro.oram.integrity` exists to catch
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import errno
+from dataclasses import asdict, dataclass, fields
+
+
+class FaultSpecError(ValueError):
+    """Raised for unknown fault kinds or malformed spec strings."""
+
+
+@dataclass(slots=True, frozen=True)
+class FaultSpec:
+    """Base class: every spec knows its registry ``kind``."""
+
+    kind = "abstract"
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {"kind": self.kind}
+        out.update(asdict(self))
+        return out
+
+
+@dataclass(slots=True, frozen=True)
+class WorkerCrash(FaultSpec):
+    """Crash the execution of grid point ``point`` on attempt ``attempt``.
+
+    ``mode="exception"`` raises :class:`~repro.faults.injector.InjectedCrash`
+    (a job failure the runner retries); ``mode="exit"`` calls ``os._exit``
+    inside a worker process, breaking the whole pool — when executed
+    in-process (serial path, or the post-respawn re-execution) it degrades
+    to the exception form so the parent never kills itself.
+    """
+
+    kind = "worker-crash"
+
+    point: int = 0
+    attempt: int = 1
+    mode: str = "exception"  # exception | exit
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("exception", "exit"):
+            raise FaultSpecError(f"worker-crash mode must be "
+                                 f"'exception' or 'exit', got {self.mode!r}")
+
+
+@dataclass(slots=True, frozen=True)
+class WorkerHang(FaultSpec):
+    """Stall grid point ``point`` on attempt ``attempt`` for ``hang_s``.
+
+    ``hang_s`` should comfortably exceed the runner's per-point timeout
+    but stay bounded (an abandoned worker sleeps it out in the
+    background; an unbounded sleep would stall interpreter shutdown).
+    """
+
+    kind = "worker-hang"
+
+    point: int = 0
+    attempt: int = 1
+    hang_s: float = 5.0
+
+
+@dataclass(slots=True, frozen=True)
+class CacheCorruption(FaultSpec):
+    """Corrupt cache entries as they are read back.
+
+    ``mode="truncate"`` cuts the entry file at a seeded random offset
+    (modelling a torn write); ``mode="garbage"`` overwrites it with
+    non-JSON bytes.  ``first``/``count`` select which cache *reads* are
+    hit (0-based read index); the default corrupts every entry, turning
+    the whole cache directory into a miss — the degraded mode the
+    acceptance criteria exercise.
+    """
+
+    kind = "cache-corrupt"
+
+    mode: str = "truncate"  # truncate | garbage
+    first: int = 0
+    count: int = -1  # -1 = every read from `first` on
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("truncate", "garbage"):
+            raise FaultSpecError(f"cache-corrupt mode must be "
+                                 f"'truncate' or 'garbage', got {self.mode!r}")
+
+
+@dataclass(slots=True, frozen=True)
+class CacheOsError(FaultSpec):
+    """Make cache writes fail with ``OSError(err)`` from put ``first`` on.
+
+    Models ``ENOSPC`` / read-only cache directories; the cache must
+    degrade to write-disabled mode, never abort the sweep.
+    """
+
+    kind = "cache-os-error"
+
+    err: int = errno.ENOSPC
+    first: int = 0
+    count: int = -1
+
+
+@dataclass(slots=True, frozen=True)
+class StashPressure(FaultSpec):
+    """Squeeze the stash's real-block capacity during one access window.
+
+    From access ``at_access`` (0-based, counted per controller) for
+    ``window`` accesses, capacity is reduced by ``squeeze`` real slots.
+    With the invariant checker in ``degrade`` mode this surfaces as
+    counted violations; in ``raise`` mode (or if the squeeze is deep
+    enough to overflow) the run aborts loudly — either way the behaviour
+    is decided by policy, not by accident.
+    """
+
+    kind = "stash-pressure"
+
+    at_access: int = 0
+    window: int = 1
+    squeeze: int = 1
+
+
+@dataclass(slots=True, frozen=True)
+class BitFlip(FaultSpec):
+    """Flip payload/version bits of one occupied tree bucket slot.
+
+    Fires before access ``at_access``; the victim slot is chosen with the
+    injector's seeded RNG.  :class:`~repro.oram.integrity.MerkleTree`
+    verification catches the tamper as an
+    :class:`~repro.oram.integrity.IntegrityError`; the
+    :class:`~repro.faults.invariants.RuntimeInvariants` checker catches
+    the stale shadow / version skew it leaves behind.
+    """
+
+    kind = "bit-flip"
+
+    at_access: int = 0
+
+
+FAULT_KINDS: dict[str, type[FaultSpec]] = {
+    cls.kind: cls
+    for cls in (WorkerCrash, WorkerHang, CacheCorruption, CacheOsError,
+                StashPressure, BitFlip)
+}
+
+
+def spec_from_dict(payload: dict[str, object]) -> FaultSpec:
+    """Rebuild a spec from :meth:`FaultSpec.to_dict` output."""
+    payload = dict(payload)
+    kind = payload.pop("kind", None)
+    cls = FAULT_KINDS.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise FaultSpecError(
+            f"unknown fault kind {kind!r}; known: {sorted(FAULT_KINDS)}"
+        )
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(payload) - allowed
+    if unknown:
+        raise FaultSpecError(f"{kind}: unknown fields {sorted(unknown)}")
+    return cls(**payload)  # type: ignore[arg-type]
+
+
+def parse_spec(text: str) -> FaultSpec:
+    """Parse the CLI syntax ``kind[@point][:field=value,...]``.
+
+    Examples::
+
+        worker-crash@2              crash point 2's first attempt
+        worker-crash@2:mode=exit    hard-kill the worker at point 2
+        worker-hang@1:hang_s=3      hang point 1 for 3 seconds
+        cache-corrupt               corrupt every cache read
+        cache-os-error:first=1      ENOSPC from the second put on
+        stash-pressure:at_access=50,squeeze=4,window=10
+        bit-flip:at_access=100
+    """
+    head, _, opts = text.strip().partition(":")
+    kind, _, point = head.partition("@")
+    cls = FAULT_KINDS.get(kind)
+    if cls is None:
+        raise FaultSpecError(
+            f"unknown fault kind {kind!r}; known: {sorted(FAULT_KINDS)}"
+        )
+    field_types = {f.name: f.type for f in fields(cls)}
+    kwargs: dict[str, object] = {}
+    if point:
+        if "point" not in field_types:
+            raise FaultSpecError(f"{kind} does not take an @point selector")
+        kwargs["point"] = int(point)
+    if opts:
+        for item in opts.split(","):
+            name, sep, value = item.partition("=")
+            name = name.strip()
+            if not sep or name not in field_types:
+                raise FaultSpecError(
+                    f"{kind}: bad option {item!r}; "
+                    f"fields: {sorted(field_types)}"
+                )
+            default = next(f for f in fields(cls) if f.name == name).default
+            target = type(default) if default is not None else str
+            if target is bool:
+                kwargs[name] = value.strip().lower() in ("1", "true", "yes")
+            elif target in (int, float):
+                kwargs[name] = target(value)
+            else:
+                kwargs[name] = value.strip()
+    return cls(**kwargs)  # type: ignore[arg-type]

@@ -29,6 +29,10 @@ from repro.obs.events import (
     RequestCompleted,
     SlotAligned,
     StashOccupancy,
+    SweepPointFailed,
+    SweepPointFinished,
+    SweepPointRetried,
+    SweepPointStarted,
     event_to_dict,
 )
 from repro.obs.log import AdversaryTraceWriter, JsonlLogger, run_metadata
@@ -54,6 +58,10 @@ __all__ = [
     "RequestCompleted",
     "SlotAligned",
     "StashOccupancy",
+    "SweepPointFailed",
+    "SweepPointFinished",
+    "SweepPointRetried",
+    "SweepPointStarted",
     "TimelineBuilder",
     "event_to_dict",
     "profile_run",

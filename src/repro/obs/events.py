@@ -191,6 +191,39 @@ class SweepPointFinished:
     elapsed_s: float
 
 
+@dataclass(slots=True, frozen=True)
+class SweepPointRetried:
+    """One grid point's attempt failed and the runner is retrying it.
+
+    ``attempt`` is the attempt number that failed (1-based); ``error`` is
+    the repr of the exception (or ``"timeout"`` for a hung point).
+    """
+
+    workload: str
+    scheme: str
+    index: int
+    total: int
+    attempt: int
+    error: str
+
+
+@dataclass(slots=True, frozen=True)
+class SweepPointFailed:
+    """One grid point exhausted its retry budget and was abandoned.
+
+    ``status`` is ``"failed"`` (the job raised), ``"timed-out"`` (every
+    attempt exceeded the per-point timeout) or ``"interrupted"``.
+    """
+
+    workload: str
+    scheme: str
+    index: int
+    total: int
+    status: str
+    attempts: int
+    error: str
+
+
 EVENT_TYPES: tuple[type, ...] = (
     PathReadStarted,
     PathReadFinished,
@@ -205,6 +238,8 @@ EVENT_TYPES: tuple[type, ...] = (
     HotAddressTouched,
     SweepPointStarted,
     SweepPointFinished,
+    SweepPointRetried,
+    SweepPointFailed,
 )
 
 

@@ -178,6 +178,11 @@ class TinyOramController:
         self.stash = Stash(config.stash_capacity, bus=self.bus)
         self.posmap = PositionMap(config.num_blocks, config.num_leaves, rng)
         self.stats = OramStats()
+        # Per-access seam for runtime auditing: when set, called with the
+        # AccessResult after every access()/dummy_access().  The fault
+        # harness attaches RuntimeInvariants here (repro.faults); None
+        # keeps the hot path at a single attribute check.
+        self.post_access_hook: Callable[[AccessResult], None] | None = None
         self._ro_since_eviction = 0
         self._eviction_counter = 0
         self._bootstrap()
@@ -209,6 +214,8 @@ class TinyOramController:
         if hit is not None:
             if bus._subs:
                 bus.emit(_completed(hit, bus.core))
+            if self.post_access_hook is not None:
+                self.post_access_hook(hit)
             return hit
 
         leaf = self.posmap.lookup(addr)
@@ -216,6 +223,8 @@ class TinyOramController:
         result = self._oram_access(addr, op, payload, leaf, new_leaf, now)
         if bus._subs:
             bus.emit(_completed(result, bus.core))
+        if self.post_access_hook is not None:
+            self.post_access_hook(result)
         return result
 
     def peek_onchip(self, addr: int, op: str) -> bool:
@@ -252,6 +261,8 @@ class TinyOramController:
         if bus._subs:
             bus.emit(DummyIssued(leaf=leaf, ts=now, finish=finish))
             bus.emit(_completed(result, bus.core))
+        if self.post_access_hook is not None:
+            self.post_access_hook(result)
         return result
 
     # ------------------------------------------------------------------

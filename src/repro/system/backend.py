@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import Protocol
+from typing import Callable, Protocol
 
 from repro.core.controller import ShadowOramController
 from repro.cpu.trace import LlcMiss
@@ -77,6 +77,15 @@ class Backend(Protocol):
     ) -> SimulationResult:
         """Fold frontend totals and backend counters into the result."""
         ...
+
+
+# A backend decorator the frontend applies after construction.  This is
+# the sanctioned seam for wrapping a run's memory system — the fault
+# harness (repro.faults) injects stash-pressure spikes and DRAM bit-flips
+# through it, and invariant/consistency auditors attach the same way.  A
+# filter must preserve the Backend protocol and, for transparent wrappers,
+# expose the inner ``controller`` attribute when one exists.
+BackendFilter = Callable[[Backend], Backend]
 
 
 def build_oram_controller(

@@ -32,6 +32,7 @@ from repro.obs.events import EventBus
 from repro.oram.tiny import Observer, TinyOramController
 from repro.system.backend import (
     Backend,
+    BackendFilter,
     InsecureDramBackend,
     OramBackend,
     build_oram_controller,
@@ -77,6 +78,11 @@ class SystemSimulator:
             attached the instrumentation is a no-op.
         observer: Adversary-view callback receiving ``(kind, leaf, time)``
             for every externally visible path access.
+        backend_filter: Optional decorator applied to the constructed
+            backend — the seam the fault harness (:mod:`repro.faults`)
+            uses to inject per-access faults and invariant checks.
+            ``None`` leaves the backend unwrapped (the bit-identical
+            default path).
     """
 
     def __init__(
@@ -85,11 +91,13 @@ class SystemSimulator:
         energy: EnergyConfig | None = None,
         bus: EventBus | None = None,
         observer: Observer | None = None,
+        backend_filter: BackendFilter | None = None,
     ):
         self.config = config
         self.energy_model = EnergyModel(energy)
         self.bus = bus if bus is not None else EventBus()
         self.observer = observer
+        self.backend_filter = backend_filter
 
     # ------------------------------------------------------------------
     def run(
@@ -113,6 +121,8 @@ class SystemSimulator:
         if seed is None:
             seed = self.config.seed
         backend = self._build_backend(seed, record_progress, keep_stats)
+        if self.backend_filter is not None:
+            backend = self.backend_filter(backend)
         traces = self._per_core_traces(workload_name, num_requests, seed)
         return self._drive(backend, workload_name, traces, record_progress)
 
@@ -275,9 +285,12 @@ def simulate(
     record_progress: bool = False,
     bus: EventBus | None = None,
     observer: Observer | None = None,
+    backend_filter: BackendFilter | None = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SystemSimulator`."""
-    return SystemSimulator(config, bus=bus, observer=observer).run(
+    return SystemSimulator(
+        config, bus=bus, observer=observer, backend_filter=backend_filter
+    ).run(
         workload_name,
         num_requests=num_requests,
         seed=seed,
