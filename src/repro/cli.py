@@ -31,9 +31,11 @@ from repro.analysis.report import format_table
 from repro.core.config import ShadowConfig
 from repro.faults import (
     FAULT_KINDS,
+    BitFlip,
     FaultPlan,
     FaultSpecError,
     InvariantViolation,
+    PosmapCorrupt,
     RuntimeInvariants,
 )
 from repro.obs.events import SweepPointFailed, SweepPointFinished
@@ -47,6 +49,8 @@ from repro.obs import (
     run_metadata,
 )
 from repro.oram.config import OramConfig
+from repro.oram.integrity import IntegrityError
+from repro.system.checkpoint import Checkpointer
 from repro.system.config import SystemConfig
 from repro.system.overhead import estimate_overhead
 from repro.system.simulator import simulate
@@ -64,6 +68,9 @@ def build_config(args: argparse.Namespace) -> SystemConfig:
         utilization=args.utilization,
         treetop_levels=args.treetop,
         xor_compression=args.xor,
+        integrity=args.integrity,
+        recovery=args.recovery_policy,
+        scrub_interval=args.scrub_interval,
     )
     scheme = args.scheme.lower()
     if scheme == "tiny":
@@ -110,6 +117,13 @@ def _result_rows(result) -> list[list[object]]:
 def cmd_run(args: argparse.Namespace) -> int:
     config = build_config(args)
     print(f"config: {config.describe()}")
+    if args.restore and not args.checkpoint_dir:
+        raise SystemExit("--restore needs --checkpoint-dir")
+    checkpointer = (
+        Checkpointer(args.checkpoint_dir, every=args.checkpoint_every)
+        if args.checkpoint_dir
+        else None
+    )
     bus = EventBus()
     meta = run_metadata(config, workload=args.workload, requests=args.requests)
     collector = MetricsCollector(bus) if args.metrics else None
@@ -132,12 +146,18 @@ def cmd_run(args: argparse.Namespace) -> int:
             observer.logger.write_record(meta)
             written.append(("adversary trace (JSONL)", args.adversary_trace))
         result = simulate(config, args.workload, num_requests=args.requests,
-                          seed=args.seed, bus=bus, observer=observer)
+                          seed=args.seed, bus=bus, observer=observer,
+                          checkpointer=checkpointer, restore=args.restore)
     finally:
         for stream in open_files:
             stream.close()
     print(format_table(["metric", "value"], _result_rows(result),
                        title="Simulation result"))
+    if checkpointer is not None:
+        print(f"checkpoints in {args.checkpoint_dir}: "
+              f"{checkpointer.saves} saved, {checkpointer.pruned} pruned"
+              + (f", {checkpointer.skipped} skipped on restore"
+                 if args.restore else ""))
     if collector is not None:
         with open(args.metrics, "w") as stream:
             collector.registry.write_json(stream, **meta)
@@ -346,6 +366,17 @@ def cmd_faults(args: argparse.Namespace) -> int:
     except FaultSpecError as exc:
         raise SystemExit(f"bad --inject spec: {exc}")
 
+    # Corruption specs only make sense with the integrity layer watching:
+    # auto-arm it so `faults --inject bit-flip:...` detects and (under the
+    # faults default --recovery-policy recover) self-heals end to end.
+    corruption_plan = any(
+        isinstance(spec, (BitFlip, PosmapCorrupt)) for spec in plan.specs
+    )
+    if corruption_plan and not args.integrity:
+        args.integrity = True
+        print(f"corruption specs in plan: enabling --integrity "
+              f"(--recovery-policy {args.recovery_policy})")
+
     workloads = _parse_workloads(args.workloads)
     configs = _build_sweep_configs(args)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -379,6 +410,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
     # backend-level faults applied and the runtime checker attached.
     injector = plan.injector(in_worker=False)
     invariants_report = None
+    checked_controller = None
 
     def checked_filter(backend):
         backend_filter = injector.backend_filter()
@@ -386,7 +418,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
             backend = backend_filter(backend)
         controller = getattr(backend, "controller", None)
         if controller is not None:
-            nonlocal invariants_report
+            nonlocal invariants_report, checked_controller
+            checked_controller = controller
             checker = RuntimeInvariants(
                 controller, policy=args.invariant_policy
             )
@@ -399,6 +432,9 @@ def cmd_faults(args: argparse.Namespace) -> int:
                  seed=args.seed, backend_filter=checked_filter)
     except InvariantViolation as violation:
         print(f"runtime invariants aborted the run: {violation}")
+    except IntegrityError as violation:
+        print(f"integrity layer aborted the run "
+              f"(--recovery-policy {args.recovery_policy}): {violation}")
     if injector.fired():
         print("fired faults (deterministic for this plan+seed):")
         for entry in injector.fired():
@@ -409,6 +445,20 @@ def cmd_faults(args: argparse.Namespace) -> int:
               f"{len(invariants_report.violations)} violation(s)")
         for violation in invariants_report.violations[:10]:
             print(f"  {violation}")
+    recovery = getattr(checked_controller, "recovery", None)
+    if recovery is not None:
+        stats = recovery.stats
+        print(f"recovery ({recovery.policy}): "
+              f"{stats.corruptions} corruption(s) detected, "
+              f"{stats.recoveries} recovered, "
+              f"{stats.unrecoverable} unrecoverable, "
+              f"{stats.posmap_repairs} posmap repair(s)")
+        if stats.recovered_from:
+            breakdown = ", ".join(
+                f"{source}={count}"
+                for source, count in sorted(stats.recovered_from.items())
+            )
+            print(f"  recovered from: {breakdown}")
     return 0 if report.ok else EXIT_SWEEP_FAILED
 
 
@@ -457,6 +507,19 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--timing-protection", action="store_true")
         p.add_argument("--rate", type=float, default=800.0,
                        help="timing protection slot length (cycles)")
+        p.add_argument("--integrity", action="store_true",
+                       help="authenticate every path access against a "
+                            "Merkle hash tree")
+        p.add_argument("--recovery-policy",
+                       choices=["raise", "recover", "degrade"],
+                       default="raise",
+                       help="on corruption: abort (raise), self-heal from "
+                            "duplicates (recover), or drop the slot and "
+                            "keep running (degrade)")
+        p.add_argument("--scrub-interval", type=int, default=0, metavar="N",
+                       help="full-tree integrity scrub every N accesses "
+                            "(0 disables; under --recovery-policy raise "
+                            "a scrub hit aborts the run)")
 
     run_p = sub.add_parser("run", help="run one configuration")
     common(run_p)
@@ -470,6 +533,16 @@ def make_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--adversary-trace", metavar="FILE",
                        help="dump the adversary-visible (kind, leaf, time) "
                             "path sequence as JSONL")
+    run_p.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="snapshot the full runtime state into DIR "
+                            "(atomic writes, torn-tail tolerant)")
+    run_p.add_argument("--checkpoint-every", type=int, default=1000,
+                       metavar="N",
+                       help="checkpoint every N served LLC misses")
+    run_p.add_argument("--restore", action="store_true",
+                       help="resume from the newest valid checkpoint in "
+                            "--checkpoint-dir; the finished run is "
+                            "bit-identical to an uninterrupted one")
     run_p.set_defaults(fn=cmd_run)
 
     prof_p = sub.add_parser(
@@ -559,7 +632,9 @@ def make_parser() -> argparse.ArgumentParser:
         "--invariant-policy", choices=["raise", "degrade"], default="degrade",
         help="what the runtime invariant checker does on a violation",
     )
-    faults_p.set_defaults(fn=cmd_faults)
+    # Fault runs default to self-healing (the other subcommands keep the
+    # fail-stop `raise` default); --recovery-policy raise still aborts.
+    faults_p.set_defaults(fn=cmd_faults, recovery_policy="recover")
 
     wl_p = sub.add_parser("workloads", help="list available workloads")
     wl_p.set_defaults(fn=cmd_workloads)

@@ -288,3 +288,32 @@ class ShadowOramController(TinyOramController):
                 self.stash.remove_shadow(cand.block.addr)
                 self._shadow_source_level.pop(cand.block.addr, None)
                 self.shadow_stats.stash_shadow_reevictions += 1
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        from repro.serialize import dataclass_to_dict
+
+        state = super().snapshot_state()
+        state["hot_cache"] = self.hot_cache.snapshot_state()
+        state["partition"] = self.partition.snapshot_state()
+        state["shadow_stats"] = dataclass_to_dict(self.shadow_stats)
+        state["shadow_source_level"] = [
+            [addr, level] for addr, level in self._shadow_source_level.items()
+        ]
+        return state
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        from repro.serialize import dataclass_from_dict
+
+        super().restore_state(state)
+        self.hot_cache.restore_state(state["hot_cache"])
+        self.partition.restore_state(state["partition"])
+        self.shadow_stats = dataclass_from_dict(
+            ShadowStats, state["shadow_stats"]
+        )
+        self._shadow_source_level = {
+            int(addr): int(level)
+            for addr, level in state["shadow_source_level"]
+        }

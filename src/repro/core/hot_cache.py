@@ -77,6 +77,34 @@ class HotAddressCache:
         """
         return self._set_of(addr).get(addr, 0)
 
+    def snapshot_state(self) -> dict[str, object]:
+        """Checkpointable rendering; per-set entry order is preserved.
+
+        Order matters: LFU eviction breaks counter ties by insertion
+        order (``min`` over dict iteration), so a restored cache must
+        iterate identically to the uninterrupted one.
+        """
+        return {
+            "lines": [list(line.items()) for line in self._lines],
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        lines = state["lines"]
+        if len(lines) != self.sets:
+            raise ValueError(
+                f"hot-cache snapshot has {len(lines)} sets, expected {self.sets}"
+            )
+        self._lines = [
+            {int(addr): int(count) for addr, count in line} for line in lines
+        ]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.evictions = state["evictions"]
+
     def __contains__(self, addr: int) -> bool:
         return addr in self._set_of(addr)
 

@@ -95,6 +95,14 @@ class PartitionPolicy:
     def observe_idle_gap(self, gap: float, dummy_threshold: float) -> None:
         """Static partitioning ignores idle gaps."""
 
+    def snapshot_state(self) -> dict[str, object]:
+        """Checkpointable rendering of the policy state."""
+        return {"level": self._level}
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self._level = state["level"]
+
 
 class DynamicPartitionPolicy(PartitionPolicy):
     """DRI-counter-driven partitioning (Section IV-D-2).
@@ -150,3 +158,16 @@ class DynamicPartitionPolicy(PartitionPolicy):
         """
         if dummy_threshold > 0 and gap >= dummy_threshold:
             self.observe(DUMMY)
+
+    def snapshot_state(self) -> dict[str, object]:
+        state = super().snapshot_state()
+        state["counter_value"] = self.counter.value
+        state["counter_prev"] = self.counter._prev
+        state["adjustments"] = self.adjustments
+        return state
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        super().restore_state(state)
+        self.counter.value = state["counter_value"]
+        self.counter._prev = state["counter_prev"]
+        self.adjustments = state["adjustments"]

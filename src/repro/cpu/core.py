@@ -104,3 +104,21 @@ class MissIssuePolicy:
         self._completions.append(data_ready)
         if len(self._completions) > 4 * self.config.window:
             del self._completions[: 2 * self.config.window]
+
+    def snapshot_state(self) -> dict[str, object]:
+        """Checkpointable rendering of the issue-stage state.
+
+        ``_completions`` is saved verbatim (including its trim phase) so
+        a restored policy answers ``ready_time`` identically.
+        """
+        return {
+            "completions": list(self._completions),
+            "last_completion": self._last_completion,
+            "last_issue": self._last_issue,
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self._completions = list(state["completions"])
+        self._last_completion = state["last_completion"]
+        self._last_issue = state["last_issue"]

@@ -26,6 +26,7 @@ from repro.faults.spec import (
     CacheOsError,
     FaultSpec,
     FaultSpecError,
+    PosmapCorrupt,
     StashPressure,
     WorkerCrash,
     WorkerHang,
@@ -45,6 +46,7 @@ __all__ = [
     "InjectedCrash",
     "InvariantReport",
     "InvariantViolation",
+    "PosmapCorrupt",
     "RuntimeInvariants",
     "StashPressure",
     "WorkerCrash",

@@ -36,6 +36,7 @@ from repro.faults.spec import (
     CacheCorruption,
     CacheOsError,
     FaultSpec,
+    PosmapCorrupt,
     StashPressure,
     WorkerCrash,
     WorkerHang,
@@ -191,7 +192,11 @@ class FaultInjector:
         Returns ``None`` when the plan contains no simulator-level specs,
         so fault-free sweeps keep an unwrapped (bit-identical) backend.
         """
-        if not (self._specs(StashPressure) or self._specs(BitFlip)):
+        if not (
+            self._specs(StashPressure)
+            or self._specs(BitFlip)
+            or self._specs(PosmapCorrupt)
+        ):
             return None
 
         def wrap(backend):
@@ -208,6 +213,9 @@ class FaultInjector:
         for spec in self._specs(BitFlip):
             if spec.at_access == index:
                 self._flip_bit(controller, index)
+        for spec in self._specs(PosmapCorrupt):
+            if spec.at_access == index:
+                self._corrupt_posmap(controller, spec.addr, index)
         for spec in self._specs(StashPressure):
             if spec.at_access == index:
                 self.log.append(
@@ -238,6 +246,38 @@ class FaultInjector:
         blk.version ^= 1
         blk.payload = ("bitflip", blk.payload)
         self.log.append(f"bit-flip@access{index}:bucket{idx}/slot{slot}")
+
+    def _corrupt_posmap(self, controller, addr: int, index: int) -> None:
+        """Make one posmap entry stale (models on-chip SRAM corruption).
+
+        With ``addr < 0`` the victim is a seeded-random address whose real
+        block currently rests in the tree (not the stash), so the
+        authoritative leaf is recoverable from the tree and the fault is
+        always repairable.  The state is mutated directly — like
+        :meth:`_flip_bit` this models corruption, not an API anyone calls.
+        """
+        posmap = controller.posmap
+        if addr < 0:
+            resident = sorted(
+                {
+                    blk.addr
+                    for _, _, blk in controller.tree.iter_blocks()
+                    if not blk.is_shadow
+                }
+            )
+            if not resident:
+                return
+            addr = resident[self.rng.randrange(len(resident))]
+        current = posmap.lookup(addr)
+        if posmap.num_leaves < 2:
+            return
+        stale = (
+            current + 1 + self.rng.randrange(posmap.num_leaves - 1)
+        ) % posmap.num_leaves
+        posmap._leaf[addr] = stale
+        self.log.append(
+            f"posmap-corrupt@access{index}:addr{addr}:{current}->{stale}"
+        )
 
 
 def _in_window(index: int, first: int, count: int) -> bool:
@@ -278,3 +318,11 @@ class _FaultyBackend:
 
     def finalize(self, *args, **kwargs):
         return self.inner.finalize(*args, **kwargs)
+
+    # Checkpoint passthrough: the wrapper is stateless apart from the
+    # injector's ordinals, which are part of the plan, not the run state.
+    def snapshot_state(self):
+        return self.inner.snapshot_state()
+
+    def restore_state(self, state) -> None:
+        self.inner.restore_state(state)

@@ -26,6 +26,9 @@ kind                      what it models
                           for a window of accesses)
 ``bit-flip``              a DRAM payload/metadata bit-flip in a tree bucket,
                           the fault :mod:`repro.oram.integrity` exists to catch
+``posmap-corrupt``        a stale position-map entry (on-chip SRAM upset or a
+                          lost remap), the fault recovery's posmap-repair
+                          branch exists to fix
 ========================  =====================================================
 """
 
@@ -165,10 +168,28 @@ class BitFlip(FaultSpec):
     at_access: int = 0
 
 
+@dataclass(slots=True, frozen=True)
+class PosmapCorrupt(FaultSpec):
+    """Make one position-map entry stale before access ``at_access``.
+
+    ``addr=-1`` lets the injector pick (with its seeded RNG) an address
+    whose real block currently rests in the tree, so the fault is always
+    repairable by the recovery layer's posmap-guided branch; a fixed
+    ``addr`` targets that block regardless of where it lives.  The stale
+    leaf is drawn uniformly from the *other* leaves, so the entry is
+    guaranteed wrong.
+    """
+
+    kind = "posmap-corrupt"
+
+    at_access: int = 0
+    addr: int = -1
+
+
 FAULT_KINDS: dict[str, type[FaultSpec]] = {
     cls.kind: cls
     for cls in (WorkerCrash, WorkerHang, CacheCorruption, CacheOsError,
-                StashPressure, BitFlip)
+                StashPressure, BitFlip, PosmapCorrupt)
 }
 
 

@@ -224,6 +224,87 @@ class SweepPointFailed:
     error: str
 
 
+@dataclass(slots=True, frozen=True)
+class CorruptionDetected:
+    """Integrity verification localized one corrupt tree slot."""
+
+    bucket: int
+    level: int
+    slot: int
+    addr: int  # -1 when the authenticated contents were a dummy
+    ts: float
+
+
+@dataclass(slots=True, frozen=True)
+class BlockRecovered:
+    """A corrupt slot was healed and scrubbed back into the tree.
+
+    ``source`` names the escalation-ladder rung that supplied the valid
+    copy: ``stash`` / ``shadow_stash`` / ``path_duplicate`` /
+    ``tree_duplicate`` / ``rebuild`` / ``dummy``.  ``scrub`` is ``True``
+    when the heal came from a background scrub pass rather than a
+    demand-path verification.
+    """
+
+    bucket: int
+    level: int
+    slot: int
+    addr: int
+    source: str
+    scrub: bool
+    ts: float
+
+
+@dataclass(slots=True, frozen=True)
+class RecoveryFailed:
+    """No rung of the escalation ladder produced a valid copy.
+
+    ``action`` is what the policy did about it: ``raise`` (the run is
+    about to die with :class:`~repro.oram.integrity.IntegrityError`) or
+    ``degrade`` (the slot was dropped and the run continues).
+    """
+
+    bucket: int
+    level: int
+    slot: int
+    addr: int
+    action: str
+    ts: float
+
+
+@dataclass(slots=True, frozen=True)
+class PosmapRepaired:
+    """A stale position-map entry was repaired from the tree.
+
+    The authoritative leaf was recovered from the block's own ``leaf``
+    field (verified against the slot digest), as a posmap-guided repair
+    fetch would do against a durable replica.
+    """
+
+    addr: int
+    stale_leaf: int
+    leaf: int
+    ts: float
+
+
+@dataclass(slots=True, frozen=True)
+class CheckpointSaved:
+    """The simulator persisted an intra-run checkpoint."""
+
+    access_index: int
+    path: str
+    ts: float
+
+
+@dataclass(slots=True, frozen=True)
+class CheckpointRestored:
+    """The simulator resumed from an intra-run checkpoint."""
+
+    access_index: int
+    path: str
+    ts: float
+
+
 EVENT_TYPES: tuple[type, ...] = (
     PathReadStarted,
     PathReadFinished,
@@ -240,6 +321,12 @@ EVENT_TYPES: tuple[type, ...] = (
     SweepPointFinished,
     SweepPointRetried,
     SweepPointFailed,
+    CorruptionDetected,
+    BlockRecovered,
+    RecoveryFailed,
+    PosmapRepaired,
+    CheckpointSaved,
+    CheckpointRestored,
 )
 
 

@@ -18,7 +18,11 @@ from bisect import bisect_left
 from typing import IO
 
 from repro.obs.events import (
+    BlockRecovered,
     BlockServed,
+    CheckpointRestored,
+    CheckpointSaved,
+    CorruptionDetected,
     DummyIssued,
     DuplicationPlaced,
     EvictionPerformed,
@@ -26,6 +30,8 @@ from repro.obs.events import (
     HotAddressTouched,
     PartitionAdjusted,
     PathReadStarted,
+    PosmapRepaired,
+    RecoveryFailed,
     RequestCompleted,
     SlotAligned,
     StashOccupancy,
@@ -269,6 +275,22 @@ class MetricsCollector:
             reg.gauge("partition/dri_counter").set(event.counter)
         elif type(event) is HotAddressTouched:
             reg.counter("hot_cache/hits" if event.hit else "hot_cache/misses").inc()
+        elif type(event) is CorruptionDetected:
+            reg.counter("oram/corruptions").inc()
+        elif type(event) is BlockRecovered:
+            reg.counter("oram/recoveries").inc()
+            reg.counter(f"oram/recovered_from/{event.source}").inc()
+            if event.scrub:
+                reg.counter("oram/scrubbed").inc()
+        elif type(event) is RecoveryFailed:
+            if event.action == "degrade":
+                reg.counter("oram/unrecoverable").inc()
+        elif type(event) is PosmapRepaired:
+            reg.counter("oram/posmap_repairs").inc()
+        elif type(event) is CheckpointSaved:
+            reg.counter("checkpoint/saved").inc()
+        elif type(event) is CheckpointRestored:
+            reg.counter("checkpoint/restored").inc()
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, object]:

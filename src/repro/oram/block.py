@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.serialize import payload_from_jsonable, payload_to_jsonable
+
 
 @dataclass(slots=True)
 class Block:
@@ -65,3 +67,34 @@ class Block:
             payload=self.payload,
             is_shadow=False,
         )
+
+
+def block_to_jsonable(blk: Block | None) -> dict[str, object] | None:
+    """JSON-compatible rendering of a block (or ``None`` for a dummy).
+
+    Used by the checkpoint writer; payloads go through the canonical codec
+    in :mod:`repro.serialize` so tree and stash contents round-trip
+    bit-exactly.
+    """
+    if blk is None:
+        return None
+    return {
+        "addr": blk.addr,
+        "leaf": blk.leaf,
+        "version": blk.version,
+        "payload": payload_to_jsonable(blk.payload),
+        "shadow": blk.is_shadow,
+    }
+
+
+def block_from_jsonable(data: dict[str, object] | None) -> Block | None:
+    """Inverse of :func:`block_to_jsonable`."""
+    if data is None:
+        return None
+    return Block(
+        addr=data["addr"],
+        leaf=data["leaf"],
+        version=data["version"],
+        payload=payload_from_jsonable(data["payload"]),
+        is_shadow=data["shadow"],
+    )

@@ -33,6 +33,20 @@ class OramConfig:
         xor_compression: Model the Ring-ORAM XOR bandwidth compression on
             read-only path accesses (Section IV-E comparator).
         onchip_latency: Cycles to serve a stash / treetop hit.
+        integrity: Maintain a Merkle hash tree over the ORAM tree and
+            verify every demand path before reading it (Tiny ORAM ships
+            with integrity verification; off by default because the
+            functional hashing roughly doubles simulation cost).
+        recovery: What to do when verification finds a corrupt slot:
+            ``raise`` (fail the run with ``IntegrityError``), ``recover``
+            (heal through the shadow-copy escalation ladder, raising only
+            if no valid copy exists anywhere) or ``degrade`` (like
+            ``recover`` but drop unrecoverable slots and keep running).
+            Only meaningful with ``integrity=True``.
+        scrub_interval: Run a full-tree background scrub every this many
+            accesses (0 disables scrubbing).  Only meaningful with
+            ``integrity=True``; under ``recovery="raise"`` a scrub hit
+            aborts the run instead of healing.
     """
 
     levels: int = 14
@@ -43,6 +57,9 @@ class OramConfig:
     treetop_levels: int = 0
     xor_compression: bool = False
     onchip_latency: float = 4.0
+    integrity: bool = False
+    recovery: str = "raise"
+    scrub_interval: int = 0
 
     def __post_init__(self) -> None:
         if self.levels < 1:
@@ -56,6 +73,14 @@ class OramConfig:
         if self.treetop_levels < 0 or self.treetop_levels > self.levels:
             raise ValueError(
                 f"treetop_levels must be in 0..{self.levels}, got {self.treetop_levels}"
+            )
+        if self.recovery not in ("raise", "recover", "degrade"):
+            raise ValueError(
+                f"recovery must be raise|recover|degrade, got {self.recovery!r}"
+            )
+        if self.scrub_interval < 0:
+            raise ValueError(
+                f"scrub_interval must be >= 0, got {self.scrub_interval}"
             )
 
     @property

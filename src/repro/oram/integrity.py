@@ -11,51 +11,134 @@ siblings — the same buckets the ORAM already moves.
 
 This module provides that layer for the simulator: a
 :class:`MerkleTree` keyed by the ORAM tree geometry, with
-``verify_path`` / ``update_path`` operations and a tamper-detection
-guarantee exercised by the test suite.  It is functional (no timing): the
-paper's evaluation does not include integrity latency, and neither do our
-benchmarks.
+``verify_path`` / ``update_path`` operations plus the recovery-oriented
+primitives the self-healing runtime builds on:
+
+* per-slot digests, so a mismatch can be **localized** to the exact
+  bucket *slot* that was tampered with (:meth:`MerkleTree.localize`,
+  :meth:`MerkleTree.verify_all`);
+* a per-slot metadata directory (:class:`SlotMeta`) recording what each
+  slot held at its last authenticated rehash — the simulator's stand-in
+  for the durable replica a posmap-guided repair fetch would consult;
+* :meth:`MerkleTree.rehash_bucket`, the O(L) root-ward rehash a healed
+  bucket needs.
+
+Block contents hash through the canonical byte codec of
+:mod:`repro.serialize` (``payload_bytes``), *not* ``repr``: ``repr`` is
+neither stable across processes (default object reprs embed ``id()``) nor
+canonical for equal containers, so digests built from it could not be
+checked against checkpointed state.  The layer is functional (no timing):
+the paper's evaluation does not include integrity latency, and neither do
+our benchmarks.
 """
 
 from __future__ import annotations
 
 import hashlib
+from dataclasses import dataclass
 
 from repro.oram.block import Block
 from repro.oram.tree import OramTree
+from repro.serialize import payload_bytes
 
 
 class IntegrityError(RuntimeError):
     """Raised when a path's contents do not match the trusted root digest."""
 
 
-def _hash_bucket(blocks: list[Block | None]) -> bytes:
-    """Digest of one bucket's logical contents.
+_DUMMY_DIGEST = hashlib.sha256(b"\x00dummy").digest()
+
+
+def _slot_digest(blk: Block | None) -> bytes:
+    """Digest of one bucket slot's logical contents.
 
     Dummies hash as a fixed marker; blocks hash their full identity
-    (address, leaf, version, shadow bit, payload repr) so any stale or
-    forged replacement changes the digest.
+    (address, leaf, version, shadow bit, canonical payload bytes) so any
+    stale or forged replacement changes the digest.
     """
+    if blk is None:
+        return _DUMMY_DIGEST
+    h = hashlib.sha256()
+    h.update(b"\x01")
+    h.update(blk.addr.to_bytes(8, "little", signed=False))
+    h.update(blk.leaf.to_bytes(8, "little", signed=False))
+    h.update(blk.version.to_bytes(8, "little", signed=True))
+    h.update(b"\x01" if blk.is_shadow else b"\x00")
+    h.update(payload_bytes(blk.payload))
+    return h.digest()
+
+
+def _hash_bucket(blocks: list[Block | None]) -> bytes:
+    """Digest of one bucket: the concatenation of its slot digests."""
     h = hashlib.sha256()
     for blk in blocks:
-        if blk is None:
-            h.update(b"\x00dummy")
-        else:
-            h.update(b"\x01")
-            h.update(blk.addr.to_bytes(8, "little", signed=False))
-            h.update(blk.leaf.to_bytes(8, "little", signed=False))
-            h.update(blk.version.to_bytes(8, "little", signed=False))
-            h.update(b"\x01" if blk.is_shadow else b"\x00")
-            h.update(repr(blk.payload).encode())
+        h.update(_slot_digest(blk))
     return h.digest()
+
+
+@dataclass(slots=True, frozen=True)
+class SlotMeta:
+    """What a tree slot held at its last authenticated rehash.
+
+    This is the recovery directory entry for one slot.  Conceptually the
+    payload lives in the durable replica a repair fetch would read from;
+    the simulator keeps it beside the digest so the rebuild branch of the
+    escalation ladder is exercisable without modelling a second storage
+    tier.
+    """
+
+    addr: int
+    leaf: int
+    version: int
+    is_shadow: bool
+    payload: object
+
+    def make_block(self) -> Block:
+        """Reconstruct the authenticated block this entry describes."""
+        return Block(
+            addr=self.addr,
+            leaf=self.leaf,
+            version=self.version,
+            payload=self.payload,
+            is_shadow=self.is_shadow,
+        )
+
+
+@dataclass(slots=True, frozen=True)
+class CorruptSlot:
+    """One localized integrity violation.
+
+    Attributes:
+        bucket: Heap index of the corrupt bucket.
+        level: Tree level of that bucket (root = 0).
+        slot: Slot index within the bucket.
+        expected: Directory entry for the slot's authenticated contents
+            (``None`` when the slot was an authenticated dummy).
+        digest: The trusted slot digest the live contents must match.
+    """
+
+    bucket: int
+    level: int
+    slot: int
+    expected: SlotMeta | None
+    digest: bytes
+
+    def describe(self) -> str:
+        what = "dummy" if self.expected is None else f"addr {self.expected.addr}"
+        return (
+            f"bucket {self.bucket} (level {self.level}) slot {self.slot} "
+            f"[{what}]"
+        )
 
 
 class MerkleTree:
     """Hash tree mirroring an :class:`~repro.oram.tree.OramTree`.
 
-    Node digest = H(bucket contents || left child digest || right child
+    Node digest = H(slot digests || left child digest || right child
     digest).  Only :attr:`root` needs trusted storage; the per-node
-    digests live (conceptually) in untrusted memory alongside the buckets.
+    digests live (conceptually) in untrusted memory alongside the buckets,
+    while the per-slot digest/metadata directory models the authenticated
+    repair source recovery falls back on.
 
     Args:
         tree: The ORAM tree to authenticate.  The Merkle tree reads bucket
@@ -65,12 +148,26 @@ class MerkleTree:
     def __init__(self, tree: OramTree) -> None:
         self.tree = tree
         self._digests: list[bytes] = [b""] * tree.num_buckets
+        self._slot_digests: list[list[bytes]] = [
+            [] for _ in range(tree.num_buckets)
+        ]
+        self._slot_meta: list[list[SlotMeta | None]] = [
+            [] for _ in range(tree.num_buckets)
+        ]
         self._rebuild_all()
 
     @property
     def root(self) -> bytes:
         """The trusted on-chip root digest."""
         return self._digests[0]
+
+    def slot_digest(self, bucket_index: int, slot: int) -> bytes:
+        """Trusted digest of one slot (from the last authenticated rehash)."""
+        return self._slot_digests[bucket_index][slot]
+
+    def slot_meta(self, bucket_index: int, slot: int) -> SlotMeta | None:
+        """Directory entry for one slot (``None`` = authenticated dummy)."""
+        return self._slot_meta[bucket_index][slot]
 
     # ------------------------------------------------------------------
     def _children(self, index: int) -> tuple[int | None, int | None]:
@@ -80,18 +177,31 @@ class MerkleTree:
             return None, None
         return left, right
 
-    def _node_digest(self, index: int) -> bytes:
+    def _node_digest(self, index: int, slot_digests: list[bytes]) -> bytes:
         h = hashlib.sha256()
-        h.update(_hash_bucket(self.tree.bucket(index)))
+        for digest in slot_digests:
+            h.update(digest)
         left, right = self._children(index)
         if left is not None:
             h.update(self._digests[left])
             h.update(self._digests[right])
         return h.digest()
 
+    def _rehash(self, index: int) -> None:
+        """Re-authenticate one bucket from its live contents."""
+        bucket = self.tree.bucket(index)
+        self._slot_digests[index] = [_slot_digest(blk) for blk in bucket]
+        self._slot_meta[index] = [
+            None
+            if blk is None
+            else SlotMeta(blk.addr, blk.leaf, blk.version, blk.is_shadow, blk.payload)
+            for blk in bucket
+        ]
+        self._digests[index] = self._node_digest(index, self._slot_digests[index])
+
     def _rebuild_all(self) -> None:
         for index in range(self.tree.num_buckets - 1, -1, -1):
-            self._digests[index] = self._node_digest(index)
+            self._rehash(index)
 
     # ------------------------------------------------------------------
     def verify_path(self, leaf: int) -> None:
@@ -104,9 +214,8 @@ class MerkleTree:
         """
         path = self.tree.path_indices(leaf)
         for index in reversed(path):
-            expected = self._digests[index]
-            actual = self._node_digest(index)
-            if actual != expected:
+            live = [_slot_digest(blk) for blk in self.tree.bucket(index)]
+            if self._node_digest(index, live) != self._digests[index]:
                 level = self.tree.level_of_bucket(index)
                 raise IntegrityError(
                     f"integrity violation at bucket {index} (level {level}) "
@@ -122,7 +231,56 @@ class MerkleTree:
         """
         path = self.tree.path_indices(leaf)
         for index in reversed(path):
-            self._digests[index] = self._node_digest(index)
+            self._rehash(index)
+        return self.root
+
+    # ------------------------------------------------------------------
+    # Localization + incremental rehash (the recovery primitives)
+    # ------------------------------------------------------------------
+    def _localize_bucket(self, index: int) -> list[CorruptSlot]:
+        bucket = self.tree.bucket(index)
+        expected = self._slot_digests[index]
+        out: list[CorruptSlot] = []
+        for slot in range(len(bucket)):
+            if _slot_digest(bucket[slot]) != expected[slot]:
+                out.append(
+                    CorruptSlot(
+                        bucket=index,
+                        level=self.tree.level_of_bucket(index),
+                        slot=slot,
+                        expected=self._slot_meta[index][slot],
+                        digest=expected[slot],
+                    )
+                )
+        return out
+
+    def localize(self, leaf: int) -> list[CorruptSlot]:
+        """Every corrupt slot along path ``leaf``, root-ward first."""
+        out: list[CorruptSlot] = []
+        for index in self.tree.path_indices(leaf):
+            out.extend(self._localize_bucket(index))
+        return out
+
+    def verify_all(self) -> list[CorruptSlot]:
+        """Full-tree scrub: every corrupt slot anywhere in the tree."""
+        out: list[CorruptSlot] = []
+        for index in range(self.tree.num_buckets):
+            out.extend(self._localize_bucket(index))
+        return out
+
+    def rehash_bucket(self, index: int) -> bytes:
+        """Re-authenticate bucket ``index`` and propagate to the root.
+
+        Used after a recovery heals a slot: the healed bucket gets fresh
+        slot digests/metadata, and every ancestor's node digest is
+        recomputed from its (unchanged) stored slot digests — O(L) hashes.
+        """
+        self._rehash(index)
+        while index > 0:
+            index = (index - 1) // 2
+            self._digests[index] = self._node_digest(
+                index, self._slot_digests[index]
+            )
         return self.root
 
 
@@ -139,7 +297,9 @@ class VerifiedOram:
         secured.access(addr, "read")
 
     Implemented as a wrapper (not a subclass) so it composes with both
-    controller types.
+    controller types.  The integrated alternative — verification plus
+    self-healing recovery inside the controller itself — is enabled with
+    ``OramConfig(integrity=True)``; see :mod:`repro.oram.recovery`.
     """
 
     def __init__(self, controller) -> None:

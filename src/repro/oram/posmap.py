@@ -44,5 +44,31 @@ class PositionMap:
         self._leaf[addr] = leaf
         return leaf
 
+    def repair(self, addr: int, leaf: int) -> None:
+        """Overwrite a (presumed stale) entry with an authenticated leaf.
+
+        Used by the recovery layer when a ``posmap-corrupt`` fault is
+        detected: the replacement leaf comes from a digest-verified tree
+        block, not from the RNG, so repairing never perturbs the random
+        stream.
+        """
+        if not 0 <= leaf < self.num_leaves:
+            raise ValueError(f"leaf {leaf} out of range 0..{self.num_leaves - 1}")
+        self._leaf[addr] = leaf
+
+    def snapshot_state(self) -> dict[str, object]:
+        """Checkpointable rendering of the full table."""
+        return {"leaf": list(self._leaf)}
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        leaves = state["leaf"]
+        if len(leaves) != self.num_blocks:
+            raise ValueError(
+                f"posmap snapshot has {len(leaves)} entries, "
+                f"expected {self.num_blocks}"
+            )
+        self._leaf = [int(leaf) for leaf in leaves]
+
     def __len__(self) -> int:
         return self.num_blocks

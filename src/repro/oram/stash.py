@@ -162,6 +162,50 @@ class Stash:
         self._real.pop(addr, None)
         self._shadow.pop(addr, None)
 
+    def repair_shadow(self, addr: int, blk: Block) -> None:
+        """Replace the stashed shadow for ``addr`` with a healed copy.
+
+        HD-Dup keeps the *same object* in the stash's shadow store and in
+        the tree slot it was absorbed from, so a fault that corrupts the
+        tree copy corrupts the stash alias too.  Recovery calls this to
+        re-sync the stash after healing the tree slot.  Assigning to an
+        existing key preserves dict order, so the FIFO shadow-drop
+        sequence — and with it bit-identity — is unaffected.
+        """
+        if addr in self._shadow:
+            self._shadow[addr] = blk
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Checkpointable rendering; preserves FIFO insertion order."""
+        from repro.oram.block import block_to_jsonable
+
+        return {
+            "real": [block_to_jsonable(blk) for blk in self._real.values()],
+            "shadow": [block_to_jsonable(blk) for blk in self._shadow.values()],
+            "peak_real": self.peak_real,
+            "shadow_drops": self.shadow_drops,
+            "merges": self.merges,
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        from repro.oram.block import block_from_jsonable
+
+        self._real = {}
+        for data in state["real"]:
+            blk = block_from_jsonable(data)
+            self._real[blk.addr] = blk
+        self._shadow = {}
+        for data in state["shadow"]:
+            blk = block_from_jsonable(data)
+            self._shadow[blk.addr] = blk
+        self.peak_real = state["peak_real"]
+        self.shadow_drops = state["shadow_drops"]
+        self.merges = state["merges"]
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -186,6 +186,23 @@ class TinyOramController:
         self._ro_since_eviction = 0
         self._eviction_counter = 0
         self._bootstrap()
+        # Integrated integrity verification + self-healing recovery
+        # (Tiny ORAM ships with integrity verification).  Built after
+        # bootstrap so the initial tree state is what gets authenticated.
+        self.integrity: "MerkleTree | None" = None
+        self.recovery: "RecoveryManager | None" = None
+        if config.integrity:
+            from repro.oram.integrity import MerkleTree
+            from repro.oram.recovery import RecoveryManager
+
+            self.integrity = MerkleTree(self.tree)
+            self.recovery = RecoveryManager(
+                self,
+                self.integrity,
+                policy=config.recovery,
+                scrub_interval=config.scrub_interval,
+                bus=self.bus,
+            )
 
     # ------------------------------------------------------------------
     # Public API
@@ -209,6 +226,8 @@ class TinyOramController:
         bus = self.bus
         if bus._subs:
             bus.now = now
+        if self.recovery is not None:
+            self.recovery.tick()
 
         hit = self._try_onchip(addr, op, payload, now)
         if hit is not None:
@@ -219,6 +238,13 @@ class TinyOramController:
             return hit
 
         leaf = self.posmap.lookup(addr)
+        if self.recovery is not None:
+            # Verify (and under recover/degrade heal) the demand path
+            # before it is read; a stale posmap entry is repaired here,
+            # redirecting the access to the authenticated leaf.  Runs
+            # before the remap so the at-rest state is what is audited
+            # and no RNG draw separates detection from repair.
+            leaf = self.recovery.before_request(addr, leaf)
         new_leaf = self.posmap.remap(addr)
         result = self._oram_access(addr, op, payload, leaf, new_leaf, now)
         if bus._subs:
@@ -245,7 +271,11 @@ class TinyOramController:
         bus = self.bus
         if bus._subs:
             bus.now = now
+        if self.recovery is not None:
+            self.recovery.tick()
         leaf = self.rng.randrange(self.config.num_leaves)
+        if self.recovery is not None:
+            self.recovery.before_path_read(leaf)
         _, _, _, read_timing = self._path_read(leaf, now, intended_addr=None)
         finish, evicted, extra_paths = self._maybe_evict(read_timing.finish)
         result = AccessResult(
@@ -373,6 +403,8 @@ class TinyOramController:
             return now, False, 0
         self._ro_since_eviction = 0
         leaf = self._next_eviction_leaf()
+        if self.recovery is not None:
+            self.recovery.before_path_read(leaf)
         _, _, _, read_timing = self._path_read(
             leaf, now, intended_addr=None, absorb_all=True
         )
@@ -484,6 +516,11 @@ class TinyOramController:
             bus.emit(
                 PathReadFinished(leaf=leaf, purpose=purpose, ts=timing.finish)
             )
+        if self.integrity is not None:
+            # The read removed blocks from the path; re-hash it so the
+            # tree stays authenticated (the hardware re-encrypts and
+            # re-hashes what it streams back).
+            self.integrity.update_path(leaf)
         return data_ready, served_from, served_level, timing
 
     def _read_timing(self, now: float) -> PathTiming:
@@ -511,6 +548,8 @@ class TinyOramController:
         self.stats.blocks_internal += self._dram_blocks_per_path()
         if self.observer is not None:
             self.observer(("write", leaf, now))
+        if self.integrity is not None:
+            self.integrity.update_path(leaf)
         return timing
 
     def _dram_blocks_per_path(self) -> int:
@@ -554,6 +593,53 @@ class TinyOramController:
         placed: list[tuple[Block, int]],
     ) -> None:
         """Hook for shadow-block generation; the baseline writes dummies."""
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """JSON-compatible snapshot of the full runtime state.
+
+        Everything an uninterrupted continuation depends on is captured:
+        tree buckets, stash (with FIFO order), position map, the shared
+        RNG stream, eviction bookkeeping and the stats counters.  The
+        Merkle tree is *not* serialized — it is a pure function of the
+        tree contents and is rebuilt on restore.
+        """
+        from repro.serialize import dataclass_to_dict
+
+        rng_state = self.rng.getstate()
+        state: dict[str, object] = {
+            "rng": [rng_state[0], list(rng_state[1]), rng_state[2]],
+            "stats": dataclass_to_dict(self.stats),
+            "ro_since_eviction": self._ro_since_eviction,
+            "eviction_counter": self._eviction_counter,
+            "tree": self.tree.snapshot_state(),
+            "stash": self.stash.snapshot_state(),
+            "posmap": self.posmap.snapshot_state(),
+        }
+        if self.recovery is not None:
+            state["recovery"] = self.recovery.snapshot_state()
+        return state
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`; re-authenticates the tree."""
+        from repro.serialize import dataclass_from_dict
+
+        rng_state = state["rng"]
+        self.rng.setstate(
+            (rng_state[0], tuple(rng_state[1]), rng_state[2])
+        )
+        self.stats = dataclass_from_dict(OramStats, state["stats"])
+        self._ro_since_eviction = state["ro_since_eviction"]
+        self._eviction_counter = state["eviction_counter"]
+        self.tree.restore_state(state["tree"])
+        self.stash.restore_state(state["stash"])
+        self.posmap.restore_state(state["posmap"])
+        if self.recovery is not None and "recovery" in state:
+            self.recovery.restore_state(state["recovery"])
+        if self.integrity is not None:
+            self.integrity._rebuild_all()
 
     # ------------------------------------------------------------------
     # Initialisation

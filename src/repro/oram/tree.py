@@ -134,3 +134,31 @@ class OramTree:
         """Whether ``bucket_index`` lies on path ``leaf``."""
         level = self.level_of_bucket(bucket_index)
         return self.bucket_index(leaf, level) == bucket_index
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Checkpointable rendering of every bucket."""
+        from repro.oram.block import block_to_jsonable
+
+        return {
+            "buckets": [
+                [block_to_jsonable(blk) for blk in bucket]
+                for bucket in self._buckets
+            ]
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        from repro.oram.block import block_from_jsonable
+
+        buckets = state["buckets"]
+        if len(buckets) != self.num_buckets:
+            raise ValueError(
+                f"tree snapshot has {len(buckets)} buckets, "
+                f"expected {self.num_buckets}"
+            )
+        self._buckets = [
+            [block_from_jsonable(data) for data in bucket] for bucket in buckets
+        ]

@@ -30,9 +30,91 @@ from typing import Any, TypeVar
 # Version of the serialized job/result layout.  Bump whenever the dict
 # rendering of SystemConfig or SimulationResult changes shape; the result
 # cache keys on it, so a bump invalidates every cached entry at once.
-SCHEMA_VERSION = 1
+# v2: OramConfig gained integrity/recovery/scrub_interval fields.
+SCHEMA_VERSION = 2
 
 T = TypeVar("T")
+
+
+class PayloadEncodeError(TypeError):
+    """Raised for payload values with no canonical JSON rendering."""
+
+
+def payload_to_jsonable(value: Any, strict: bool = True) -> Any:
+    """Canonical JSON-compatible encoding of a block payload.
+
+    Block payloads are opaque to the protocol code but two subsystems need
+    a *stable byte rendering* of them: the Merkle integrity layer (digests
+    must not depend on ``repr()`` quirks) and the checkpoint writer
+    (payloads must round-trip).  Scalars pass through; containers are
+    tagged so ``tuple``/``list``/``dict``/``bytes`` stay distinguishable.
+
+    With ``strict=False`` unsupported types degrade to a tagged ``repr``
+    rendering — still deterministic within a process, good enough for
+    hashing ad-hoc test payloads, but not round-trippable.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return {"__payload__": "float", "v": value.hex()}
+    if isinstance(value, bytes):
+        return {"__payload__": "bytes", "v": value.hex()}
+    if isinstance(value, tuple):
+        return {
+            "__payload__": "tuple",
+            "v": [payload_to_jsonable(item, strict) for item in value],
+        }
+    if isinstance(value, list):
+        return {
+            "__payload__": "list",
+            "v": [payload_to_jsonable(item, strict) for item in value],
+        }
+    if isinstance(value, dict):
+        return {
+            "__payload__": "dict",
+            "v": [
+                [payload_to_jsonable(k, strict), payload_to_jsonable(v, strict)]
+                for k, v in value.items()
+            ],
+        }
+    if strict:
+        raise PayloadEncodeError(
+            f"payload of type {type(value).__name__} has no canonical "
+            f"serialization: {value!r}"
+        )
+    return {"__payload__": "repr", "v": repr(value)}
+
+
+def payload_from_jsonable(data: Any) -> Any:
+    """Inverse of :func:`payload_to_jsonable` (strict encodings only)."""
+    if not isinstance(data, dict):
+        return data
+    kind = data.get("__payload__")
+    items = data.get("v")
+    if kind == "float":
+        return float.fromhex(items)
+    if kind == "bytes":
+        return bytes.fromhex(items)
+    if kind == "tuple":
+        return tuple(payload_from_jsonable(item) for item in items)
+    if kind == "list":
+        return [payload_from_jsonable(item) for item in items]
+    if kind == "dict":
+        return {
+            payload_from_jsonable(k): payload_from_jsonable(v) for k, v in items
+        }
+    raise PayloadEncodeError(f"not a payload encoding: {data!r}")
+
+
+def payload_bytes(value: Any, strict: bool = False) -> bytes:
+    """Canonical byte rendering of a payload, for hashing.
+
+    This is what the integrity layer digests — shared with the checkpoint
+    codec so the two subsystems can never disagree about what a payload
+    "is".  Defaults to non-strict: exotic payloads hash via their tagged
+    ``repr`` instead of failing the whole verification pass.
+    """
+    return canonical_json(payload_to_jsonable(value, strict=strict)).encode()
 
 
 def dataclass_to_dict(obj: Any) -> dict[str, Any]:

@@ -181,6 +181,22 @@ class OramBackend:
             self.real_requests += 1
         return wb.finish
 
+    def snapshot_state(self) -> dict[str, object]:
+        """Checkpointable rendering: backend counters + nested state."""
+        return {
+            "real_requests": self.real_requests,
+            "partition_levels": list(self.partition_levels),
+            "scheduler": self.scheduler.snapshot_state(),
+            "controller": self.controller.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self.real_requests = state["real_requests"]
+        self.partition_levels = list(state["partition_levels"])
+        self.scheduler.restore_state(state["scheduler"])
+        self.controller.restore_state(state["controller"])
+
     def finalize(
         self,
         workload_name: str,
@@ -241,6 +257,15 @@ class InsecureDramBackend:
         self.mem_free = wb.finish
         self.busy += wb.finish - wb.start
         return wb.finish
+
+    def snapshot_state(self) -> dict[str, object]:
+        """Checkpointable rendering of the DRAM channel state."""
+        return {"mem_free": self.mem_free, "busy": self.busy}
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self.mem_free = state["mem_free"]
+        self.busy = state["busy"]
 
     def finalize(
         self,

@@ -28,8 +28,10 @@ from functools import lru_cache
 from repro.cpu.cache import CacheConfig, CacheHierarchy
 from repro.cpu.core import MissIssuePolicy
 from repro.cpu.trace import MissTrace
-from repro.obs.events import EventBus
+from repro.obs.events import CheckpointRestored, CheckpointSaved, EventBus
 from repro.oram.tiny import Observer, TinyOramController
+from repro.serialize import SCHEMA_VERSION
+from repro.system.checkpoint import Checkpointer
 from repro.system.backend import (
     Backend,
     BackendFilter,
@@ -107,6 +109,8 @@ class SystemSimulator:
         seed: int | None = None,
         record_progress: bool = False,
         keep_stats: bool = True,
+        checkpointer: Checkpointer | None = None,
+        restore: bool = False,
     ) -> SimulationResult:
         """Simulate ``workload_name`` end to end and return the metrics.
 
@@ -117,6 +121,13 @@ class SystemSimulator:
             record_progress: Record per-miss completion times and the
                 partitioning-level trace (needed by the Figure 6 study).
             keep_stats: Attach the raw ORAM counters to the result.
+            checkpointer: When set, snapshot the full runtime state every
+                ``checkpointer.every`` served misses (atomic writes; see
+                :mod:`repro.system.checkpoint`).
+            restore: Resume from the newest valid checkpoint in the
+                checkpointer's directory (falls back to a fresh start when
+                none matches this run).  The finished result is
+                bit-identical to an uninterrupted run.
         """
         if seed is None:
             seed = self.config.seed
@@ -124,7 +135,23 @@ class SystemSimulator:
         if self.backend_filter is not None:
             backend = self.backend_filter(backend)
         traces = self._per_core_traces(workload_name, num_requests, seed)
-        return self._drive(backend, workload_name, traces, record_progress)
+        if checkpointer is not None:
+            checkpointer.run_key = {
+                "config": self.config.fingerprint(),
+                "workload": workload_name,
+                "num_requests": num_requests,
+                "seed": seed,
+                "record_progress": record_progress,
+                "schema": SCHEMA_VERSION,
+            }
+        return self._drive(
+            backend,
+            workload_name,
+            traces,
+            record_progress,
+            checkpointer=checkpointer,
+            restore=restore,
+        )
 
     # ------------------------------------------------------------------
     def _build_backend(
@@ -218,6 +245,8 @@ class SystemSimulator:
         workload_name: str,
         traces: list[MissTrace],
         record_progress: bool,
+        checkpointer: Checkpointer | None = None,
+        restore: bool = False,
     ) -> SimulationResult:
         """The scheduling frontend: one loop for every backend.
 
@@ -242,8 +271,30 @@ class SystemSimulator:
         end_time = 0.0
         latency_sum = 0.0
         completions: list[float] = []
+        served = 0
         bus = self.bus
         observed = bool(bus._subs)
+
+        if restore and checkpointer is not None:
+            loaded = checkpointer.load_latest()
+            if loaded is not None:
+                served, frontend, path = loaded
+                cursors = [int(c) for c in frontend["cursors"]]
+                for policy, pstate in zip(policies, frontend["policies"]):
+                    policy.restore_state(pstate)
+                # The heap's internal list was saved verbatim, so the
+                # heap invariant (and every future pop order) is intact.
+                heap = [(entry[0], int(entry[1])) for entry in frontend["heap"]]
+                end_time = frontend["end_time"]
+                latency_sum = frontend["latency_sum"]
+                completions = list(frontend["completions"])
+                backend.restore_state(frontend["backend"])
+                if observed:
+                    bus.emit(
+                        CheckpointRestored(
+                            access_index=served, path=str(path), ts=end_time
+                        )
+                    )
 
         while heap:
             ready, core = heapq.heappop(heap)
@@ -272,6 +323,29 @@ class SystemSimulator:
                 next_ready = policy.ready_time(trace.misses[cursors[core]])
                 heapq.heappush(heap, (next_ready, core))
 
+            served += 1
+            if (
+                checkpointer is not None
+                and heap
+                and served % checkpointer.every == 0
+            ):
+                frontend = {
+                    "cursors": list(cursors),
+                    "policies": [p.snapshot_state() for p in policies],
+                    "heap": [list(entry) for entry in heap],
+                    "end_time": end_time,
+                    "latency_sum": latency_sum,
+                    "completions": list(completions),
+                    "backend": backend.snapshot_state(),
+                }
+                path = checkpointer.save(served, frontend)
+                if observed:
+                    bus.emit(
+                        CheckpointSaved(
+                            access_index=served, path=str(path), ts=end_time
+                        )
+                    )
+
         return backend.finalize(
             workload_name, total_misses, end_time, latency_sum, completions
         )
@@ -286,6 +360,8 @@ def simulate(
     bus: EventBus | None = None,
     observer: Observer | None = None,
     backend_filter: BackendFilter | None = None,
+    checkpointer: Checkpointer | None = None,
+    restore: bool = False,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SystemSimulator`."""
     return SystemSimulator(
@@ -295,4 +371,6 @@ def simulate(
         num_requests=num_requests,
         seed=seed,
         record_progress=record_progress,
+        checkpointer=checkpointer,
+        restore=restore,
     )

@@ -83,6 +83,24 @@ class RequestScheduler:
         self.controller_free = finish
         self.data_busy += finish - launch
 
+    def snapshot_state(self) -> dict[str, object]:
+        """Checkpointable rendering of the arbiter's clocks/counters."""
+        return {
+            "controller_free": self.controller_free,
+            "next_slot": self.next_slot,
+            "dummy_requests": self.dummy_requests,
+            "data_busy": self.data_busy,
+            "dummy_busy": self.dummy_busy,
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self.controller_free = state["controller_free"]
+        self.next_slot = state["next_slot"]
+        self.dummy_requests = state["dummy_requests"]
+        self.data_busy = state["data_busy"]
+        self.dummy_busy = state["dummy_busy"]
+
     def drain(self, until: float) -> None:
         """Fire the dummy requests owed up to cycle ``until`` (end of run).
 

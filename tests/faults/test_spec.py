@@ -11,6 +11,7 @@ from repro.faults import (
     CacheOsError,
     FaultPlan,
     FaultSpecError,
+    PosmapCorrupt,
     StashPressure,
     WorkerCrash,
     WorkerHang,
@@ -25,6 +26,7 @@ ALL_SPECS = [
     CacheOsError(err=errno.EROFS, first=2, count=1),
     StashPressure(at_access=10, window=5, squeeze=3),
     BitFlip(at_access=42),
+    PosmapCorrupt(at_access=7, addr=12),
 ]
 
 
@@ -37,6 +39,7 @@ class TestRegistry:
             "cache-os-error",
             "stash-pressure",
             "bit-flip",
+            "posmap-corrupt",
         }
 
     def test_kinds_match_classes(self):

@@ -13,6 +13,7 @@ class TestBuildConfig:
             scheme="dynamic-3", workload="mcf", requests=100, seed=1,
             levels=8, utilization=0.25, treetop=0, xor=False,
             timing_protection=False, rate=800.0,
+            integrity=False, recovery_policy="raise", scrub_interval=0,
         )
         defaults.update(overrides)
         import argparse
@@ -67,6 +68,41 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             make_parser().parse_args([])
+
+
+class TestCheckpointFlags:
+    ARGS = ["run", "--scheme", "dynamic-3", "--workload", "mcf",
+            "--requests", "20000", "--levels", "8"]
+
+    @staticmethod
+    def _result_lines(out):
+        start = out.index("Simulation result")
+        return [line for line in out[start:].splitlines()
+                if "cycles" in line or "latency" in line or "stash" in line]
+
+    def test_checkpoint_restore_round_trip(self, tmp_path, capsys):
+        ckpt = ["--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--checkpoint-every", "10"]
+        assert main(self.ARGS) == 0
+        reference = self._result_lines(capsys.readouterr().out)
+
+        assert main(self.ARGS + ckpt) == 0
+        first = capsys.readouterr().out
+        assert "checkpoints in" in first
+        assert self._result_lines(first) == reference
+
+        assert main(self.ARGS + ckpt + ["--restore"]) == 0
+        resumed = capsys.readouterr().out
+        assert self._result_lines(resumed) == reference
+
+    def test_restore_needs_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="--restore needs"):
+            main(self.ARGS + ["--restore"])
+
+    def test_integrity_flags_accepted(self, capsys):
+        assert main(self.ARGS + ["--integrity", "--recovery-policy",
+                                 "recover", "--scrub-interval", "16"]) == 0
+        assert "total cycles" in capsys.readouterr().out
 
 
 class TestObservabilityFlags:

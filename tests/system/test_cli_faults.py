@@ -15,7 +15,8 @@ class TestFaultsCommand:
         assert main(["faults", "--list"]) == 0
         out = capsys.readouterr().out
         for kind in ("worker-crash", "worker-hang", "cache-corrupt",
-                     "cache-os-error", "stash-pressure", "bit-flip"):
+                     "cache-os-error", "stash-pressure", "bit-flip",
+                     "posmap-corrupt"):
             assert kind in out
 
     def test_no_action_exits(self):
@@ -42,6 +43,39 @@ class TestFaultsCommand:
         )
         assert code == EXIT_SWEEP_FAILED
         assert "failed" in capsys.readouterr().out
+
+
+class TestCorruptionRecovery:
+    def test_bit_flip_detected_and_recovered(self, capsys):
+        code = main(
+            ["faults", "--inject", "bit-flip:at_access=3", "--no-cache",
+             "--scrub-interval", "1"] + FAST
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "enabling --integrity" in out
+        assert "bit-flip@access3" in out
+        assert "recovery (recover): 1 corruption(s) detected, 1 recovered" in out
+
+    def test_bit_flip_under_raise_policy_aborts(self, capsys):
+        code = main(
+            ["faults", "--inject", "bit-flip:at_access=3", "--no-cache",
+             "--scrub-interval", "1", "--recovery-policy", "raise"] + FAST
+        )
+        out = capsys.readouterr().out
+        assert code == EXIT_SWEEP_FAILED
+        assert "IntegrityError" in out
+        assert "integrity layer aborted the run" in out
+
+    def test_posmap_corrupt_inject_runs_clean(self, capsys):
+        code = main(
+            ["faults", "--inject", "posmap-corrupt:at_access=3", "--no-cache",
+             "--scrub-interval", "1"] + FAST
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "posmap-corrupt@access3" in out
+        assert "posmap repair(s)" in out
 
 
 class TestSweepFaultFlags:

@@ -13,9 +13,13 @@ from repro.mem.dram import DramConfig
 from repro.oram.config import OramConfig
 from repro.serialize import (
     SCHEMA_VERSION,
+    PayloadEncodeError,
     canonical_json,
     dataclass_from_dict,
     dataclass_to_dict,
+    payload_bytes,
+    payload_from_jsonable,
+    payload_to_jsonable,
     stable_hash,
 )
 from repro.system.config import SystemConfig
@@ -184,3 +188,71 @@ class TestSimulationResultRoundTrip:
 
     def test_schema_version_is_an_int(self):
         assert isinstance(SCHEMA_VERSION, int)
+
+
+# A payload structure exercising every supported type, nested.
+PAYLOADS = [
+    None,
+    True,
+    -7,
+    "text",
+    3.14159,
+    float("inf"),
+    b"\x00\xffbytes",
+    (1, 2, 3),
+    [1, [2.5, None], "x"],
+    {"k": (1, b"v"), "j": [True]},
+    ("bitflip", ("bitflip", {"deep": (0.1, -0.0)})),
+]
+
+payload_values = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(max_size=8)
+    | st.floats(allow_nan=False) | st.binary(max_size=8),
+    lambda inner: st.lists(inner, max_size=3)
+    | st.tuples(inner, inner)
+    | st.dictionaries(st.text(max_size=4), inner, max_size=3),
+    max_leaves=8,
+)
+
+
+class TestPayloadCodec:
+    @pytest.mark.parametrize("value", PAYLOADS, ids=repr)
+    def test_round_trip_preserves_type_and_value(self, value):
+        data = json.loads(json.dumps(payload_to_jsonable(value)))
+        rebuilt = payload_from_jsonable(data)
+        assert rebuilt == value
+        assert type(rebuilt) is type(value)
+
+    @given(value=payload_values)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, value):
+        data = json.loads(json.dumps(payload_to_jsonable(value)))
+        assert payload_from_jsonable(data) == value
+
+    def test_tuple_and_list_hash_differently(self):
+        # The `repr`-based digest this codec replaced could not tell
+        # certain containers apart; the canonical bytes must.
+        assert payload_bytes((1, 2)) != payload_bytes([1, 2])
+        assert payload_bytes(b"x") != payload_bytes("x")
+        assert payload_bytes(1) != payload_bytes(True)
+
+    def test_dict_order_is_significant_for_blocks(self):
+        # Insertion order is runtime state (FIFO stash, LFU tie-breaks),
+        # so two dicts with different insertion order hash differently.
+        assert payload_bytes({"a": 1, "b": 2}) != payload_bytes(
+            {"b": 2, "a": 1}
+        )
+
+    def test_float_bytes_are_exact(self):
+        value = 0.1 + 0.2  # not representable as a short literal
+        data = json.loads(json.dumps(payload_to_jsonable(value)))
+        assert payload_from_jsonable(data) == value
+
+    def test_strict_mode_rejects_unsupported(self):
+        with pytest.raises(PayloadEncodeError):
+            payload_to_jsonable(object(), strict=True)
+
+    def test_lenient_mode_tags_unsupported(self):
+        data = payload_to_jsonable(object(), strict=False)
+        with pytest.raises(PayloadEncodeError):
+            payload_from_jsonable(data)
