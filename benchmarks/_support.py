@@ -17,12 +17,17 @@ Scale knobs (environment variables):
 ``REPRO_BENCH_CACHE_DIR`` on-disk result cache directory (default: no
                            on-disk cache; runs are only memoised in
                            process)
+
+Benchmark artifacts (full-suite transcripts, ``repro bench`` history)
+belong in :data:`RESULTS_DIR` (``benchmarks/results/``, gitignored), not
+the repo root; :func:`results_path` creates it on demand.
 """
 
 from __future__ import annotations
 
 import os
 from functools import lru_cache
+from pathlib import Path
 
 from repro.analysis.cache import ResultCache
 from repro.analysis.engine import SweepPoint, SweepRunner
@@ -39,6 +44,16 @@ N_SWEEP = int(
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
 DEFAULT_LEVELS = 14
 CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR")
+
+# Where benchmark output artifacts live (gitignored; shared with the
+# `python -m repro bench` per-host history files).
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def results_path(name: str) -> Path:
+    """Path for a benchmark artifact under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR / name
 
 # One shared runner: benchmarks request points one at a time (pytest-benchmark
 # owns the timing loop), so the runner stays serial; the win here is the

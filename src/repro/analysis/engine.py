@@ -30,8 +30,17 @@ points
   :class:`~repro.obs.events.SweepPointFinished` /
   :class:`~repro.obs.events.SweepPointRetried` /
   :class:`~repro.obs.events.SweepPointFailed` events on an optional
-  :class:`~repro.obs.events.EventBus`, ``sweep/*`` metrics counters, and
-  a per-point progress hook invoked in deterministic grid order.
+  :class:`~repro.obs.events.EventBus` (finish/fail events fire at
+  *resolution* time, so live progress subscribers see the sweep as it
+  runs), ``sweep/*`` metrics counters, and a per-point progress hook
+  invoked in deterministic grid order after the sweep completes;
+* **with cross-process telemetry** (``telemetry=True``) — every worker
+  execution runs under its own bus + metrics collector, ships a registry
+  snapshot back with its result, and the runner merges the snapshots
+  into the parent registry (per-worker ``worker/<n>/...`` instruments
+  plus rollups; see :mod:`repro.obs.aggregate`), so a parallel sweep's
+  rollup counters are bit-identical to a serial run's and retried
+  points are counted exactly once.
 
 Deterministic fault injection (:mod:`repro.faults`) threads through the
 same seams: a :class:`~repro.faults.injector.FaultPlan` handed to the
@@ -61,6 +70,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 from repro.analysis.cache import ResultCache
 from repro.analysis.manifest import SweepLedger, grid_fingerprint
 from repro.faults.injector import FaultInjector, FaultPlan
+from repro.obs.aggregate import TelemetryAggregator, snapshot_registry
 from repro.obs.events import (
     EventBus,
     SweepPointFailed,
@@ -68,7 +78,7 @@ from repro.obs.events import (
     SweepPointRetried,
     SweepPointStarted,
 )
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsCollector, MetricsRegistry
 from repro.serialize import SCHEMA_VERSION
 from repro.system.backend import BackendFilter
 from repro.system.config import SystemConfig
@@ -144,7 +154,9 @@ class SweepPoint:
 
 
 def execute_point(
-    point: SweepPoint, backend_filter: BackendFilter | None = None
+    point: SweepPoint,
+    backend_filter: BackendFilter | None = None,
+    bus: EventBus | None = None,
 ) -> SimulationResult:
     """Run one grid point in-process (the serial execution path)."""
     return simulate(
@@ -154,6 +166,7 @@ def execute_point(
         seed=point.seed,
         record_progress=point.record_progress,
         backend_filter=backend_filter,
+        bus=bus,
     )
 
 
@@ -164,6 +177,11 @@ def _execute_job(job: dict[str, object]) -> dict[str, object]:
     (``in_worker=True``) and fires point-level faults before simulating —
     this is where ``worker-crash``/``worker-hang`` specs actually crash
     and hang real worker processes.
+
+    With ``telemetry`` set, the worker attaches its own event bus and
+    metrics collector and ships a registry snapshot back in the payload,
+    so the parent can aggregate per-worker instruments (events never
+    cross the process boundary, snapshots do).
     """
     start = perf_counter()
     backend_filter: BackendFilter | None = None
@@ -174,10 +192,24 @@ def _execute_job(job: dict[str, object]) -> dict[str, object]:
             int(job.get("index", 0)), int(job.get("attempt", 1))
         )
         backend_filter = injector.backend_filter()
-    result = execute_point(
-        SweepPoint.from_job(job), backend_filter=backend_filter
-    )
-    return {"result": result.to_dict(), "elapsed_s": perf_counter() - start}
+    bus: EventBus | None = None
+    collector: MetricsCollector | None = None
+    if job.get("telemetry"):
+        bus = EventBus()
+        collector = MetricsCollector(bus)
+    point = SweepPoint.from_job(job)
+    if bus is not None:
+        result = execute_point(point, backend_filter=backend_filter, bus=bus)
+    else:
+        result = execute_point(point, backend_filter=backend_filter)
+    payload: dict[str, object] = {
+        "result": result.to_dict(),
+        "elapsed_s": perf_counter() - start,
+    }
+    if collector is not None:
+        payload["telemetry"] = snapshot_registry(collector.registry)
+        payload["worker"] = os.getpid()
+    return payload
 
 
 def build_grid(
@@ -389,6 +421,8 @@ class _ExecOutcome:
     attempts: int
     elapsed_s: float
     error: str | None = None
+    telemetry: dict[str, object] | None = None
+    worker: str = "0"
 
 
 def _abandon_pool(pool: ProcessPoolExecutor) -> None:
@@ -447,6 +481,14 @@ class SweepRunner:
             (counted by ``sweep/resumed``).
         faults: Deterministic fault-injection plan (:mod:`repro.faults`),
             shipped to workers inside each job.
+        telemetry: Collect per-point simulator metrics (a worker-local
+            bus + collector per execution, snapshot shipped back with the
+            result) and merge them into ``registry`` at the end of the
+            run: per-worker instruments under ``worker/<n>/...`` plus
+            un-prefixed cross-worker rollups.  Rollups of a parallel
+            sweep are bit-identical to a serial one; retried points
+            count once (last successful attempt wins).  Requires
+            ``registry``.
         on_failure: ``"raise"`` (default) raises
             :class:`SweepExecutionError` if any point fails —
             the historical all-or-nothing contract the figure benchmarks
@@ -468,6 +510,7 @@ class SweepRunner:
         ledger: SweepLedger | None = None,
         resume: bool = False,
         faults: FaultPlan | None = None,
+        telemetry: bool = False,
         on_failure: str = "raise",
     ) -> None:
         if jobs is None or jobs <= 0:
@@ -486,9 +529,12 @@ class SweepRunner:
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
+        if telemetry and registry is None:
+            raise ValueError("telemetry=True requires a metrics registry")
         self.ledger = ledger
         self.resume = resume
         self.faults = faults
+        self.telemetry = telemetry
         self.on_failure = on_failure
         self.last_report: SweepReport | None = None
         self._grid_total = 0
@@ -526,6 +572,7 @@ class SweepRunner:
             else self.cache
         )
         resumed = self._prepare_ledger(points, total)
+        aggregator = TelemetryAggregator() if self.telemetry else None
 
         interrupted = False
         try:
@@ -544,6 +591,7 @@ class SweepRunner:
                         resumed=i in resumed,
                     )
                     self._record_ledger(i, point, STATUS_CACHED)
+                    self._emit_finished(outcomes[i], i, total)
                 else:
                     pending.append(i)
 
@@ -559,6 +607,17 @@ class SweepRunner:
                 if exec_outcome.result is not None:
                     self._store(cache, points[i], exec_outcome.result)
                     self._record_ledger(i, points[i], exec_outcome.status)
+                    if (
+                        aggregator is not None
+                        and exec_outcome.telemetry is not None
+                    ):
+                        aggregator.ingest(
+                            points[i].cache_key(),
+                            exec_outcome.telemetry,
+                            worker=exec_outcome.worker,
+                            attempt=exec_outcome.attempts,
+                        )
+                self._emit_finished(outcomes[i], i, total)
         except KeyboardInterrupt:
             # Pending futures were cancelled and workers stopped by the
             # executor generator's cleanup; completed points are already
@@ -575,6 +634,15 @@ class SweepRunner:
                     0.0,
                     error="KeyboardInterrupt",
                 )
+                self._emit_finished(outcomes[i], i, total)
+
+        if aggregator is not None and self.registry is not None:
+            merged = aggregator.merge_into(self.registry)
+            if merged:
+                self.registry.counter("sweep/telemetry/snapshots").inc(merged)
+                self.registry.gauge("sweep/telemetry/workers").set(
+                    len(aggregator.workers())
+                )
 
         report = SweepReport(
             total=total,
@@ -584,7 +652,9 @@ class SweepRunner:
         results: list[SimulationResult | None] = []
         for i, outcome in enumerate(outcomes):
             assert outcome is not None, f"point {i} never resolved"
-            self._emit_finished(outcome, i, total)
+            if self.hook is not None and outcome.result is not None:
+                self.hook(outcome.point.workload, outcome.point.scheme,
+                          outcome.result)
             report.points.append(
                 PointReport(
                     index=i,
@@ -671,12 +741,22 @@ class SweepRunner:
         last_error: str | None = None
         while True:
             start = perf_counter()
+            bus: EventBus | None = None
+            collector: MetricsCollector | None = None
+            if self.telemetry:
+                bus = EventBus()
+                collector = MetricsCollector(bus)
             try:
                 backend_filter: BackendFilter | None = None
                 if injector is not None:
                     injector.before_point(index, attempt)
                     backend_filter = injector.backend_filter()
-                result = execute_point(point, backend_filter=backend_filter)
+                if bus is not None:
+                    result = execute_point(
+                        point, backend_filter=backend_filter, bus=bus
+                    )
+                else:
+                    result = execute_point(point, backend_filter=backend_filter)
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
@@ -700,6 +780,12 @@ class SweepRunner:
                 attempt,
                 perf_counter() - start,
                 last_error,
+                telemetry=(
+                    snapshot_registry(collector.registry)
+                    if collector is not None
+                    else None
+                ),
+                worker=str(os.getpid()),
             )
 
     def _execute_parallel(
@@ -820,6 +906,8 @@ class SweepRunner:
                             STATUS_RETRIED if failed_before else STATUS_OK,
                             attempts[i],
                             payload["elapsed_s"],
+                            telemetry=payload.get("telemetry"),
+                            worker=str(payload.get("worker", "0")),
                         )
         except (GeneratorExit, KeyboardInterrupt):
             if pool is not None:
@@ -838,6 +926,8 @@ class SweepRunner:
         job["attempt"] = attempt
         if self.faults is not None:
             job["faults"] = self.faults.to_dict()
+        if self.telemetry:
+            job["telemetry"] = True
         return job
 
     def _make_pool(self, workers: int) -> ProcessPoolExecutor | None:
@@ -953,6 +1043,14 @@ class SweepRunner:
     def _emit_finished(
         self, outcome: _PointOutcome, index: int, total: int
     ) -> None:
+        """Count and emit one resolved point.
+
+        Called at *resolution* time (cache hit, future completion, or
+        interrupt accounting), so bus subscribers — the CLI's live
+        progress line, the JSONL progress stream — see points as they
+        finish, in completion order.  The per-point ``hook`` still runs
+        in deterministic grid order after the sweep completes.
+        """
         point = outcome.point
         failed = outcome.status in FAILURE_STATUSES
         if self.registry is not None:
@@ -992,5 +1090,3 @@ class SweepRunner:
                         elapsed_s=outcome.elapsed_s,
                     )
                 )
-        if self.hook is not None and outcome.result is not None:
-            self.hook(point.workload, point.scheme, outcome.result)

@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro profile --workload mcf --requests 20000
     python -m repro compare --workload h264ref --timing-protection
     python -m repro sweep --workloads mcf,libquantum --schemes insecure,tiny,dynamic-3 --jobs 4
+    python -m repro sweep --jobs 4 --metrics merged.json --live --progress-jsonl progress.jsonl
+    python -m repro bench --workload mcf --requests 5000 --compare
     python -m repro workloads
     python -m repro overhead
 
@@ -24,6 +26,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.analysis import benchtrack
 from repro.analysis.cache import ResultCache
 from repro.analysis.engine import SweepInterrupted, SweepRunner
 from repro.analysis.manifest import SweepLedger
@@ -44,6 +47,9 @@ from repro.obs import (
     EventBus,
     JsonlLogger,
     MetricsCollector,
+    MetricsRegistry,
+    ProgressJsonlWriter,
+    ProgressReporter,
     TimelineBuilder,
     profile_run,
     run_metadata,
@@ -255,9 +261,23 @@ def _print_sweep_failures(report) -> None:
               + (f" ({point.error})" if point.error else ""))
 
 
-# Exit codes of ``python -m repro sweep`` (documented in the README).
+# Exit codes of ``python -m repro sweep`` / ``bench`` (see the README).
 EXIT_SWEEP_FAILED = 3
+EXIT_BENCH_REGRESSION = 4
 EXIT_INTERRUPTED = 130
+
+
+def _write_sweep_metrics(registry, args, workloads, configs) -> None:
+    meta = run_metadata(
+        workloads=",".join(workloads),
+        schemes=",".join(config.name for config in configs),
+        requests=args.requests,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    with open(args.metrics, "w") as stream:
+        registry.write_json(stream, **meta)
+    print(f"wrote merged sweep metrics (JSON): {args.metrics}")
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -274,6 +294,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit("--resume needs the result cache (drop --no-cache)")
     bus = EventBus()
 
+    reporter = ProgressReporter(sys.stdout) if args.live else None
+    live = reporter is not None and reporter.attach(bus)
+    progress_stream = (
+        open(args.progress_jsonl, "w") if args.progress_jsonl else None
+    )
+    if progress_stream is not None:
+        ProgressJsonlWriter(progress_stream).attach(bus)
+
     def progress(event: SweepPointFinished) -> None:
         status = "cached" if event.cached else f"{event.elapsed_s:.2f}s"
         print(f"[{event.index + 1}/{event.total}] "
@@ -284,12 +312,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               f"{event.workload}/{event.scheme}: {event.status} "
               f"after {event.attempts} attempt(s): {event.error}")
 
-    bus.subscribe(progress, SweepPointFinished)
-    bus.subscribe(failure, SweepPointFailed)
+    # The live status line owns stdout while the sweep runs; the per-point
+    # print subscribers would tear it, so they stay off under --live.
+    if not live:
+        bus.subscribe(progress, SweepPointFinished)
+        bus.subscribe(failure, SweepPointFailed)
+
+    registry = MetricsRegistry() if args.metrics else None
     runner = SweepRunner(
         jobs=args.jobs,
         cache=cache,
         bus=bus,
+        registry=registry,
+        telemetry=registry is not None,
         timeout_s=args.timeout,
         retries=args.retries,
         backoff_s=args.backoff,
@@ -301,11 +336,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         sweep = runner.run_grid(configs, workloads, args.requests,
                                 seed=args.seed)
     except SweepInterrupted as interrupt:
+        if reporter is not None:
+            reporter.close()
         report = interrupt.report
         print(f"\ninterrupted -- {report.summary()}")
         print("completed points are flushed; re-run with --resume to "
               "finish without re-simulating them")
+        if registry is not None:
+            _write_sweep_metrics(registry, args, workloads, configs)
         return EXIT_INTERRUPTED
+    finally:
+        if progress_stream is not None:
+            progress_stream.close()
+    if reporter is not None:
+        reporter.close()
     report = runner.last_report
 
     baseline = configs[0].name
@@ -335,6 +379,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"cache {args.cache_dir}: {cache.hits} hits, "
               f"{cache.misses} misses, {cache.stores} stored, "
               f"{len(cache)} entries on disk")
+    if progress_stream is not None:
+        print(f"wrote progress stream (JSONL): {args.progress_jsonl}")
+    if registry is not None:
+        _write_sweep_metrics(registry, args, workloads, configs)
     if report is not None:
         print(f"sweep report: {report.summary()}")
         if not report.ok:
@@ -460,6 +508,43 @@ def cmd_faults(args: argparse.Namespace) -> int:
             )
             print(f"  recovered from: {breakdown}")
     return 0 if report.ok else EXIT_SWEEP_FAILED
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    config = build_config(args)
+    print(f"config: {config.describe()}")
+    history = benchtrack.BenchHistory(args.history_dir)
+    entry = benchtrack.measure(
+        config, args.workload, args.requests,
+        seed=args.seed, repeats=args.repeats,
+    )
+    baseline = None
+    if args.compare is not None:
+        # Find the baseline before appending, or an identical re-run
+        # would compare the new entry against itself's history twin.
+        baseline = history.find_baseline(entry["key"], base=args.compare)
+    total = history.append(entry)
+    print(format_table(
+        ["field", "value"], benchtrack.summarize_entry(entry),
+        title=f"Benchmark entry ({history.path}, {total} total)",
+    ))
+    if args.compare is None:
+        return 0
+    if baseline is None:
+        print(f"no baseline matching --compare {args.compare!r} for this "
+              f"fingerprint; recorded entry will serve as one")
+        return 0
+    comparison = benchtrack.compare(
+        baseline, entry,
+        threshold=args.threshold, min_repeats=args.min_repeats,
+    )
+    for line in comparison.describe():
+        print(line)
+    if comparison.regressed:
+        print("PERF REGRESSION detected")
+        return EXIT_BENCH_REGRESSION
+    print("no regression")
+    return 0
 
 
 def cmd_workloads(_args: argparse.Namespace) -> int:
@@ -606,7 +691,59 @@ def make_parser() -> argparse.ArgumentParser:
              "ledger (stored in the cache dir); completed points are not "
              "re-simulated",
     )
+    sweep_p.add_argument(
+        "--metrics", metavar="FILE",
+        help="aggregate per-worker telemetry and write the merged "
+             "registry (cross-worker rollups + worker/<n>/ breakdown) "
+             "as JSON; rollups are bit-identical to a --jobs 1 run",
+    )
+    sweep_p.add_argument(
+        "--live", action="store_true",
+        help="render a throttled single-line progress display "
+             "(done/total, cache hits, retries, pts/s, ETA); silently "
+             "off when stdout is not a TTY",
+    )
+    sweep_p.add_argument(
+        "--progress-jsonl", metavar="FILE",
+        help="stream machine-readable progress (one JSON object per "
+             "resolved point) to FILE for CI dashboards",
+    )
     sweep_p.set_defaults(fn=cmd_sweep)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="record a perf benchmark into the per-host history and "
+             "optionally gate against a recorded baseline",
+    )
+    common(bench_p)
+    bench_p.add_argument("--scheme", default="dynamic-3")
+    bench_p.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="timed simulation passes (best-of is the tracked statistic)",
+    )
+    bench_p.add_argument(
+        "--history-dir", default=str(benchtrack.DEFAULT_HISTORY_DIR),
+        metavar="DIR",
+        help="where BENCH_<host>.json lives",
+    )
+    bench_p.add_argument(
+        "--compare", nargs="?", const="latest", default=None, metavar="BASE",
+        help="compare against the newest prior entry for this config "
+             "fingerprint ('latest', the default when BASE is omitted) "
+             "or the newest whose git revision starts with BASE; exits "
+             f"{EXIT_BENCH_REGRESSION} on regression",
+    )
+    bench_p.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRAC",
+        help="relative wall-clock slowdown tolerated before flagging "
+             "(0.25 = 25%%)",
+    )
+    bench_p.add_argument(
+        "--min-repeats", type=int, default=2, metavar="N",
+        help="gate (never flag) comparisons where either side has fewer "
+             "timing repeats than N",
+    )
+    bench_p.set_defaults(fn=cmd_bench)
 
     faults_p = sub.add_parser(
         "faults",

@@ -9,14 +9,25 @@ reports about itself.  The components:
   :class:`~repro.obs.metrics.MetricsCollector` bus subscriber;
 * :mod:`repro.obs.timeline` — Chrome trace-event (Perfetto) export;
 * :mod:`repro.obs.log` — JSONL structured logging with run metadata;
-* :mod:`repro.obs.profiler` — host wall-clock attribution per stage.
+* :mod:`repro.obs.profiler` — host wall-clock attribution per stage;
+* :mod:`repro.obs.aggregate` — cross-process telemetry snapshots and the
+  per-worker/rollup merge used by parallel sweeps;
+* :mod:`repro.obs.progress` — live sweep progress (TTY status line and
+  machine-readable JSONL stream).
 
 Observability is strictly opt-in: with no subscribers attached the
 instrumented hot paths reduce to one ``if not bus._subs`` check and no
 event objects are ever created.
 """
 
+from repro.obs.aggregate import (
+    TelemetryAggregator,
+    merge_snapshot,
+    snapshot_registry,
+)
 from repro.obs.events import (
+    EVENT_BY_NAME,
+    EVENT_TYPES,
     BlockServed,
     DummyIssued,
     DuplicationPlaced,
@@ -33,16 +44,29 @@ from repro.obs.events import (
     SweepPointFinished,
     SweepPointRetried,
     SweepPointStarted,
+    event_from_dict,
     event_to_dict,
 )
-from repro.obs.log import AdversaryTraceWriter, JsonlLogger, run_metadata
+from repro.obs.log import (
+    AdversaryTraceWriter,
+    JsonlLogger,
+    load_events,
+    run_metadata,
+)
 from repro.obs.metrics import MetricsCollector, MetricsRegistry
 from repro.obs.profiler import Profiler, profile_run
+from repro.obs.progress import (
+    ProgressJsonlWriter,
+    ProgressReporter,
+    SweepProgress,
+)
 from repro.obs.timeline import TimelineBuilder
 
 __all__ = [
     "AdversaryTraceWriter",
     "BlockServed",
+    "EVENT_BY_NAME",
+    "EVENT_TYPES",
     "DummyIssued",
     "DuplicationPlaced",
     "EventBus",
@@ -55,15 +79,23 @@ __all__ = [
     "PathReadFinished",
     "PathReadStarted",
     "Profiler",
+    "ProgressJsonlWriter",
+    "ProgressReporter",
     "RequestCompleted",
     "SlotAligned",
     "StashOccupancy",
+    "SweepProgress",
     "SweepPointFailed",
     "SweepPointFinished",
     "SweepPointRetried",
     "SweepPointStarted",
+    "TelemetryAggregator",
     "TimelineBuilder",
+    "event_from_dict",
     "event_to_dict",
+    "load_events",
+    "merge_snapshot",
     "profile_run",
     "run_metadata",
+    "snapshot_registry",
 ]

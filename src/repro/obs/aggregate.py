@@ -1,0 +1,187 @@
+"""Cross-process telemetry aggregation for the sweep engine.
+
+The PR 1 observability layer only sees the process it runs in: once a
+sweep fans grid points out to ``ProcessPoolExecutor`` workers, every
+counter and histogram generated inside a worker would be silently
+dropped.  This module closes that gap:
+
+* each worker runs its own :class:`~repro.obs.metrics.MetricsRegistry`
+  (fed by a private :class:`~repro.obs.metrics.MetricsCollector`) and
+  ships a plain-dict :func:`snapshot_registry` snapshot back alongside
+  its ``SimulationResult``;
+* the parent :class:`~repro.analysis.engine.SweepRunner` hands every
+  snapshot to a :class:`TelemetryAggregator`, keyed by the grid point's
+  cache fingerprint and attempt number — a retried point *replaces* its
+  earlier snapshot (last successful attempt wins), so crash/timeout
+  retries can never double-count;
+* at the end of the sweep the aggregator merges everything into the
+  parent registry twice: once under per-worker ``worker/<n>/...``
+  prefixes and once as un-prefixed cross-worker rollups, with merge
+  semantics per instrument type (counter sum, gauge watermark union,
+  histogram bucket add).
+
+Merging iterates snapshots in sorted-fingerprint order and relabels raw
+worker ids (PIDs) to dense ``worker/<n>`` indices, so the *rollup*
+instruments of a parallel sweep are bit-identical to a serial run of the
+same grid — only the per-worker breakdown depends on scheduling.
+
+Snapshots are JSON-safe dicts rendered through the same canonical-codec
+conventions as :mod:`repro.serialize` (no ``inf``/``nan``, containers of
+scalars only), so they survive both pickling across the pool boundary
+and JSON export.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+# Versions the snapshot dict layout; a mismatch is ignored rather than
+# mis-merged (forward compatibility across mixed-version worker pools).
+SNAPSHOT_SCHEMA = 1
+
+
+class TelemetryMergeError(ValueError):
+    """Raised when two snapshots disagree about an instrument's shape."""
+
+
+def snapshot_registry(registry: MetricsRegistry) -> dict[str, object]:
+    """Render a registry as a picklable, JSON-safe snapshot dict.
+
+    Empty gauges are serialized with ``updates == 0`` and no watermarks,
+    so the snapshot never contains ``inf`` (which the canonical JSON
+    codec rejects).
+    """
+    gauges: dict[str, dict[str, float]] = {}
+    for name, gauge in sorted(registry._gauges.items()):
+        if gauge.updates:
+            gauges[name] = {
+                "value": gauge.value,
+                "min": gauge.min,
+                "max": gauge.max,
+                "updates": gauge.updates,
+            }
+        else:
+            gauges[name] = {"updates": 0}
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "counters": {
+            name: counter.value
+            for name, counter in sorted(registry._counters.items())
+        },
+        "gauges": gauges,
+        "histograms": {
+            name: {
+                "bounds": list(hist.bounds),
+                "counts": list(hist.counts),
+                "total": hist.total,
+                "sum": hist.sum,
+            }
+            for name, hist in sorted(registry._histograms.items())
+        },
+    }
+
+
+def merge_snapshot(
+    registry: MetricsRegistry, snapshot: dict[str, object], prefix: str = ""
+) -> None:
+    """Merge one snapshot into ``registry`` under an optional prefix.
+
+    Merge semantics per instrument type:
+
+    * **counter** — sum;
+    * **gauge** — watermark union (min of mins, max of maxes, updates
+      summed; ``value`` is the last snapshot merged, deterministic
+      because callers iterate snapshots in sorted-key order);
+    * **histogram** — per-bucket count addition; the bucket ladders must
+      be identical or :class:`TelemetryMergeError` is raised.
+    """
+    if snapshot.get("schema") != SNAPSHOT_SCHEMA:
+        return
+    for name, value in snapshot.get("counters", {}).items():
+        registry.counter(prefix + name).inc(int(value))
+    for name, snap in snapshot.get("gauges", {}).items():
+        if not snap.get("updates"):
+            # Instantiate the (empty) gauge so the namespace is complete.
+            registry.gauge(prefix + name)
+            continue
+        gauge = registry.gauge(prefix + name)
+        gauge.value = snap["value"]
+        gauge.updates += int(snap["updates"])
+        if snap["min"] < gauge.min:
+            gauge.min = snap["min"]
+        if snap["max"] > gauge.max:
+            gauge.max = snap["max"]
+    for name, snap in snapshot.get("histograms", {}).items():
+        bounds = list(snap["bounds"])
+        hist = registry.histogram(prefix + name, bounds)
+        if hist.bounds != bounds:
+            raise TelemetryMergeError(
+                f"histogram {prefix + name!r}: bucket ladders differ "
+                f"({hist.bounds} vs {bounds})"
+            )
+        counts = snap["counts"]
+        if len(counts) != len(hist.counts):
+            raise TelemetryMergeError(
+                f"histogram {prefix + name!r}: bucket counts differ in "
+                f"length ({len(hist.counts)} vs {len(counts)})"
+            )
+        for i, count in enumerate(counts):
+            hist.counts[i] += int(count)
+        hist.total += int(snap["total"])
+        hist.sum += float(snap["sum"])
+
+
+class TelemetryAggregator:
+    """Collects per-point worker snapshots and merges them at sweep end.
+
+    ``ingest`` is keyed by the grid point's cache fingerprint: a later
+    (or equal) attempt for the same point replaces the earlier snapshot,
+    so a point that crashed mid-run and was retried contributes exactly
+    one snapshot — the last successful attempt's — to the merge.
+    """
+
+    def __init__(self) -> None:
+        # key -> (attempt, raw worker id, snapshot)
+        self._snapshots: dict[str, tuple[int, str, dict[str, object]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def ingest(
+        self,
+        key: str,
+        snapshot: dict[str, object],
+        worker: object = "0",
+        attempt: int = 1,
+    ) -> None:
+        """Record ``snapshot`` for grid point ``key``; later attempts win."""
+        prior = self._snapshots.get(key)
+        if prior is not None and prior[0] > attempt:
+            return
+        self._snapshots[key] = (attempt, str(worker), snapshot)
+
+    def workers(self) -> dict[str, int]:
+        """Dense ``raw id -> worker index`` relabeling (sorted raw ids)."""
+        raw = sorted({worker for _a, worker, _s in self._snapshots.values()})
+        return {worker: index for index, worker in enumerate(raw)}
+
+    def merge_into(
+        self, registry: MetricsRegistry, per_worker: bool = True
+    ) -> int:
+        """Merge every snapshot into ``registry``; returns snapshot count.
+
+        Rollup instruments keep their plain names (so a merged sweep
+        export lines up with a single ``run --metrics`` export); the
+        per-worker breakdown goes under ``worker/<n>/``.  Iteration is in
+        sorted-fingerprint order, making the rollup deterministic
+        regardless of completion order.
+        """
+        worker_ids = self.workers()
+        for key in sorted(self._snapshots):
+            _attempt, worker, snapshot = self._snapshots[key]
+            merge_snapshot(registry, snapshot)
+            if per_worker:
+                merge_snapshot(
+                    registry, snapshot, prefix=f"worker/{worker_ids[worker]}/"
+                )
+        return len(self._snapshots)

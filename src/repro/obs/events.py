@@ -330,12 +330,32 @@ EVENT_TYPES: tuple[type, ...] = (
 )
 
 
+EVENT_BY_NAME: dict[str, type] = {cls.__name__: cls for cls in EVENT_TYPES}
+
+
 def event_to_dict(event: object) -> dict[str, object]:
     """Flatten an event dataclass into ``{"type": ..., field: value}``."""
     out: dict[str, object] = {"type": type(event).__name__}
     for f in fields(event):
         out[f.name] = getattr(event, f.name)
     return out
+
+
+def event_from_dict(payload: dict[str, object]) -> object:
+    """Rebuild an event from :func:`event_to_dict` output.
+
+    The inverse half of the JSONL round-trip: unknown ``type`` names
+    raise (a logged event must stay replayable), extra keys are ignored
+    so files written by newer code still load.
+    """
+    name = payload.get("type")
+    cls = EVENT_BY_NAME.get(str(name))
+    if cls is None:
+        raise ValueError(f"unknown event type {name!r}")
+    kwargs = {
+        f.name: payload[f.name] for f in fields(cls) if f.name in payload
+    }
+    return cls(**kwargs)
 
 
 # ----------------------------------------------------------------------

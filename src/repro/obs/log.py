@@ -14,7 +14,7 @@ import platform
 import subprocess
 from typing import IO
 
-from repro.obs.events import EventBus, event_to_dict
+from repro.obs.events import EVENT_BY_NAME, EventBus, event_from_dict, event_to_dict
 
 
 def git_describe() -> str:
@@ -49,6 +49,25 @@ def run_metadata(
             meta["seed"] = seed
     meta.update(extra)
     return meta
+
+
+def load_events(stream: IO[str]) -> list[object]:
+    """Rebuild the typed events from a :class:`JsonlLogger` stream.
+
+    The inverse of the JSONL flattening: every line whose ``type`` names
+    a known event dataclass becomes that dataclass again; other records
+    (the ``run_metadata`` header, adversary ``path_access`` lines, blank
+    lines) are skipped, so any log the CLI writes loads cleanly.
+    """
+    events: list[object] = []
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        if payload.get("type") in EVENT_BY_NAME:
+            events.append(event_from_dict(payload))
+    return events
 
 
 class JsonlLogger:

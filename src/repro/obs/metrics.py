@@ -128,6 +128,36 @@ class Histogram:
                 return self.bounds[i] if i < len(self.bounds) else float("inf")
         return float("inf")
 
+    def percentile(self, q: float) -> float:
+        """Interpolated percentile, ``q`` in [0, 100].
+
+        Linearly interpolates within the covering bucket (assuming a
+        uniform spread between its lower and upper bound), which is much
+        tighter than :meth:`quantile`'s upper-bound answer on the coarse
+        ladders used here.  Observations past the last bound live in the
+        unbounded overflow bucket, whose answer is clamped to
+        ``bounds[-1]`` — finite and JSON-safe, if an underestimate.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.total:
+            return 0.0
+        target = q / 100.0 * self.total
+        seen = 0
+        for i, count in enumerate(self.counts):
+            prior = seen
+            seen += count
+            if seen >= target:
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i]
+                if count == 0:
+                    return hi
+                frac = (target - prior) / count
+                return lo + (hi - lo) * min(1.0, max(0.0, frac))
+        return self.bounds[-1]
+
     def to_dict(self) -> dict[str, object]:
         return {
             "bounds": self.bounds,
@@ -135,6 +165,9 @@ class Histogram:
             "total": self.total,
             "sum": self.sum,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
 
 
@@ -210,8 +243,8 @@ class MetricsCollector:
     * ``paths/reads/<purpose>``, ``evictions``, ``duplication/<kind>``;
     * ``scheduler/slot_waits``, ``hot_cache/{hits,misses}``;
     * ``partition/adjustments`` counter + ``partition/level`` gauge;
-    * histograms ``latency/data_request``, ``shadow/hit_level``,
-      ``stash/real_occupancy``, ``dri/interval``.
+    * histograms ``latency/data_request``, ``latency/dummy_request``,
+      ``shadow/hit_level``, ``stash/real_occupancy``, ``dri/interval``.
 
     ``latency/data_request`` measures launch-to-data latency (the
     controller's view); the CPU-perceived latency reported by
@@ -223,6 +256,9 @@ class MetricsCollector:
         self.registry = registry if registry is not None else MetricsRegistry()
         reg = self.registry
         self.latency = reg.histogram("latency/data_request", LATENCY_BUCKETS)
+        self.dummy_latency = reg.histogram(
+            "latency/dummy_request", LATENCY_BUCKETS
+        )
         self.shadow_level = reg.histogram("shadow/hit_level", LEVEL_BUCKETS)
         self.occupancy = reg.histogram("stash/real_occupancy", OCCUPANCY_BUCKETS)
         self.dri = reg.histogram("dri/interval", DRI_BUCKETS)
@@ -241,6 +277,7 @@ class MetricsCollector:
         elif type(event) is RequestCompleted:
             if event.op == "dummy":
                 reg.counter("requests/dummy").inc()
+                self.dummy_latency.observe(event.finish - event.issue)
                 return
             reg.counter("requests/data").inc()
             self.latency.observe(event.data_ready - event.issue)

@@ -7,14 +7,25 @@ and renders the event stream as Chrome trace-event JSON (the format both
 * one thread track per CPU core — a slice per data request from issue to
   ``data_ready``, named by its serving source;
 * one track for the ORAM bus — a slice per path access (request, dummy,
-  or eviction read) plus eviction read+write envelopes;
+  or eviction read) plus eviction read+write envelopes and duplication
+  placements;
 * one track for the scheduler — slot-alignment waits and dummy launches;
-* counter tracks for the partitioning level and stash occupancy.
+* one track for integrity/recovery — corruption detections, heals,
+  posmap repairs, and checkpoint save/restore marks;
+* a separate process for the sweep engine's host-side point lifecycle;
+* counter tracks for the partitioning level, stash occupancy, and the
+  Hot Address Cache hit/miss tallies.
+
+Dispatch is a ``{event class: handler}`` table covering *every* class in
+:data:`~repro.obs.events.EVENT_TYPES` — the constructor refuses to build
+otherwise, so adding an event type without a timeline rendering is an
+immediate error instead of a silently empty track.
 
 Simulated cycles are written as microseconds (``ts``/``dur``), which keeps
 the UI units readable; 1 us on screen == 1 CPU cycle.  Timestamps within a
 track are clamped to be monotone, which Perfetto requires for correct slice
-nesting.
+nesting.  Sweep events carry no simulated clock, so their track uses a
+per-event sequence number as its timeline.
 """
 
 from __future__ import annotations
@@ -23,22 +34,37 @@ import json
 from typing import IO
 
 from repro.obs.events import (
+    EVENT_TYPES,
+    BlockRecovered,
     BlockServed,
+    CheckpointRestored,
+    CheckpointSaved,
+    CorruptionDetected,
     DummyIssued,
-    EvictionPerformed,
+    DuplicationPlaced,
     EventBus,
+    EvictionPerformed,
+    HotAddressTouched,
     PartitionAdjusted,
     PathReadFinished,
     PathReadStarted,
+    PosmapRepaired,
+    RecoveryFailed,
     RequestCompleted,
     SlotAligned,
     StashOccupancy,
+    SweepPointFailed,
+    SweepPointFinished,
+    SweepPointRetried,
+    SweepPointStarted,
 )
 
 PID_CORES = 0
 PID_ORAM = 1
+PID_SWEEP = 2
 TID_BUS = 0
 TID_SCHEDULER = 1
+TID_RECOVERY = 2
 
 
 class TimelineBuilder:
@@ -50,6 +76,39 @@ class TimelineBuilder:
         self._open_reads: list[PathReadStarted] = []
         self._cores_seen: set[int] = set()
         self._last_source: str | None = None
+        self._hot_hits = 0
+        self._hot_misses = 0
+        self._sweep_seq = 0
+        self._sweep_seen = False
+        self._handlers: dict[type, object] = {
+            PathReadStarted: self._on_path_read_started,
+            PathReadFinished: self._on_path_read_finished,
+            BlockServed: self._on_block_served,
+            RequestCompleted: self._on_request_completed,
+            EvictionPerformed: self._on_eviction,
+            DuplicationPlaced: self._on_duplication,
+            StashOccupancy: self._on_stash_occupancy,
+            PartitionAdjusted: self._on_partition,
+            DummyIssued: self._on_dummy_issued,
+            SlotAligned: self._on_slot_aligned,
+            HotAddressTouched: self._on_hot_address,
+            SweepPointStarted: self._on_sweep_point,
+            SweepPointFinished: self._on_sweep_point,
+            SweepPointRetried: self._on_sweep_point,
+            SweepPointFailed: self._on_sweep_point,
+            CorruptionDetected: self._on_corruption,
+            BlockRecovered: self._on_recovered,
+            RecoveryFailed: self._on_recovery_failed,
+            PosmapRepaired: self._on_posmap_repaired,
+            CheckpointSaved: self._on_checkpoint,
+            CheckpointRestored: self._on_checkpoint,
+        }
+        missing = [cls for cls in EVENT_TYPES if cls not in self._handlers]
+        if missing:
+            raise TypeError(
+                "TimelineBuilder lacks handlers for: "
+                + ", ".join(cls.__name__ for cls in missing)
+            )
         bus.subscribe(self.on_event)
 
     # ------------------------------------------------------------------
@@ -99,80 +158,217 @@ class TimelineBuilder:
             }
         )
 
+    def _instant(
+        self,
+        pid: int,
+        tid: int,
+        name: str,
+        ts: float,
+        args: dict[str, object] | None = None,
+        cat: str = "oram",
+    ) -> None:
+        event: dict[str, object] = {
+            "name": name,
+            "ph": "i",
+            "s": "t",
+            "pid": pid,
+            "tid": tid,
+            "ts": max(0.0, ts),
+            "cat": cat,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
     # ------------------------------------------------------------------
     # Bus subscription
     # ------------------------------------------------------------------
     def on_event(self, event: object) -> None:
-        kind = type(event)
-        if kind is PathReadStarted:
-            self._open_reads.append(event)
-        elif kind is PathReadFinished:
-            start = self._match_read(event)
-            self._slice(
-                PID_ORAM,
-                TID_BUS,
-                f"path read ({event.purpose})",
-                start,
-                event.ts,
-                {"leaf": event.leaf},
-            )
-        elif kind is BlockServed:
-            self._last_source = event.source
-        elif kind is RequestCompleted:
-            if event.op == "dummy":
-                return
-            core = event.core if event.core >= 0 else 0
-            self._cores_seen.add(core)
-            source = self._last_source or (event.served_from or "unknown")
-            self._slice(
-                PID_CORES,
-                core,
-                f"{event.op} {event.addr} [{source}]",
-                event.issue,
-                event.data_ready,
-                {"addr": event.addr, "source": source},
-                cat="request",
-            )
-            self._last_source = None
-        elif kind is EvictionPerformed:
+        handler = self._handlers.get(type(event))
+        if handler is not None:
+            handler(event)
+
+    def _on_path_read_started(self, event: PathReadStarted) -> None:
+        self._open_reads.append(event)
+
+    def _on_path_read_finished(self, event: PathReadFinished) -> None:
+        start = self._match_read(event)
+        self._slice(
+            PID_ORAM,
+            TID_BUS,
+            f"path read ({event.purpose})",
+            start,
+            event.ts,
+            {"leaf": event.leaf},
+        )
+
+    def _on_block_served(self, event: BlockServed) -> None:
+        self._last_source = event.source
+
+    def _on_request_completed(self, event: RequestCompleted) -> None:
+        if event.op == "dummy":
+            return
+        core = event.core if event.core >= 0 else 0
+        self._cores_seen.add(core)
+        source = self._last_source or (event.served_from or "unknown")
+        self._slice(
+            PID_CORES,
+            core,
+            f"{event.op} {event.addr} [{source}]",
+            event.issue,
+            event.data_ready,
+            {"addr": event.addr, "source": source},
+            cat="request",
+        )
+        self._last_source = None
+
+    def _on_eviction(self, event: EvictionPerformed) -> None:
+        self._slice(
+            PID_ORAM,
+            TID_SCHEDULER,
+            "eviction",
+            event.start,
+            event.finish,
+            {"leaf": event.leaf},
+        )
+
+    def _on_duplication(self, event: DuplicationPlaced) -> None:
+        self._instant(
+            PID_ORAM,
+            TID_BUS,
+            f"dup {event.kind}",
+            event.ts,
+            {"addr": event.addr, "level": event.level,
+             "from_stash": event.from_stash},
+            cat="duplication",
+        )
+
+    def _on_dummy_issued(self, event: DummyIssued) -> None:
+        self._slice(
+            PID_ORAM,
+            TID_SCHEDULER,
+            "dummy request",
+            event.ts,
+            event.finish,
+            {"leaf": event.leaf},
+            cat="scheduler",
+        )
+
+    def _on_slot_aligned(self, event: SlotAligned) -> None:
+        if event.wait > 0:
             self._slice(
                 PID_ORAM,
                 TID_SCHEDULER,
-                "eviction",
-                event.start,
-                event.finish,
-                {"leaf": event.leaf},
-            )
-        elif kind is DummyIssued:
-            self._slice(
-                PID_ORAM,
-                TID_SCHEDULER,
-                "dummy request",
-                event.ts,
-                event.finish,
-                {"leaf": event.leaf},
+                "slot wait",
+                event.ready,
+                event.slot,
                 cat="scheduler",
             )
-        elif kind is SlotAligned:
-            if event.wait > 0:
-                self._slice(
-                    PID_ORAM,
-                    TID_SCHEDULER,
-                    "slot wait",
-                    event.ready,
-                    event.slot,
-                    cat="scheduler",
-                )
-        elif kind is PartitionAdjusted:
-            self._counter(
-                "partition level", event.ts, {"P": float(event.new_level)}
-            )
-        elif kind is StashOccupancy:
-            self._counter(
-                "stash occupancy",
-                event.ts,
-                {"real": float(event.real), "shadow": float(event.shadow)},
-            )
+
+    def _on_partition(self, event: PartitionAdjusted) -> None:
+        self._counter(
+            "partition level", event.ts, {"P": float(event.new_level)}
+        )
+
+    def _on_stash_occupancy(self, event: StashOccupancy) -> None:
+        self._counter(
+            "stash occupancy",
+            event.ts,
+            {"real": float(event.real), "shadow": float(event.shadow)},
+        )
+
+    def _on_hot_address(self, event: HotAddressTouched) -> None:
+        if event.hit:
+            self._hot_hits += 1
+        else:
+            self._hot_misses += 1
+        self._counter(
+            "hot address cache",
+            event.ts,
+            {"hits": float(self._hot_hits),
+             "misses": float(self._hot_misses)},
+        )
+
+    def _on_sweep_point(self, event: object) -> None:
+        # Sweep events are host-side and carry no simulated clock; the
+        # track advances one tick per event so ordering stays visible.
+        self._sweep_seen = True
+        names = {
+            SweepPointStarted: "point started",
+            SweepPointFinished: "point finished",
+            SweepPointRetried: "point retried",
+            SweepPointFailed: "point FAILED",
+        }
+        self._instant(
+            PID_SWEEP,
+            0,
+            f"{names[type(event)]} {event.workload}/{event.scheme}",
+            float(self._sweep_seq),
+            {"workload": event.workload, "scheme": event.scheme,
+             "index": event.index},
+            cat="sweep",
+        )
+        self._sweep_seq += 1
+
+    def _on_corruption(self, event: CorruptionDetected) -> None:
+        self._instant(
+            PID_ORAM,
+            TID_RECOVERY,
+            "corruption detected",
+            event.ts,
+            {"bucket": event.bucket, "level": event.level,
+             "slot": event.slot, "addr": event.addr},
+            cat="recovery",
+        )
+
+    def _on_recovered(self, event: BlockRecovered) -> None:
+        self._instant(
+            PID_ORAM,
+            TID_RECOVERY,
+            f"recovered [{event.source}]",
+            event.ts,
+            {"bucket": event.bucket, "level": event.level,
+             "slot": event.slot, "addr": event.addr,
+             "scrub": event.scrub},
+            cat="recovery",
+        )
+
+    def _on_recovery_failed(self, event: RecoveryFailed) -> None:
+        self._instant(
+            PID_ORAM,
+            TID_RECOVERY,
+            f"recovery FAILED ({event.action})",
+            event.ts,
+            {"bucket": event.bucket, "level": event.level,
+             "slot": event.slot, "addr": event.addr},
+            cat="recovery",
+        )
+
+    def _on_posmap_repaired(self, event: PosmapRepaired) -> None:
+        self._instant(
+            PID_ORAM,
+            TID_RECOVERY,
+            "posmap repaired",
+            event.ts,
+            {"addr": event.addr, "stale_leaf": event.stale_leaf,
+             "leaf": event.leaf},
+            cat="recovery",
+        )
+
+    def _on_checkpoint(self, event: CheckpointSaved | CheckpointRestored) -> None:
+        name = (
+            "checkpoint saved"
+            if type(event) is CheckpointSaved
+            else "checkpoint restored"
+        )
+        self._instant(
+            PID_ORAM,
+            TID_RECOVERY,
+            name,
+            event.ts,
+            {"access_index": event.access_index, "path": event.path},
+            cat="recovery",
+        )
 
     def _match_read(self, finished: PathReadFinished) -> float:
         for i, started in enumerate(self._open_reads):
@@ -194,7 +390,14 @@ class TimelineBuilder:
              "args": {"name": "oram bus"}},
             {"ph": "M", "name": "thread_name", "pid": PID_ORAM,
              "tid": TID_SCHEDULER, "args": {"name": "scheduler"}},
+            {"ph": "M", "name": "thread_name", "pid": PID_ORAM,
+             "tid": TID_RECOVERY, "args": {"name": "integrity/recovery"}},
         ]
+        if self._sweep_seen:
+            meta.append(
+                {"ph": "M", "name": "process_name", "pid": PID_SWEEP,
+                 "args": {"name": "sweep engine"}}
+            )
         for core in sorted(self._cores_seen):
             meta.append(
                 {"ph": "M", "name": "thread_name", "pid": PID_CORES,

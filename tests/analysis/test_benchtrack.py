@@ -1,0 +1,169 @@
+"""Perf-regression tracking: history files, gating, and the bench CLI."""
+
+import json
+
+import pytest
+
+import repro.analysis.benchtrack as benchtrack
+from repro.analysis.stats import regression_gate
+from repro.cli import EXIT_BENCH_REGRESSION, main
+from repro.oram.config import OramConfig
+from repro.system.config import SystemConfig
+
+SMALL = OramConfig(levels=8)
+REQUESTS = 300
+
+
+class FakeTimer:
+    """Deterministic perf_counter substitute: each call advances ``step``."""
+
+    def __init__(self, step):
+        self.step = step
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += self.step
+        return self.t
+
+
+@pytest.fixture
+def config():
+    return SystemConfig.tiny(oram=SMALL)
+
+
+class TestRegressionGate:
+    def test_within_threshold_passes(self):
+        check = regression_gate([1.0, 1.1], [1.2, 1.3], threshold=0.25)
+        assert not check.regressed
+        assert check.ratio == pytest.approx(1.2)
+
+    def test_past_threshold_flags(self):
+        check = regression_gate([1.0, 1.0], [1.5, 1.6], threshold=0.25)
+        assert check.regressed
+        assert "REGRESSION" in check.describe()
+
+    def test_insufficient_repeats_gates_instead_of_flagging(self):
+        check = regression_gate([1.0], [9.0], threshold=0.25, min_repeats=2)
+        assert not check.regressed
+        assert "gated" in check.reason
+
+    def test_aggregate_is_best_of_by_default(self):
+        # Slow outliers in either sample must not affect the verdict.
+        check = regression_gate([1.0, 50.0], [1.1, 80.0], threshold=0.25)
+        assert not check.regressed
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ValueError):
+            regression_gate([], [1.0])
+
+
+class TestMeasureAndHistory:
+    def test_measure_entry_shape(self, config, monkeypatch):
+        monkeypatch.setattr(benchtrack, "perf_counter", FakeTimer(0.5))
+        entry = benchtrack.measure(config, "mcf", REQUESTS, repeats=2)
+        assert entry["wall_s"] == [0.5, 0.5]
+        assert entry["key"] == benchtrack.bench_key(
+            config, "mcf", REQUESTS, 1
+        )
+        assert entry["counters"]
+        assert all(
+            name.startswith(benchtrack.TRACKED_COUNTER_PREFIXES)
+            for name in entry["counters"]
+        )
+
+    def test_history_append_and_find(self, tmp_path):
+        history = benchtrack.BenchHistory(tmp_path, host="ci-box")
+        assert history.load() == []
+        assert history.append({"key": "k1", "git": "aaa111"}) == 1
+        assert history.append({"key": "k2", "git": "bbb222"}) == 2
+        assert history.append({"key": "k1", "git": "ccc333"}) == 3
+        assert history.path.name == "BENCH_ci-box.json"
+        assert history.find_baseline("k1")["git"] == "ccc333"
+        assert history.find_baseline("k1", base="aaa")["git"] == "aaa111"
+        assert history.find_baseline("k1", base="zzz") is None
+        assert history.find_baseline("missing") is None
+
+    def test_history_file_is_valid_json(self, tmp_path):
+        history = benchtrack.BenchHistory(tmp_path)
+        history.append({"key": "k", "git": "g"})
+        payload = json.loads(history.path.read_text())
+        assert payload["schema"] == benchtrack.BenchHistory.SCHEMA
+        assert len(payload["entries"]) == 1
+
+    def test_host_slug_sanitizes(self):
+        assert benchtrack.host_slug("my host/01!") == "my-host-01"
+        assert benchtrack.host_slug("...") == "unknown"
+
+
+class TestCompare:
+    def entry(self, wall, counters=None, key="k", git="g"):
+        return {
+            "key": key,
+            "git": git,
+            "wall_s": wall,
+            "counters": counters if counters is not None else {"served/path": 10},
+        }
+
+    def test_identical_entries_do_not_regress(self):
+        comparison = benchtrack.compare(
+            self.entry([1.0, 1.0]), self.entry([1.0, 1.0])
+        )
+        assert not comparison.regressed
+
+    def test_slower_wall_clock_regresses(self):
+        comparison = benchtrack.compare(
+            self.entry([1.0, 1.0]), self.entry([2.0, 2.0]), threshold=0.25
+        )
+        assert comparison.regressed
+
+    def test_counter_drift_regresses_even_when_fast(self):
+        comparison = benchtrack.compare(
+            self.entry([1.0, 1.0], counters={"served/path": 10}),
+            self.entry([1.0, 1.0], counters={"served/path": 11}),
+        )
+        assert comparison.regressed
+        drifted = [c for c in comparison.checks if c.regressed]
+        assert drifted[0].metric == "served/path"
+
+    def test_mismatched_keys_refuse_to_compare(self):
+        with pytest.raises(ValueError, match="fingerprints"):
+            benchtrack.compare(
+                self.entry([1.0], key="a"), self.entry([1.0], key="b")
+            )
+
+
+BENCH_ARGS = [
+    "bench", "--scheme", "tiny", "--levels", "8",
+    "--workload", "mcf", "--requests", str(REQUESTS), "--repeats", "2",
+]
+
+
+class TestBenchCli:
+    def test_first_run_records_baseline(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(benchtrack, "perf_counter", FakeTimer(0.5))
+        code = main(BENCH_ARGS + ["--history-dir", str(tmp_path), "--compare"])
+        assert code == 0
+        assert "serve as one" in capsys.readouterr().out
+        history = benchtrack.BenchHistory(tmp_path)
+        assert len(history.load()) == 1
+
+    def test_identical_rerun_exits_zero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(benchtrack, "perf_counter", FakeTimer(0.5))
+        assert main(BENCH_ARGS + ["--history-dir", str(tmp_path)]) == 0
+        code = main(BENCH_ARGS + ["--history-dir", str(tmp_path), "--compare"])
+        assert code == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_slowed_rerun_exits_nonzero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(benchtrack, "perf_counter", FakeTimer(0.5))
+        assert main(BENCH_ARGS + ["--history-dir", str(tmp_path)]) == 0
+        monkeypatch.setattr(benchtrack, "perf_counter", FakeTimer(5.0))
+        code = main(BENCH_ARGS + ["--history-dir", str(tmp_path), "--compare"])
+        assert code == EXIT_BENCH_REGRESSION
+        assert "PERF REGRESSION" in capsys.readouterr().out
+
+    def test_every_run_appends_history(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(benchtrack, "perf_counter", FakeTimer(0.5))
+        for expected in (1, 2, 3):
+            main(BENCH_ARGS + ["--history-dir", str(tmp_path)])
+            assert len(benchtrack.BenchHistory(tmp_path).load()) == expected

@@ -1,0 +1,161 @@
+"""Telemetry snapshot/merge semantics (`repro.obs.aggregate`)."""
+
+import json
+
+import pytest
+
+from repro.obs.aggregate import (
+    TelemetryAggregator,
+    TelemetryMergeError,
+    merge_snapshot,
+    snapshot_registry,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_registry(counter=5, gauge_values=(3.0, 7.0), hist_values=(1.0, 9.0)):
+    reg = MetricsRegistry()
+    reg.counter("c/events").inc(counter)
+    g = reg.gauge("g/depth")
+    for v in gauge_values:
+        g.set(v)
+    h = reg.histogram("h/lat", [2.0, 8.0])
+    for v in hist_values:
+        h.observe(v)
+    return reg
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_safe(self):
+        reg = make_registry()
+        reg.gauge("g/empty")  # never set: would hold inf watermarks
+        snap = snapshot_registry(reg)
+        text = json.dumps(snap, allow_nan=False)
+        assert json.loads(text) == snap
+
+    def test_empty_gauge_snapshots_without_watermarks(self):
+        reg = MetricsRegistry()
+        reg.gauge("g/empty")
+        snap = snapshot_registry(reg)
+        assert snap["gauges"]["g/empty"] == {"updates": 0}
+
+    def test_unknown_schema_is_ignored(self):
+        reg = MetricsRegistry()
+        merge_snapshot(reg, {"schema": 999, "counters": {"c": 5}})
+        assert reg.to_dict()["counters"] == {}
+
+
+class TestMergeSemantics:
+    def test_counters_sum(self):
+        target = MetricsRegistry()
+        merge_snapshot(target, snapshot_registry(make_registry(counter=5)))
+        merge_snapshot(target, snapshot_registry(make_registry(counter=7)))
+        assert target.counter("c/events").value == 12
+
+    def test_gauges_union_watermarks(self):
+        target = MetricsRegistry()
+        merge_snapshot(
+            target, snapshot_registry(make_registry(gauge_values=(3.0, 7.0)))
+        )
+        merge_snapshot(
+            target, snapshot_registry(make_registry(gauge_values=(1.0, 5.0)))
+        )
+        g = target.gauge("g/depth")
+        assert g.min == 1.0
+        assert g.max == 7.0
+        assert g.updates == 4
+        assert g.value == 5.0  # last snapshot merged
+
+    def test_empty_gauge_merge_creates_instrument_only(self):
+        src = MetricsRegistry()
+        src.gauge("g/empty")
+        target = MetricsRegistry()
+        merge_snapshot(target, snapshot_registry(src))
+        assert target.gauge("g/empty").updates == 0
+
+    def test_histograms_add_bucket_counts(self):
+        target = MetricsRegistry()
+        merge_snapshot(
+            target, snapshot_registry(make_registry(hist_values=(1.0, 9.0)))
+        )
+        merge_snapshot(
+            target, snapshot_registry(make_registry(hist_values=(3.0,)))
+        )
+        h = target.histogram("h/lat")
+        assert h.counts == [1, 1, 1]
+        assert h.total == 3
+        assert h.sum == pytest.approx(13.0)
+
+    def test_histogram_bounds_mismatch_raises(self):
+        other = MetricsRegistry()
+        other.histogram("h/lat", [1.0, 2.0, 3.0]).observe(1.5)
+        target = MetricsRegistry()
+        merge_snapshot(target, snapshot_registry(make_registry()))
+        with pytest.raises(TelemetryMergeError):
+            merge_snapshot(target, snapshot_registry(other))
+
+    def test_prefix_namespaces_instruments(self):
+        target = MetricsRegistry()
+        merge_snapshot(
+            target, snapshot_registry(make_registry()), prefix="worker/0/"
+        )
+        assert target.counter("worker/0/c/events").value == 5
+        assert "c/events" not in target.to_dict()["counters"]
+
+
+class TestAggregator:
+    def test_later_attempt_replaces_earlier(self):
+        agg = TelemetryAggregator()
+        agg.ingest("pt", snapshot_registry(make_registry(counter=100)),
+                   worker="111", attempt=1)
+        agg.ingest("pt", snapshot_registry(make_registry(counter=5)),
+                   worker="222", attempt=2)
+        reg = MetricsRegistry()
+        assert agg.merge_into(reg) == 1
+        assert reg.counter("c/events").value == 5
+
+    def test_earlier_attempt_does_not_replace_later(self):
+        agg = TelemetryAggregator()
+        agg.ingest("pt", snapshot_registry(make_registry(counter=5)),
+                   worker="1", attempt=2)
+        agg.ingest("pt", snapshot_registry(make_registry(counter=100)),
+                   worker="1", attempt=1)
+        reg = MetricsRegistry()
+        agg.merge_into(reg)
+        assert reg.counter("c/events").value == 5
+
+    def test_worker_relabeling_is_dense_and_sorted(self):
+        agg = TelemetryAggregator()
+        agg.ingest("a", snapshot_registry(make_registry()), worker="9731")
+        agg.ingest("b", snapshot_registry(make_registry()), worker="104")
+        assert agg.workers() == {"104": 0, "9731": 1}
+        reg = MetricsRegistry()
+        agg.merge_into(reg)
+        counters = reg.to_dict()["counters"]
+        assert "worker/0/c/events" in counters
+        assert "worker/1/c/events" in counters
+
+    def test_rollup_independent_of_ingest_order(self):
+        def merged(keys):
+            agg = TelemetryAggregator()
+            for i, key in enumerate(keys):
+                # Snapshot content is a function of the point (key), the
+                # worker that ran it a function of scheduling (i).
+                agg.ingest(key, snapshot_registry(
+                    make_registry(counter=ord(key), gauge_values=(float(ord(key)),))
+                ), worker=str(i))
+            reg = MetricsRegistry()
+            agg.merge_into(reg, per_worker=False)
+            return json.dumps(reg.to_dict(), sort_keys=True)
+
+        assert merged(["a", "b", "c"]) == merged(["c", "a", "b"])
+
+    def test_per_worker_can_be_disabled(self):
+        agg = TelemetryAggregator()
+        agg.ingest("a", snapshot_registry(make_registry()), worker="7")
+        reg = MetricsRegistry()
+        agg.merge_into(reg, per_worker=False)
+        assert all(
+            not name.startswith("worker/")
+            for name in reg.to_dict()["counters"]
+        )

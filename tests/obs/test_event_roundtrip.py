@@ -1,0 +1,113 @@
+"""Every event type must survive both exporters.
+
+PR 4 added recovery/checkpoint events that the timeline and JSONL
+exporters silently ignored.  These tests enumerate
+:data:`repro.obs.events.EVENT_TYPES` so a future event type cannot ship
+without a ``to_dict``/``from_dict`` round-trip and a timeline rendering.
+"""
+
+import io
+import json
+from dataclasses import fields
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_BY_NAME,
+    EVENT_TYPES,
+    EventBus,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.obs.log import JsonlLogger, load_events, run_metadata
+from repro.obs.timeline import TimelineBuilder
+
+# Synthetic field values per annotation (events use simple scalar types).
+SAMPLE_VALUES = {
+    "int": 3,
+    "float": 7.5,
+    "str": "sample",
+    "bool": True,
+    "str | None": "maybe",
+}
+
+
+def sample_event(cls):
+    kwargs = {}
+    for f in fields(cls):
+        assert f.type in SAMPLE_VALUES, (
+            f"{cls.__name__}.{f.name} has unhandled type {f.type!r}; "
+            f"teach this test about it"
+        )
+        kwargs[f.name] = SAMPLE_VALUES[f.type]
+    return cls(**kwargs)
+
+
+ALL_EVENTS = [sample_event(cls) for cls in EVENT_TYPES]
+
+
+class TestDictRoundTrip:
+    @pytest.mark.parametrize(
+        "event", ALL_EVENTS, ids=[type(e).__name__ for e in ALL_EVENTS]
+    )
+    def test_to_dict_from_dict_is_identity(self, event):
+        payload = event_to_dict(event)
+        assert payload["type"] == type(event).__name__
+        assert event_from_dict(json.loads(json.dumps(payload))) == event
+
+    def test_event_by_name_covers_every_type(self):
+        assert set(EVENT_BY_NAME.values()) == set(EVENT_TYPES)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            event_from_dict({"type": "NoSuchEvent"})
+
+
+class TestJsonlRoundTrip:
+    def test_full_stream_round_trips(self):
+        stream = io.StringIO()
+        logger = JsonlLogger(stream)
+        logger.write_record(run_metadata())  # header must be skipped
+        for event in ALL_EVENTS:
+            logger(event)
+        loaded = load_events(io.StringIO(stream.getvalue()))
+        assert loaded == ALL_EVENTS
+
+    def test_blank_and_foreign_lines_are_skipped(self):
+        text = '\n{"type": "path_access", "kind": "read"}\n'
+        assert load_events(io.StringIO(text)) == []
+
+
+class TestTimelineCoverage:
+    def test_handler_table_covers_every_event_type(self):
+        builder = TimelineBuilder(EventBus())
+        missing = [c for c in EVENT_TYPES if c not in builder._handlers]
+        assert not missing
+
+    def test_every_event_type_renders_without_error(self):
+        bus = EventBus()
+        builder = TimelineBuilder(bus)
+        for event in ALL_EVENTS:
+            bus.emit(event)
+        stream = io.StringIO()
+        builder.write(stream)
+        trace = json.loads(stream.getvalue())
+        assert trace["traceEvents"]
+
+    @pytest.mark.parametrize(
+        "event",
+        # RequestCompleted suppresses its op == "dummy" sample and
+        # PathRead/BlockServed only buffer state, so assert output on the
+        # event types that render unconditionally.
+        [e for e in ALL_EVENTS
+         if type(e).__name__ not in (
+             "PathReadStarted", "BlockServed", "RequestCompleted",
+             "SlotAligned",
+         )],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_rendering_appends_trace_output(self, event):
+        bus = EventBus()
+        builder = TimelineBuilder(bus)
+        bus.emit(event)
+        assert builder.events, f"{type(event).__name__} rendered nothing"

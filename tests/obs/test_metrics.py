@@ -138,3 +138,43 @@ class TestResultConsistency:
         assert metrics["histograms"]["stash/real_occupancy"]["total"] > 0
         assert metrics["histograms"]["dri/interval"]["total"] > 0
         assert metrics["gauges"]["partition/level"]["updates"] > 0
+
+
+class TestHistogramPercentiles:
+    def make(self, values, bounds=(10.0, 20.0, 30.0)):
+        hist = Histogram(list(bounds))
+        for v in values:
+            hist.observe(v)
+        return hist
+
+    def test_empty_histogram_is_zero(self):
+        assert self.make([]).percentile(95) == 0.0
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations all in the (10, 20] bucket: p50 lands mid-bucket.
+        hist = self.make([15.0] * 10)
+        assert hist.percentile(50) == pytest.approx(15.0)
+        assert hist.percentile(100) == pytest.approx(20.0)
+
+    def test_monotone_in_q(self):
+        hist = self.make([5.0, 15.0, 25.0, 28.0, 29.0])
+        qs = [0, 25, 50, 75, 90, 99, 100]
+        values = [hist.percentile(q) for q in qs]
+        assert values == sorted(values)
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        hist = self.make([100.0, 200.0])
+        assert hist.percentile(99) == 30.0  # finite, JSON-safe
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            self.make([1.0]).percentile(101)
+
+    def test_to_dict_includes_percentiles(self):
+        payload = self.make([15.0] * 4).to_dict()
+        assert {"p50", "p95", "p99"} <= set(payload)
+        assert payload["p50"] == pytest.approx(15.0)
+
+    def test_dummy_latency_histogram_populated_under_tp(self):
+        metrics, _ = run_with_collector(tp=True)
+        assert metrics["histograms"]["latency/dummy_request"]["total"] > 0

@@ -1,0 +1,148 @@
+"""Live sweep progress: accounting, TTY gating, JSONL stream."""
+
+import io
+import json
+
+from repro.obs.events import (
+    EventBus,
+    SweepPointFailed,
+    SweepPointFinished,
+    SweepPointRetried,
+    SweepPointStarted,
+)
+from repro.obs.progress import (
+    ProgressJsonlWriter,
+    ProgressReporter,
+    SweepProgress,
+)
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.t = start
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def started(i, total=4):
+    return SweepPointStarted(workload="mcf", scheme="Tiny", index=i,
+                             total=total)
+
+
+def finished(i, total=4, cached=False, elapsed=1.0):
+    return SweepPointFinished(workload="mcf", scheme="Tiny", index=i,
+                              total=total, cached=cached, elapsed_s=elapsed)
+
+
+def retried(i, total=4):
+    return SweepPointRetried(workload="mcf", scheme="Tiny", index=i,
+                             total=total, attempt=1, error="boom")
+
+
+def failed(i, total=4):
+    return SweepPointFailed(workload="mcf", scheme="Tiny", index=i,
+                            total=total, status="failed", attempts=2,
+                            error="boom")
+
+
+class TestSweepProgress:
+    def test_counts_and_rates(self):
+        clock = FakeClock()
+        p = SweepProgress(clock=clock)
+        p.on_event(started(0))
+        clock.advance(2.0)
+        p.on_event(finished(0, cached=True, elapsed=0.0))
+        p.on_event(finished(1))
+        assert (p.done, p.cached, p.executed) == (2, 1, 1)
+        assert p.cache_hit_rate == 0.5
+        assert p.points_per_s() == 1.0
+        assert p.eta_s() == 2.0  # 2 points left at 1 pt/s
+
+    def test_retry_and_failure_accounting(self):
+        p = SweepProgress(clock=FakeClock())
+        p.on_event(retried(0))
+        p.on_event(failed(0))
+        assert p.retries == 1
+        assert p.failed == 1
+        assert p.done == 1  # a failed point still resolves
+
+    def test_snapshot_is_json_safe_before_any_event(self):
+        p = SweepProgress(clock=FakeClock())
+        assert json.loads(json.dumps(p.snapshot()))["done"] == 0
+
+    def test_render_mentions_failures(self):
+        p = SweepProgress(clock=FakeClock())
+        p.on_event(failed(0))
+        assert "FAILED" in p.render()
+
+
+class TestProgressReporter:
+    def test_attach_refuses_off_tty(self):
+        stream = io.StringIO()  # isatty() -> False
+        bus = EventBus()
+        reporter = ProgressReporter(stream)
+        assert reporter.attach(bus) is False
+        assert not bus.active
+        bus.emit(finished(0))
+        reporter.close()
+        assert stream.getvalue() == ""
+
+    def test_forced_reporter_paints_and_closes(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        bus = EventBus()
+        reporter = ProgressReporter(stream, clock=clock, force=True)
+        assert reporter.attach(bus) is True
+        bus.emit(started(0))
+        clock.advance(1.0)
+        bus.emit(finished(0))
+        reporter.close()
+        out = stream.getvalue()
+        assert "\r" in out
+        assert "[1/4]" in out
+        assert out.endswith("\n")
+
+    def test_throttle_limits_started_repaints(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        bus = EventBus()
+        reporter = ProgressReporter(stream, min_interval_s=10.0,
+                                    clock=clock, force=True)
+        reporter.attach(bus)
+        for i in range(50):
+            bus.emit(started(i, total=50))  # no clock advance: throttled
+        assert stream.getvalue().count("\r") == 1
+
+
+class TestProgressJsonlWriter:
+    def test_done_is_monotone_and_lines_parse(self):
+        stream = io.StringIO()
+        bus = EventBus()
+        writer = ProgressJsonlWriter(stream, clock=FakeClock())
+        writer.attach(bus)
+        bus.emit(started(0))
+        bus.emit(finished(0, cached=True, elapsed=0.0))
+        bus.emit(started(1))
+        bus.emit(retried(1))
+        bus.emit(finished(1))
+        bus.emit(failed(2))
+        records = [json.loads(line) for line in
+                   stream.getvalue().splitlines()]
+        assert writer.lines == len(records) == 4
+        done = [r["done"] for r in records]
+        assert done == sorted(done)
+        assert [r["event"] for r in records] == [
+            "finished", "retried", "finished", "point-failed",
+        ]
+        assert all(r["workload"] == "mcf" for r in records)
+
+    def test_started_events_emit_no_lines(self):
+        stream = io.StringIO()
+        bus = EventBus()
+        ProgressJsonlWriter(stream, clock=FakeClock()).attach(bus)
+        bus.emit(started(0))
+        assert stream.getvalue() == ""

@@ -30,7 +30,7 @@ class TestChromeTraceExport:
         assert isinstance(trace["traceEvents"], list)
         assert trace["traceEvents"]
         for event in trace["traceEvents"]:
-            assert event["ph"] in ("X", "M", "C")
+            assert event["ph"] in ("X", "M", "C", "i")
             if event["ph"] == "X":
                 assert event["ts"] >= 0
                 assert event["dur"] >= 0

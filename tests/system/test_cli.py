@@ -162,3 +162,53 @@ class TestObservabilityFlags:
         assert "oram access" in out
         assert "trace build" in out
         assert "host time" in out
+
+
+class TestSweepTelemetryFlags:
+    SWEEP_ARGS = [
+        "sweep", "--workloads", "mcf", "--schemes", "tiny,dynamic-3",
+        "--requests", "600", "--levels", "9", "--jobs", "2",
+    ]
+
+    def test_sweep_metrics_merges_workers_and_rollup(self, tmp_path, capsys):
+        metrics = tmp_path / "merged.json"
+        code = main(self.SWEEP_ARGS + [
+            "--cache-dir", str(tmp_path / "cache"), "--metrics", str(metrics),
+        ])
+        assert code == 0
+        assert "wrote merged sweep metrics" in capsys.readouterr().out
+        payload = json.loads(metrics.read_text())
+        counters = payload["counters"]
+        assert counters["sweep/points"] == 2
+        assert counters["served/path"] > 0
+        worker_keys = [k for k in counters if k.startswith("worker/")]
+        assert worker_keys
+        per_worker = sum(
+            v for k, v in counters.items()
+            if k.startswith("worker/") and k.endswith("/served/path")
+        )
+        assert per_worker == counters["served/path"]
+        assert payload["jobs"] == 2
+
+    def test_sweep_progress_jsonl_monotone(self, tmp_path, capsys):
+        progress = tmp_path / "progress.jsonl"
+        code = main(self.SWEEP_ARGS + [
+            "--no-cache", "--progress-jsonl", str(progress),
+        ])
+        assert code == 0
+        records = [
+            json.loads(line) for line in progress.read_text().splitlines()
+        ]
+        assert records
+        done = [r["done"] for r in records]
+        assert done == sorted(done)
+        assert records[-1]["done"] == records[-1]["total"] == 2
+
+    def test_sweep_live_is_noop_off_tty(self, tmp_path, capsys):
+        # pytest's captured stdout is not a TTY, so --live must neither
+        # subscribe nor paint; the plain per-point lines stay.
+        code = main(self.SWEEP_ARGS + ["--no-cache", "--live"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "\r" not in out
+        assert "mcf/Tiny" in out
