@@ -4,7 +4,9 @@ Usage (after ``pip install -e .``)::
 
     python -m repro run --scheme dynamic-3 --workload mcf --requests 20000
     python -m repro run --trace out.json --events out.jsonl --metrics out.json
-    python -m repro profile --workload mcf --requests 20000
+    python -m repro run --spans spans.jsonl --trace-sample 1/8 --trace out.json
+    python -m repro trace analyze spans.jsonl --top 5
+    python -m repro profile --workload mcf --requests 20000 --json prof.json
     python -m repro compare --workload h264ref --timing-protection
     python -m repro sweep --workloads mcf,libquantum --schemes insecure,tiny,dynamic-3 --jobs 4
     python -m repro sweep --jobs 4 --metrics merged.json --live --progress-jsonl progress.jsonl
@@ -26,7 +28,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.analysis import benchtrack
+from repro.analysis import benchtrack, spans_report
 from repro.analysis.cache import ResultCache
 from repro.analysis.engine import SweepInterrupted, SweepRunner
 from repro.analysis.manifest import SweepLedger
@@ -50,7 +52,10 @@ from repro.obs import (
     MetricsRegistry,
     ProgressJsonlWriter,
     ProgressReporter,
+    SpanTracer,
     TimelineBuilder,
+    load_traces,
+    parse_sample_spec,
     profile_run,
     run_metadata,
 )
@@ -134,6 +139,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     meta = run_metadata(config, workload=args.workload, requests=args.requests)
     collector = MetricsCollector(bus) if args.metrics else None
     timeline = TimelineBuilder(bus) if args.trace else None
+    tracer = (
+        SpanTracer(bus, sample_every=parse_sample_spec(args.trace_sample))
+        if args.spans
+        else None
+    )
     open_files = []
     observer = None
     written = []
@@ -164,10 +174,18 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"{checkpointer.saves} saved, {checkpointer.pruned} pruned"
               + (f", {checkpointer.skipped} skipped on restore"
                  if args.restore else ""))
+    if tracer is not None and collector is not None:
+        tracer.feed_metrics(collector.registry)
     if collector is not None:
         with open(args.metrics, "w") as stream:
             collector.registry.write_json(stream, **meta)
         written.append(("metrics (JSON)", args.metrics))
+    if tracer is not None:
+        with open(args.spans, "w") as stream:
+            tracer.write_jsonl(stream)
+        written.append(
+            (f"span traces (JSONL, {len(tracer.traces)} kept)", args.spans)
+        )
     if timeline is not None:
         with open(args.trace, "w") as stream:
             timeline.write(stream)
@@ -195,6 +213,28 @@ def cmd_profile(args: argparse.Namespace) -> int:
     ))
     print(f"simulated {result.llc_misses} LLC misses "
           f"({result.total_cycles:,.0f} cycles) in {total:.3f}s host time")
+    if args.json:
+        import json
+
+        payload = {
+            "scheme": config.name,
+            "workload": args.workload,
+            "requests": args.requests,
+            "seed": args.seed,
+            "llc_misses": result.llc_misses,
+            "total_cycles": result.total_cycles,
+            "host_seconds": total,
+            "stages": {
+                stage: {"seconds": seconds, "share": seconds / total}
+                for stage, seconds in sorted(
+                    totals.items(), key=lambda kv: -kv[1]
+                )
+            },
+        }
+        with open(args.json, "w") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        print(f"wrote profile (JSON): {args.json}")
     return 0
 
 
@@ -261,9 +301,11 @@ def _print_sweep_failures(report) -> None:
               + (f" ({point.error})" if point.error else ""))
 
 
-# Exit codes of ``python -m repro sweep`` / ``bench`` (see the README).
+# Exit codes of ``python -m repro sweep`` / ``bench`` / ``trace`` (see
+# the README).
 EXIT_SWEEP_FAILED = 3
 EXIT_BENCH_REGRESSION = 4
+EXIT_TRACE_INVALID = 5
 EXIT_INTERRUPTED = 130
 
 
@@ -510,14 +552,32 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if report.ok else EXIT_SWEEP_FAILED
 
 
+def cmd_trace_analyze(args: argparse.Namespace) -> int:
+    traces = load_traces(args.file)
+    if args.json:
+        import json
+
+        payload = spans_report.analyze(traces, top=args.top)
+        print(json.dumps(payload, indent=2))
+        violations = payload["invariant"]["violations"]
+        return 0 if violations == 0 else EXIT_TRACE_INVALID
+    text, ok = spans_report.render_report(traces, top=args.top)
+    print(text)
+    return 0 if ok else EXIT_TRACE_INVALID
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     config = build_config(args)
     print(f"config: {config.describe()}")
-    history = benchtrack.BenchHistory(args.history_dir)
+    history = benchtrack.BenchHistory(args.history_dir, host=args.host)
     entry = benchtrack.measure(
         config, args.workload, args.requests,
         seed=args.seed, repeats=args.repeats,
     )
+    if args.host is not None:
+        # Pin the entry to the logical host name so CI baselines recorded
+        # on different runner machines stay comparable by construction.
+        entry["host"] = history.host
     baseline = None
     if args.compare is not None:
         # Find the baseline before appending, or an identical re-run
@@ -618,6 +678,13 @@ def make_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--adversary-trace", metavar="FILE",
                        help="dump the adversary-visible (kind, leaf, time) "
                             "path sequence as JSONL")
+    run_p.add_argument("--spans", metavar="FILE",
+                       help="assemble causal per-request span trees and "
+                            "write them as JSONL (analyze with "
+                            "'repro trace analyze FILE')")
+    run_p.add_argument("--trace-sample", default="1", metavar="N|1/N",
+                       help="keep one span trace in N (deterministic "
+                            "sequence-number sampling; default keeps all)")
     run_p.add_argument("--checkpoint-dir", metavar="DIR",
                        help="snapshot the full runtime state into DIR "
                             "(atomic writes, torn-tail tolerant)")
@@ -635,7 +702,30 @@ def make_parser() -> argparse.ArgumentParser:
     )
     common(prof_p)
     prof_p.add_argument("--scheme", default="dynamic-3")
+    prof_p.add_argument("--json", metavar="FILE",
+                        help="also write the per-stage profile as "
+                             "machine-readable JSON")
     prof_p.set_defaults(fn=cmd_profile)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="span-trace tooling (see 'repro run --spans')",
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    analyze_p = trace_sub.add_parser(
+        "analyze",
+        help="phase attribution, latency breakdown, invariant audit and "
+             "top-K slowest requests from a --spans JSONL file; exits "
+             f"{EXIT_TRACE_INVALID} if any span tree violates the "
+             "cycle-exact exclusive-time invariant",
+    )
+    analyze_p.add_argument("file", help="JSONL file written by run --spans")
+    analyze_p.add_argument("--top", type=int, default=5, metavar="K",
+                           help="slowest requests to render as span trees")
+    analyze_p.add_argument("--json", action="store_true",
+                           help="print the analysis as JSON instead of "
+                                "tables")
+    analyze_p.set_defaults(fn=cmd_trace_analyze)
 
     cmp_p = sub.add_parser("compare", help="compare all schemes on a workload")
     common(cmp_p)
@@ -725,6 +815,12 @@ def make_parser() -> argparse.ArgumentParser:
         "--history-dir", default=str(benchtrack.DEFAULT_HISTORY_DIR),
         metavar="DIR",
         help="where BENCH_<host>.json lives",
+    )
+    bench_p.add_argument(
+        "--host", default=None, metavar="NAME",
+        help="logical host name for the history file and entry (default: "
+             "this machine's hostname); CI uses a fixed name so baselines "
+             "recorded on different runners stay comparable",
     )
     bench_p.add_argument(
         "--compare", nargs="?", const="latest", default=None, metavar="BASE",

@@ -36,7 +36,15 @@ from repro.core.partition import (
 )
 from repro.core.queues import DupCandidate, hd_queue, rd_queue
 from repro.mem.dram import DramModel, PathTimer
-from repro.obs.events import DUP_HD, DUP_RD, BlockServed, DuplicationPlaced, EventBus
+from repro.obs.events import (
+    DUP_HD,
+    DUP_RD,
+    BlockServed,
+    DuplicationPlaced,
+    EventBus,
+    SpanFinished,
+    SpanStarted,
+)
 from repro.oram.block import Block
 from repro.oram.config import OramConfig
 from repro.oram.tiny import (
@@ -221,6 +229,10 @@ class ShadowOramController(TinyOramController):
         placed: list[tuple[Block, int]],
     ) -> None:
         cfg = self.config
+        bus = self.bus
+        observed = bool(bus._subs)
+        if observed:
+            bus.emit(SpanStarted(name="shadow_fill", ts=bus.now))
         rd = rd_queue()
         hd = hd_queue()
         # Blocks written back on this very path: automatically Rule-1-safe.
@@ -253,7 +265,6 @@ class ShadowOramController(TinyOramController):
             hd.push(cand)
             stash_shadow_cands.append(cand)
 
-        bus = self.bus
         for level in range(cfg.levels, -1, -1):
             free = cfg.z - fill[level]
             if free <= 0:
@@ -288,6 +299,15 @@ class ShadowOramController(TinyOramController):
                 self.stash.remove_shadow(cand.block.addr)
                 self._shadow_source_level.pop(cand.block.addr, None)
                 self.shadow_stats.stash_shadow_reevictions += 1
+        if observed:
+            bus.emit(SpanFinished(
+                name="shadow_fill",
+                ts=bus.now,
+                detail=(
+                    f"rd={rd.selected},hd={hd.selected},"
+                    f"candidates={len(rd)}"
+                ),
+            ))
 
     # ------------------------------------------------------------------
     # Checkpointing

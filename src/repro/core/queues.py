@@ -73,12 +73,17 @@ class DuplicationQueue:
             raise ValueError(f"unknown priority key {key!r}")
         self._key = key
         self._candidates: list[DupCandidate] = []
+        # Per-path-write selection tallies, surfaced as span annotations
+        # (the shadow_fill span reports rd/hd picks for this write).
+        self.pushed = 0
+        self.selected = 0
 
     def __len__(self) -> int:
         return len(self._candidates)
 
     def push(self, candidate: DupCandidate) -> None:
         self._candidates.append(candidate)
+        self.pushed += 1
 
     def select(
         self, slot_level: int, evict_leaf: int, levels: int
@@ -122,10 +127,13 @@ class DuplicationQueue:
         for cand in chosen:
             cand.level_bound = slot_level
             cand.used = True
+        self.selected += len(chosen)
         return chosen
 
     def clear(self) -> None:
         self._candidates.clear()
+        self.pushed = 0
+        self.selected = 0
 
 
 def rd_queue() -> DuplicationQueue:

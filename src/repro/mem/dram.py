@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.mem.layout import SubtreeLayout
+from repro.obs.events import EventBus, SpanFinished, SpanStarted
 from repro.serialize import serializable
 
 
@@ -320,9 +321,14 @@ class PathTimer:
             skip them in DRAM.
         xor_compression: Serve reads through the Ring-ORAM XOR bandwidth
             compression model.
+        bus: Observability bus for ``dram_read``/``dram_write`` spans
+            (the DRAM internal streaming stage of each path access).
+            ``None`` — or a bus with no subscribers — emits nothing.
     """
 
-    __slots__ = ("dram", "levels", "z", "treetop_levels", "xor_compression")
+    __slots__ = (
+        "dram", "levels", "z", "treetop_levels", "xor_compression", "bus"
+    )
 
     def __init__(
         self,
@@ -331,26 +337,48 @@ class PathTimer:
         z: int,
         treetop_levels: int = 0,
         xor_compression: bool = False,
+        bus: "EventBus | None" = None,
     ) -> None:
         self.dram = dram
         self.levels = levels
         self.z = z
         self.treetop_levels = treetop_levels
         self.xor_compression = xor_compression
+        self.bus = bus
 
     def read(self, now: float) -> PathTiming:
         """Timing of a full path read starting at ``now``."""
+        bus = self.bus
+        observed = bus is not None and bus._subs
+        if observed:
+            detail = (
+                "functional" if self.dram is None
+                else "xor" if self.xor_compression
+                else "stream"
+            )
+            bus.emit(SpanStarted(name="dram_read", ts=now, detail=detail))
         if self.dram is None:
-            return self._functional(now)
-        if self.xor_compression:
-            return self.dram.read_path_xor(now, self.treetop_levels)
-        return self.dram.read_path(now, self.treetop_levels)
+            timing = self._functional(now)
+        elif self.xor_compression:
+            timing = self.dram.read_path_xor(now, self.treetop_levels)
+        else:
+            timing = self.dram.read_path(now, self.treetop_levels)
+        if observed:
+            bus.emit(SpanFinished(name="dram_read", ts=timing.internal_finish))
+        return timing
 
     def write(self, now: float) -> PathTiming:
         """Timing of a full path write starting at ``now``."""
-        if self.dram is None:
-            return self._functional(now)
-        return self.dram.write_path(now, self.treetop_levels)
+        bus = self.bus
+        observed = bus is not None and bus._subs
+        if observed:
+            bus.emit(SpanStarted(name="dram_write", ts=now))
+        timing = self._functional(now) if self.dram is None else (
+            self.dram.write_path(now, self.treetop_levels)
+        )
+        if observed:
+            bus.emit(SpanFinished(name="dram_write", ts=timing.internal_finish))
+        return timing
 
     def _functional(self, now: float) -> PathTiming:
         return PathTiming(

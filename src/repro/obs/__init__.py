@@ -7,6 +7,8 @@ reports about itself.  The components:
   the typed event taxonomy every stage of the stack emits;
 * :mod:`repro.obs.metrics` — counters/gauges/histograms and the
   :class:`~repro.obs.metrics.MetricsCollector` bus subscriber;
+* :mod:`repro.obs.spans` — causal per-request span trees with
+  cycle-exact latency attribution (:class:`~repro.obs.spans.SpanTracer`);
 * :mod:`repro.obs.timeline` — Chrome trace-event (Perfetto) export;
 * :mod:`repro.obs.log` — JSONL structured logging with run metadata;
 * :mod:`repro.obs.profiler` — host wall-clock attribution per stage;
@@ -39,6 +41,8 @@ from repro.obs.events import (
     PathReadStarted,
     RequestCompleted,
     SlotAligned,
+    SpanFinished,
+    SpanStarted,
     StashOccupancy,
     SweepPointFailed,
     SweepPointFinished,
@@ -59,6 +63,18 @@ from repro.obs.progress import (
     ProgressJsonlWriter,
     ProgressReporter,
     SweepProgress,
+)
+from repro.obs.spans import (
+    SPAN_PHASES,
+    Span,
+    SpanTrace,
+    SpanTracer,
+    exclusive_by_phase,
+    load_traces,
+    parse_sample_spec,
+    render_tree,
+    top_slowest,
+    validate_trace,
 )
 from repro.obs.timeline import TimelineBuilder
 
@@ -82,7 +98,13 @@ __all__ = [
     "ProgressJsonlWriter",
     "ProgressReporter",
     "RequestCompleted",
+    "SPAN_PHASES",
     "SlotAligned",
+    "Span",
+    "SpanFinished",
+    "SpanStarted",
+    "SpanTrace",
+    "SpanTracer",
     "StashOccupancy",
     "SweepProgress",
     "SweepPointFailed",
@@ -93,9 +115,15 @@ __all__ = [
     "TimelineBuilder",
     "event_from_dict",
     "event_to_dict",
+    "exclusive_by_phase",
     "load_events",
+    "load_traces",
     "merge_snapshot",
+    "parse_sample_spec",
     "profile_run",
+    "render_tree",
     "run_metadata",
     "snapshot_registry",
+    "top_slowest",
+    "validate_trace",
 ]

@@ -288,6 +288,40 @@ class PosmapRepaired:
 
 
 @dataclass(slots=True, frozen=True)
+class SpanStarted:
+    """A causal span opened (see :mod:`repro.obs.spans`).
+
+    ``name`` is the phase name from the span glossary (``request``,
+    ``dummy``, ``queue``, ``stall``, ``oram_access``, ``path_read``,
+    ``eviction``, ``eviction_read``, ``eviction_write``, ``dram_read``,
+    ``dram_write``, ``stash_scan``, ``merkle``, ``shadow_fill``,
+    ``shadow_serve``, ``reshuffle``).  ``ts`` is the simulated cycle the
+    phase began; the tracer stamps host wall time at receipt, giving every
+    span dual clocks.  ``addr``/``detail`` are optional annotations
+    (request address, op, path-read purpose, merkle action, ...).
+    """
+
+    name: str
+    ts: float
+    addr: int = -1
+    detail: str = ""
+
+
+@dataclass(slots=True, frozen=True)
+class SpanFinished:
+    """The matching close of the innermost open :class:`SpanStarted`.
+
+    Spans close strictly LIFO per trace (emission order == host execution
+    order == nesting order).  ``detail`` may carry close-time annotations
+    (e.g. shadow-fill selection counts) merged into the span record.
+    """
+
+    name: str
+    ts: float
+    detail: str = ""
+
+
+@dataclass(slots=True, frozen=True)
 class CheckpointSaved:
     """The simulator persisted an intra-run checkpoint."""
 
@@ -325,6 +359,8 @@ EVENT_TYPES: tuple[type, ...] = (
     BlockRecovered,
     RecoveryFailed,
     PosmapRepaired,
+    SpanStarted,
+    SpanFinished,
     CheckpointSaved,
     CheckpointRestored,
 )

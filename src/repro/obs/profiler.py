@@ -10,6 +10,9 @@ and :func:`profile_run` wires it around one full-system simulation:
 * ``oram access`` — ``controller.access`` minus nested sections;
 * ``eviction`` — the RW eviction phase (read + write + shadow fill);
 * ``dummy requests`` — timing-protection dummy accesses;
+* ``merkle hashing`` — integrity-tree verification/update (only present
+  when the run has ``--integrity`` armed);
+* ``stash scan`` — stash inserts and real/shadow lookups;
 * ``bookkeeping`` — everything else in the simulation loop (scheduler,
   issue policies, result aggregation).
 """
@@ -110,6 +113,15 @@ def profile_run(
             prof.wrap(controller, "access", "oram access")
             prof.wrap(controller, "_maybe_evict", "eviction")
             prof.wrap(controller, "dummy_access", "dummy requests")
+            stash = getattr(controller, "stash", None)
+            if stash is not None:
+                prof.wrap(stash, "insert", "stash scan")
+                prof.wrap(stash, "lookup_real", "stash scan")
+                prof.wrap(stash, "lookup_shadow", "stash scan")
+            integrity = getattr(controller, "integrity", None)
+            if integrity is not None:
+                prof.wrap(integrity, "verify_path", "merkle hashing")
+                prof.wrap(integrity, "update_path", "merkle hashing")
             return controller
 
         sim._build_controller = profiled_build  # type: ignore[method-assign]

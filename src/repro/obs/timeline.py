@@ -14,7 +14,11 @@ and renders the event stream as Chrome trace-event JSON (the format both
   posmap repairs, and checkpoint save/restore marks;
 * a separate process for the sweep engine's host-side point lifecycle;
 * counter tracks for the partitioning level, stash occupancy, and the
-  Hot Address Cache hit/miss tallies.
+  Hot Address Cache hit/miss tallies;
+* three span tracks (scheduler / ORAM / DRAM) rendering the causal span
+  trees of :mod:`repro.obs.spans` as nested B/E duration events, with
+  flow arrows linking each request's hop from its scheduler root through
+  the controller phases down to the DRAM streaming stage.
 
 Dispatch is a ``{event class: handler}`` table covering *every* class in
 :data:`~repro.obs.events.EVENT_TYPES` — the constructor refuses to build
@@ -52,6 +56,8 @@ from repro.obs.events import (
     RecoveryFailed,
     RequestCompleted,
     SlotAligned,
+    SpanFinished,
+    SpanStarted,
     StashOccupancy,
     SweepPointFailed,
     SweepPointFinished,
@@ -65,6 +71,17 @@ PID_SWEEP = 2
 TID_BUS = 0
 TID_SCHEDULER = 1
 TID_RECOVERY = 2
+TID_SPANS_SCHED = 3
+TID_SPANS_ORAM = 4
+TID_DRAM = 5
+
+# Span-name -> track routing for the nested B/E duration rendering.
+# Roots and launch waits live on the scheduler span track, DRAM streaming
+# phases on the DRAM track, every controller phase in between on the ORAM
+# span track — so one request's flow arrows hop scheduler -> ORAM -> DRAM.
+_SCHED_SPANS = frozenset({"request", "dummy", "queue", "stall"})
+_DRAM_SPANS = frozenset({"dram_read", "dram_write"})
+_ROOT_SPANS = frozenset({"request", "dummy"})
 
 
 class TimelineBuilder:
@@ -80,6 +97,12 @@ class TimelineBuilder:
         self._hot_misses = 0
         self._sweep_seq = 0
         self._sweep_seen = False
+        self._span_seen = False
+        self._flow_seq = 0
+        # Open root spans (mirrors the tracer's trace stack): flow id +
+        # how far this trace's arrow chain has progressed (0 = scheduler,
+        # 1 = ORAM, 2 = DRAM).
+        self._flow_stack: list[dict[str, int]] = []
         self._handlers: dict[type, object] = {
             PathReadStarted: self._on_path_read_started,
             PathReadFinished: self._on_path_read_finished,
@@ -91,6 +114,8 @@ class TimelineBuilder:
             PartitionAdjusted: self._on_partition,
             DummyIssued: self._on_dummy_issued,
             SlotAligned: self._on_slot_aligned,
+            SpanStarted: self._on_span_started,
+            SpanFinished: self._on_span_finished,
             HotAddressTouched: self._on_hot_address,
             SweepPointStarted: self._on_sweep_point,
             SweepPointFinished: self._on_sweep_point,
@@ -265,6 +290,82 @@ class TimelineBuilder:
                 cat="scheduler",
             )
 
+    # ------------------------------------------------------------------
+    # Span rendering: nested B/E duration events + flow arrows
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _span_track(name: str) -> tuple[int, int]:
+        if name in _SCHED_SPANS:
+            return PID_ORAM, TID_SPANS_SCHED
+        if name in _DRAM_SPANS:
+            return PID_ORAM, TID_DRAM
+        return PID_ORAM, TID_SPANS_ORAM
+
+    def _flow(self, phase: str, flow_id: int, pid: int, tid: int,
+              ts: float) -> None:
+        event: dict[str, object] = {
+            "name": "request flow",
+            "ph": phase,
+            "id": flow_id,
+            "pid": pid,
+            "tid": tid,
+            "ts": ts,
+            "cat": "flow",
+        }
+        if phase == "f":
+            event["bp"] = "e"
+        self.events.append(event)
+
+    def _on_span_started(self, event: SpanStarted) -> None:
+        self._span_seen = True
+        pid, tid = self._span_track(event.name)
+        ts = self._clamped(pid, tid, event.ts)
+        begin: dict[str, object] = {
+            "name": event.name,
+            "ph": "B",
+            "pid": pid,
+            "tid": tid,
+            "ts": ts,
+            "cat": "span",
+        }
+        args: dict[str, object] = {}
+        if event.addr != -1:
+            args["addr"] = event.addr
+        if event.detail:
+            args["detail"] = event.detail
+        if args:
+            begin["args"] = args
+        self.events.append(begin)
+        if event.name in _ROOT_SPANS:
+            flow_id = self._flow_seq
+            self._flow_seq += 1
+            self._flow_stack.append({"id": flow_id, "stage": 0})
+            self._flow("s", flow_id, pid, tid, ts)
+        elif self._flow_stack:
+            flow = self._flow_stack[-1]
+            if tid == TID_SPANS_ORAM and flow["stage"] == 0:
+                flow["stage"] = 1
+                self._flow("t", flow["id"], pid, tid, ts)
+            elif tid == TID_DRAM and flow["stage"] == 1:
+                flow["stage"] = 2
+                self._flow("f", flow["id"], pid, tid, ts)
+
+    def _on_span_finished(self, event: SpanFinished) -> None:
+        pid, tid = self._span_track(event.name)
+        ts = self._clamped(pid, tid, event.ts)
+        self.events.append(
+            {
+                "name": event.name,
+                "ph": "E",
+                "pid": pid,
+                "tid": tid,
+                "ts": ts,
+                "cat": "span",
+            }
+        )
+        if event.name in _ROOT_SPANS and self._flow_stack:
+            self._flow_stack.pop()
+
     def _on_partition(self, event: PartitionAdjusted) -> None:
         self._counter(
             "partition level", event.ts, {"P": float(event.new_level)}
@@ -393,6 +494,19 @@ class TimelineBuilder:
             {"ph": "M", "name": "thread_name", "pid": PID_ORAM,
              "tid": TID_RECOVERY, "args": {"name": "integrity/recovery"}},
         ]
+        if self._span_seen:
+            meta.extend(
+                [
+                    {"ph": "M", "name": "thread_name", "pid": PID_ORAM,
+                     "tid": TID_SPANS_SCHED,
+                     "args": {"name": "spans: scheduler"}},
+                    {"ph": "M", "name": "thread_name", "pid": PID_ORAM,
+                     "tid": TID_SPANS_ORAM,
+                     "args": {"name": "spans: oram"}},
+                    {"ph": "M", "name": "thread_name", "pid": PID_ORAM,
+                     "tid": TID_DRAM, "args": {"name": "spans: dram"}},
+                ]
+            )
         if self._sweep_seen:
             meta.append(
                 {"ph": "M", "name": "process_name", "pid": PID_SWEEP,

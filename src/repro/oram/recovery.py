@@ -47,6 +47,8 @@ from repro.obs.events import (
     EventBus,
     PosmapRepaired,
     RecoveryFailed,
+    SpanFinished,
+    SpanStarted,
 )
 from repro.oram.block import Block
 from repro.oram.integrity import (
@@ -151,11 +153,21 @@ class RecoveryManager:
         should actually use: normally ``leaf`` unchanged, or the repaired
         leaf when a stale position-map entry was detected and fixed.
         """
-        if self.policy == POLICY_RAISE:
-            self.merkle.verify_path(leaf)
-            return leaf
-        self.heal_path(leaf)
-        return self._check_posmap(addr, leaf)
+        bus = self.bus
+        observed = bool(bus._subs)
+        if observed:
+            # Zero-cycle span (recovery advances no clocks) whose wall
+            # time is the real cost of hashing/healing the demand path.
+            bus.emit(SpanStarted(name="merkle", ts=bus.now, detail="verify"))
+        try:
+            if self.policy == POLICY_RAISE:
+                self.merkle.verify_path(leaf)
+                return leaf
+            self.heal_path(leaf)
+            return self._check_posmap(addr, leaf)
+        finally:
+            if observed:
+                bus.emit(SpanFinished(name="merkle", ts=bus.now))
 
     def before_path_read(self, leaf: int) -> None:
         """Authenticate (and heal) a dummy or eviction path.
@@ -165,10 +177,18 @@ class RecoveryManager:
         on the following path write, so eviction paths are verified with
         the same rigor as demand paths.
         """
-        if self.policy == POLICY_RAISE:
-            self.merkle.verify_path(leaf)
-            return
-        self.heal_path(leaf)
+        bus = self.bus
+        observed = bool(bus._subs)
+        if observed:
+            bus.emit(SpanStarted(name="merkle", ts=bus.now, detail="verify"))
+        try:
+            if self.policy == POLICY_RAISE:
+                self.merkle.verify_path(leaf)
+                return
+            self.heal_path(leaf)
+        finally:
+            if observed:
+                bus.emit(SpanFinished(name="merkle", ts=bus.now))
 
     # ------------------------------------------------------------------
     # Healing
@@ -191,11 +211,21 @@ class RecoveryManager:
         this a latent posmap upset would survive every scrub untouched
         and trip the post-heal audit of an unrelated recovery.
         """
-        healed = self._heal(self.merkle.verify_all(), scrub=True, audit=False)
-        repaired = self._scrub_posmap()
-        if (healed or repaired) and self.audit:
-            self._audit()
-        return healed
+        bus = self.bus
+        observed = bool(bus._subs)
+        if observed:
+            bus.emit(SpanStarted(name="merkle", ts=bus.now, detail="scrub"))
+        try:
+            healed = self._heal(
+                self.merkle.verify_all(), scrub=True, audit=False
+            )
+            repaired = self._scrub_posmap()
+            if (healed or repaired) and self.audit:
+                self._audit()
+            return healed
+        finally:
+            if observed:
+                bus.emit(SpanFinished(name="merkle", ts=bus.now))
 
     def _scrub_posmap(self) -> int:
         posmap = self.controller.posmap

@@ -28,6 +28,7 @@ from random import Random
 from repro.core.partition import PartitionPolicy
 from repro.core.queues import DupCandidate, rd_queue
 from repro.mem.dram import DramModel, PathTiming
+from repro.obs.events import EventBus, SpanFinished, SpanStarted
 from repro.oram.block import Block
 from repro.oram.config import OramConfig
 from repro.oram.posmap import PositionMap
@@ -110,10 +111,12 @@ class RingOramController:
         rng: Random,
         dram_config=None,
         observer: Observer | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         self.config = config
         self.rng = rng
         self.observer = observer
+        self.bus = bus if bus is not None else EventBus()
         self.tree = OramTree(config.levels, config.slots_per_bucket)
         self.stash = Stash(config.stash_capacity)
         self.posmap = PositionMap(config.num_blocks, config.num_leaves, rng)
@@ -150,6 +153,11 @@ class RingOramController:
         """Serve one request: Ring RO access + scheduled eviction."""
         if not 0 <= addr < self.config.num_blocks:
             raise ValueError(f"address {addr} out of range")
+        bus = self.bus
+        observed = bool(bus._subs)
+        if observed:
+            bus.now = now
+            bus.emit(SpanStarted(name="oram_access", ts=now, addr=addr, detail=op))
         blk = self.stash.lookup_real(addr)
         if blk is not None:
             if op == "write":
@@ -157,11 +165,18 @@ class RingOramController:
                 blk.version += 1
             self.stats_stash_hits += 1
             ready = now + self.config.onchip_latency
+            if observed:
+                bus.emit(SpanStarted(name="stash_scan", ts=now))
+                bus.emit(SpanFinished(name="stash_scan", ts=ready, detail="hit"))
+                bus.emit(SpanFinished(name="oram_access", ts=ready))
             return AccessResult(
                 addr=addr, op=op, served_from="stash", issue=now,
                 data_ready=ready, finish=ready, value=blk.payload,
                 version=blk.version,
             )
+        if observed:
+            bus.emit(SpanStarted(name="stash_scan", ts=now))
+            bus.emit(SpanFinished(name="stash_scan", ts=now, detail="miss"))
 
         leaf = self.posmap.lookup(addr)
         new_leaf = self.posmap.remap(addr)
@@ -182,6 +197,21 @@ class RingOramController:
         if self._access_count % self.config.a == 0:
             finish = self._evict(finish)
             evicted = True
+        if observed:
+            if (
+                served_from in ("shadow_path", "shadow_stash")
+                and data_ready <= finish
+            ):
+                bus.emit(
+                    SpanStarted(
+                        name="shadow_serve",
+                        ts=data_ready,
+                        addr=addr,
+                        detail=served_from,
+                    )
+                )
+                bus.emit(SpanFinished(name="shadow_serve", ts=data_ready))
+            bus.emit(SpanFinished(name="oram_access", ts=finish))
         return AccessResult(
             addr=addr, op=op, served_from=served_from, issue=now,
             data_ready=data_ready, finish=finish, value=blk.payload,
@@ -194,7 +224,20 @@ class RingOramController:
     ) -> tuple[float | None, str | None, float]:
         """Touch one block per bucket along ``leaf``'s path."""
         cfg = self.config
+        bus = self.bus
+        observed = bool(bus._subs)
+        if observed:
+            bus.emit(SpanStarted(name="path_read", ts=now, detail="ro"))
         timing = self._read_timing(now)
+        if observed:
+            bus.emit(
+                SpanStarted(
+                    name="dram_read",
+                    ts=now,
+                    detail="functional" if self._dram_read is None else "stream",
+                )
+            )
+            bus.emit(SpanFinished(name="dram_read", ts=timing.internal_finish))
         self.stats_reads += 1
         self.stats_blocks_on_bus += cfg.levels + 1
         if self.observer is not None:
@@ -236,6 +279,8 @@ class RingOramController:
         # Remaining copies of addr along the path (shadows in buckets whose
         # touched slot was something else) are stale after the remap: purge.
         self._purge_copies(leaf, addr)
+        if observed:
+            bus.emit(SpanFinished(name="path_read", ts=finish))
         return data_ready, served_from, finish
 
     def _slot_holding(self, bucket, meta: _BucketMeta, addr: int) -> int | None:
@@ -289,14 +334,22 @@ class RingOramController:
         meta.touched = [False] * self.config.slots_per_bucket
         meta.reads = 0
         self.stats_blocks_on_bus += 2 * self.config.slots_per_bucket
+        end = now
         if self._dram_bulk is not None:
             # One bucket in, one bucket out at bulk rate.
             per_bucket = (
                 self.config.slots_per_bucket
                 * self._dram_bulk.config.block_transfer_cycles
             )
-            return now + 2 * per_bucket
-        return now
+            end = now + 2 * per_bucket
+        if self.bus._subs:
+            self.bus.emit(
+                SpanStarted(
+                    name="reshuffle", ts=now, detail=f"bucket={bucket_index}"
+                )
+            )
+            self.bus.emit(SpanFinished(name="reshuffle", ts=end))
+        return end
 
     def _evict(self, now: float) -> float:
         """Reverse-lexicographic eviction: absorb + rewrite one path."""
@@ -305,6 +358,10 @@ class RingOramController:
         self._eviction_counter += 1
         leaf = int(format(g, f"0{cfg.levels}b")[::-1], 2) if cfg.levels else 0
         self.stats_evictions += 1
+        bus = self.bus
+        observed = bool(bus._subs)
+        if observed:
+            bus.emit(SpanStarted(name="eviction", ts=now, detail=f"leaf={leaf}"))
         if self.observer is not None:
             self.observer(("write", leaf, now))
 
@@ -340,14 +397,26 @@ class RingOramController:
             self.stash.remove_real(blk.addr)
 
         if cfg.enable_shadows:
+            if observed:
+                bus.emit(SpanStarted(name="shadow_fill", ts=now))
             self._fill_shadows(leaf, contents, fill, placed)
+            if observed:
+                bus.emit(SpanFinished(name="shadow_fill", ts=now))
         self.tree.write_path(leaf, contents)
         self.stats_blocks_on_bus += 2 * (cfg.levels + 1) * cfg.slots_per_bucket
+        end = now
         if self._dram_bulk is not None:
             timing = self._dram_bulk.write_path(now)
             read_cost = timing.finish - timing.start  # symmetric read first
-            return timing.finish + read_cost
-        return now
+            end = timing.finish + read_cost
+            if observed:
+                bus.emit(SpanStarted(name="dram_write", ts=now))
+                bus.emit(
+                    SpanFinished(name="dram_write", ts=timing.internal_finish)
+                )
+        if observed:
+            bus.emit(SpanFinished(name="eviction", ts=end))
+        return end
 
     def _fill_shadows(
         self,

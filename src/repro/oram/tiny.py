@@ -35,6 +35,8 @@ from repro.obs.events import (
     PathReadFinished,
     PathReadStarted,
     RequestCompleted,
+    SpanFinished,
+    SpanStarted,
 )
 from repro.oram.block import Block
 from repro.oram.config import OramConfig
@@ -161,6 +163,8 @@ class TinyOramController:
         self.config = config
         self.rng = rng
         self.dram = dram
+        self.observer = observer
+        self.bus = bus if bus is not None else EventBus()
         self.timer = (
             timer
             if timer is not None
@@ -172,8 +176,10 @@ class TinyOramController:
                 config.xor_compression,
             )
         )
-        self.observer = observer
-        self.bus = bus if bus is not None else EventBus()
+        if self.timer.bus is None:
+            # The timer emits dram_read/dram_write spans; wire it to the
+            # controller's resolved bus so they nest inside path spans.
+            self.timer.bus = self.bus
         self.tree = OramTree(config.levels, config.z)
         self.stash = Stash(config.stash_capacity, bus=self.bus)
         self.posmap = PositionMap(config.num_blocks, config.num_leaves, rng)
@@ -224,15 +230,31 @@ class TinyOramController:
             raise ValueError(f"op must be 'read' or 'write', got {op!r}")
         self.stats.accesses += 1
         bus = self.bus
-        if bus._subs:
+        observed = bool(bus._subs)
+        if observed:
             bus.now = now
+            bus.emit(SpanStarted(name="oram_access", ts=now, addr=addr, detail=op))
         if self.recovery is not None:
             self.recovery.tick()
 
+        if observed:
+            bus.emit(SpanStarted(name="stash_scan", ts=now))
         hit = self._try_onchip(addr, op, payload, now)
+        if observed:
+            # A hit tiles the whole access with the on-chip lookup; a miss
+            # leaves a zero-cycle marker that still measures wall time.
+            scan_end = hit.data_ready if hit is not None else now
+            bus.emit(SpanFinished(name="stash_scan", ts=scan_end))
         if hit is not None:
-            if bus._subs:
+            if observed:
+                if hit.served_from == SERVED_SHADOW_STASH:
+                    bus.emit(SpanStarted(
+                        name="shadow_serve", ts=hit.data_ready,
+                        addr=addr, detail=SERVED_SHADOW_STASH,
+                    ))
+                    bus.emit(SpanFinished(name="shadow_serve", ts=hit.data_ready))
                 bus.emit(_completed(hit, bus.core))
+                bus.emit(SpanFinished(name="oram_access", ts=hit.finish))
             if self.post_access_hook is not None:
                 self.post_access_hook(hit)
             return hit
@@ -247,8 +269,9 @@ class TinyOramController:
             leaf = self.recovery.before_request(addr, leaf)
         new_leaf = self.posmap.remap(addr)
         result = self._oram_access(addr, op, payload, leaf, new_leaf, now)
-        if bus._subs:
+        if observed:
             bus.emit(_completed(result, bus.core))
+            bus.emit(SpanFinished(name="oram_access", ts=result.finish))
         if self.post_access_hook is not None:
             self.post_access_hook(result)
         return result
@@ -269,8 +292,10 @@ class TinyOramController:
         """
         self.stats.dummy_accesses += 1
         bus = self.bus
-        if bus._subs:
+        observed = bool(bus._subs)
+        if observed:
             bus.now = now
+            bus.emit(SpanStarted(name="dummy", ts=now))
         if self.recovery is not None:
             self.recovery.tick()
         leaf = self.rng.randrange(self.config.num_leaves)
@@ -288,9 +313,10 @@ class TinyOramController:
             evicted=evicted,
             path_accesses=1 + extra_paths,
         )
-        if bus._subs:
+        if observed:
             bus.emit(DummyIssued(leaf=leaf, ts=now, finish=finish))
             bus.emit(_completed(result, bus.core))
+            bus.emit(SpanFinished(name="dummy", ts=finish))
         if self.post_access_hook is not None:
             self.post_access_hook(result)
         return result
@@ -364,6 +390,19 @@ class TinyOramController:
             data_ready = now + self.config.onchip_latency
             served_from = SERVED_SHADOW_STASH
             served_level = -1
+        if (
+            self.bus._subs
+            and served_from in (SERVED_SHADOW_PATH, SERVED_SHADOW_STASH)
+            and data_ready <= timing.finish
+        ):
+            # Zero-cycle marker: the moment a shadow copy un-stalled the
+            # CPU early.  (Skipped in functional mode, where the on-chip
+            # latency would push the marker past the degenerate window.)
+            self.bus.emit(SpanStarted(
+                name="shadow_serve", ts=data_ready,
+                addr=addr, detail=served_from,
+            ))
+            self.bus.emit(SpanFinished(name="shadow_serve", ts=data_ready))
 
         finish, evicted, extra_paths = self._maybe_evict(timing.finish)
         if served_from == SERVED_SHADOW_PATH:
@@ -403,6 +442,11 @@ class TinyOramController:
             return now, False, 0
         self._ro_since_eviction = 0
         leaf = self._next_eviction_leaf()
+        bus = self.bus
+        observed = bool(bus._subs)
+        if observed:
+            bus.now = now
+            bus.emit(SpanStarted(name="eviction", ts=now))
         if self.recovery is not None:
             self.recovery.before_path_read(leaf)
         _, _, _, read_timing = self._path_read(
@@ -410,10 +454,11 @@ class TinyOramController:
         )
         write_timing = self._path_write(leaf, read_timing.finish)
         self.stats.evictions += 1
-        if self.bus._subs:
-            self.bus.emit(
+        if observed:
+            bus.emit(
                 EvictionPerformed(leaf=leaf, start=now, finish=write_timing.finish)
             )
+            bus.emit(SpanFinished(name="eviction", ts=write_timing.finish))
         return write_timing.finish, True, 2
 
     def _next_eviction_leaf(self) -> int:
@@ -455,6 +500,19 @@ class TinyOramController:
         ``served_level`` is the tree level the serving copy was found at
         (``-1`` when the intended block was not found on the path).
         """
+        bus = self.bus
+        observed = bool(bus._subs)
+        if observed:
+            if absorb_all:
+                purpose = PURPOSE_EVICTION
+            elif intended_addr is not None:
+                purpose = PURPOSE_REQUEST
+            else:
+                purpose = PURPOSE_DUMMY
+            span_name = "eviction_read" if absorb_all else "path_read"
+            # Opened before the timing query so the timer's dram_read span
+            # nests inside this phase.
+            bus.emit(SpanStarted(name=span_name, ts=now, detail=purpose))
         timing = self._read_timing(now)
         self.stats.path_reads += 1
         self.stats.activations += timing.activations
@@ -462,15 +520,9 @@ class TinyOramController:
         self.stats.blocks_internal += self._dram_blocks_per_path()
         if self.observer is not None:
             self.observer(("read", leaf, now))
-        bus = self.bus
-        if bus._subs:
-            if absorb_all:
-                purpose = PURPOSE_EVICTION
-            elif intended_addr is not None:
-                purpose = PURPOSE_REQUEST
-            else:
-                purpose = PURPOSE_DUMMY
+        if observed:
             bus.emit(PathReadStarted(leaf=leaf, purpose=purpose, ts=now))
+            bus.emit(SpanStarted(name="stash_scan", ts=now))
 
         data_ready: float | None = None
         served_from: str | None = None
@@ -512,7 +564,8 @@ class TinyOramController:
                     # read are cached in the stash (replaceable).  The tree
                     # copy stays valid — its original has not moved.
                     self._stash_insert(blk, level)
-        if bus._subs:
+        if observed:
+            bus.emit(SpanFinished(name="stash_scan", ts=now))
             bus.emit(
                 PathReadFinished(leaf=leaf, purpose=purpose, ts=timing.finish)
             )
@@ -520,7 +573,15 @@ class TinyOramController:
             # The read removed blocks from the path; re-hash it so the
             # tree stays authenticated (the hardware re-encrypts and
             # re-hashes what it streams back).
+            if observed:
+                bus.emit(SpanStarted(
+                    name="merkle", ts=timing.finish, detail="update"
+                ))
             self.integrity.update_path(leaf)
+            if observed:
+                bus.emit(SpanFinished(name="merkle", ts=timing.finish))
+        if observed:
+            bus.emit(SpanFinished(name=span_name, ts=timing.finish))
         return data_ready, served_from, served_level, timing
 
     def _read_timing(self, now: float) -> PathTiming:
@@ -539,6 +600,13 @@ class TinyOramController:
     # Path write (Step-6 / Algorithm 1)
     # ------------------------------------------------------------------
     def _path_write(self, leaf: int, now: float) -> PathTiming:
+        bus = self.bus
+        observed = bool(bus._subs)
+        if observed:
+            # Advance the ambient clock so clock-less emitters inside the
+            # write (shadow fill, stash occupancy) stamp the write phase.
+            bus.now = now
+            bus.emit(SpanStarted(name="eviction_write", ts=now))
         contents = self._build_path_contents(leaf)
         self.tree.write_path(leaf, contents)
         timing = self.timer.write(now)
@@ -549,7 +617,15 @@ class TinyOramController:
         if self.observer is not None:
             self.observer(("write", leaf, now))
         if self.integrity is not None:
+            if observed:
+                bus.emit(SpanStarted(
+                    name="merkle", ts=timing.finish, detail="update"
+                ))
             self.integrity.update_path(leaf)
+            if observed:
+                bus.emit(SpanFinished(name="merkle", ts=timing.finish))
+        if observed:
+            bus.emit(SpanFinished(name="eviction_write", ts=timing.finish))
         return timing
 
     def _dram_blocks_per_path(self) -> int:

@@ -30,7 +30,7 @@ from typing import Callable, Protocol
 from repro.core.controller import ShadowOramController
 from repro.cpu.trace import LlcMiss
 from repro.mem.dram import DramModel, PathTimer
-from repro.obs.events import EventBus
+from repro.obs.events import EventBus, SpanFinished, SpanStarted
 from repro.oram.tiny import Observer, TinyOramController
 from repro.system.config import SystemConfig
 from repro.system.energy import EnergyModel
@@ -235,9 +235,15 @@ class OramBackend:
 class InsecureDramBackend:
     """Plain serialized DRAM accesses: the no-ORAM baseline."""
 
-    def __init__(self, config: SystemConfig, energy_model: EnergyModel) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        energy_model: EnergyModel,
+        bus: EventBus | None = None,
+    ) -> None:
         self.config = config
         self.energy_model = energy_model
+        self.bus = bus if bus is not None else EventBus()
         self.dram = DramModel(config.dram, config.oram.levels, config.oram.z)
         self.mem_free = 0.0
         self.busy = 0.0
@@ -248,6 +254,14 @@ class InsecureDramBackend:
         timing = self.dram.single_block_access(start)
         self.mem_free = timing.finish
         self.busy += timing.finish - start
+        if self.bus._subs:
+            if start > ready:
+                self.bus.emit(SpanStarted(name="queue", ts=ready))
+                self.bus.emit(SpanFinished(name="queue", ts=start))
+            self.bus.emit(
+                SpanStarted(name="dram_read", ts=start, addr=miss.addr)
+            )
+            self.bus.emit(SpanFinished(name="dram_read", ts=timing.finish))
         return ServeOutcome(
             launch=start, data_ready=timing.finish, finish=timing.finish
         )
@@ -256,6 +270,12 @@ class InsecureDramBackend:
         wb = self.dram.single_block_access(max(now, self.mem_free))
         self.mem_free = wb.finish
         self.busy += wb.finish - wb.start
+        if self.bus._subs:
+            if wb.start > now:
+                self.bus.emit(SpanStarted(name="queue", ts=now))
+                self.bus.emit(SpanFinished(name="queue", ts=wb.start))
+            self.bus.emit(SpanStarted(name="dram_write", ts=wb.start, addr=addr))
+            self.bus.emit(SpanFinished(name="dram_write", ts=wb.finish))
         return wb.finish
 
     def snapshot_state(self) -> dict[str, object]:

@@ -28,7 +28,13 @@ from functools import lru_cache
 from repro.cpu.cache import CacheConfig, CacheHierarchy
 from repro.cpu.core import MissIssuePolicy
 from repro.cpu.trace import MissTrace
-from repro.obs.events import CheckpointRestored, CheckpointSaved, EventBus
+from repro.obs.events import (
+    CheckpointRestored,
+    CheckpointSaved,
+    EventBus,
+    SpanFinished,
+    SpanStarted,
+)
 from repro.oram.tiny import Observer, TinyOramController
 from repro.serialize import SCHEMA_VERSION
 from repro.system.checkpoint import Checkpointer
@@ -159,7 +165,7 @@ class SystemSimulator:
     ) -> Backend:
         cfg = self.config
         if cfg.insecure:
-            return InsecureDramBackend(cfg, self.energy_model)
+            return InsecureDramBackend(cfg, self.energy_model, bus=self.bus)
         controller = self._build_controller(seed)
         scheduler = RequestScheduler(controller, cfg.timing, bus=self.bus)
         return OramBackend(
@@ -305,7 +311,15 @@ class SystemSimulator:
                 bus.core = core
             policy = policies[core]
 
+            if observed:
+                bus.emit(
+                    SpanStarted(
+                        name="request", ts=ready, addr=miss.addr, detail=miss.op
+                    )
+                )
             outcome = backend.serve(miss, ready)
+            if observed:
+                bus.emit(SpanFinished(name="request", ts=outcome.finish))
             policy.issued(outcome.launch)
             policy.complete(miss, outcome.data_ready)
             latency_sum += outcome.data_ready - ready
@@ -314,9 +328,20 @@ class SystemSimulator:
                 completions.append(outcome.data_ready)
 
             if miss.writeback_addr is not None:
+                if observed:
+                    bus.emit(
+                        SpanStarted(
+                            name="request",
+                            ts=outcome.data_ready,
+                            addr=miss.writeback_addr,
+                            detail="writeback",
+                        )
+                    )
                 wb_finish = backend.writeback(
                     miss.writeback_addr, outcome.data_ready
                 )
+                if observed:
+                    bus.emit(SpanFinished(name="request", ts=wb_finish))
                 end_time = max(end_time, wb_finish)
 
             if cursors[core] < len(trace.misses):

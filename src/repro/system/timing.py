@@ -15,7 +15,7 @@ stretches land in the DRI.
 
 from __future__ import annotations
 
-from repro.obs.events import EventBus, SlotAligned
+from repro.obs.events import EventBus, SlotAligned, SpanFinished, SpanStarted
 from repro.system.config import TimingProtectionConfig
 
 
@@ -62,6 +62,9 @@ class RequestScheduler:
                 if self.bus._subs:
                     self.bus.now = launch
                 self.controller.note_idle_gap(gap)
+            if launch > ready and self.bus._subs:
+                self.bus.emit(SpanStarted(name="queue", ts=ready))
+                self.bus.emit(SpanFinished(name="queue", ts=launch))
             return launch
         rate = self.timing.rate_cycles
         while True:
@@ -72,6 +75,9 @@ class RequestScheduler:
                     self.bus.emit(
                         SlotAligned(ready=ready, slot=slot, wait=slot - ready)
                     )
+                    if slot > ready:
+                        self.bus.emit(SpanStarted(name="stall", ts=ready))
+                        self.bus.emit(SpanFinished(name="stall", ts=slot))
                 return slot
             result = self.controller.dummy_access(slot)
             self.controller_free = result.finish

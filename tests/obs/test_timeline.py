@@ -30,10 +30,42 @@ class TestChromeTraceExport:
         assert isinstance(trace["traceEvents"], list)
         assert trace["traceEvents"]
         for event in trace["traceEvents"]:
-            assert event["ph"] in ("X", "M", "C", "i")
+            assert event["ph"] in ("X", "M", "C", "i", "B", "E", "s", "t", "f")
             if event["ph"] == "X":
                 assert event["ts"] >= 0
                 assert event["dur"] >= 0
+
+    def test_span_duration_events_nest(self, trace):
+        """B/E events on every span track are properly nested (LIFO)."""
+        stacks = {}
+        seen = 0
+        for event in trace["traceEvents"]:
+            if event["ph"] not in ("B", "E"):
+                continue
+            seen += 1
+            key = (event["pid"], event["tid"])
+            stack = stacks.setdefault(key, [])
+            if event["ph"] == "B":
+                stack.append(event["name"])
+            else:
+                assert stack, f"E without B on {key}"
+                assert stack.pop() == event["name"]
+        assert seen, "expected span duration events in a traced run"
+        for key, stack in stacks.items():
+            assert not stack, f"unclosed B events on {key}: {stack}"
+
+    def test_flow_arrows_bind_spans(self, trace):
+        """Flow events come in s/t/f stages sharing ids with bp on f."""
+        flows = [e for e in trace["traceEvents"] if e["ph"] in ("s", "t", "f")]
+        assert flows, "expected request flow arrows in a traced run"
+        by_id = {}
+        for event in flows:
+            by_id.setdefault(event["id"], []).append(event["ph"])
+        for phases in by_id.values():
+            assert phases[0] == "s"
+        for event in flows:
+            if event["ph"] == "f":
+                assert event.get("bp") == "e"
 
     def test_expected_tracks_present(self, trace):
         slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]

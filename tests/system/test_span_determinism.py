@@ -1,0 +1,102 @@
+"""Span trees are deterministic in simulated cycles across executors.
+
+A span tree is a pure function of ``(config, workload, requests, seed)``
+— host scheduling must not leak in.  We check the same traced run
+produces byte-identical trees (wall-clock fields stripped) when executed
+
+* twice in the same process,
+* in this process vs. a ``ProcessPoolExecutor`` worker, and
+* serially vs. two points racing in a parallel pool.
+"""
+
+import sys
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.obs.events import EventBus
+from repro.obs.spans import SpanTracer
+from repro.oram.config import OramConfig
+from repro.system.config import SystemConfig
+from repro.system.simulator import simulate
+
+REQUESTS = 1200
+
+POINTS = [
+    ("dynamic", "mcf", 11),
+    ("rd_dup", "omnetpp", 12),
+]
+
+
+def _build_config(scheme: str) -> SystemConfig:
+    oram = OramConfig(levels=9)
+    if scheme == "dynamic":
+        return SystemConfig.dynamic(3, oram=oram).with_timing_protection(800)
+    if scheme == "rd_dup":
+        return SystemConfig.rd_dup(oram=oram)
+    raise ValueError(scheme)
+
+
+def _strip_wall(span_dict: dict) -> dict:
+    out = {
+        k: v for k, v in span_dict.items()
+        if k not in ("wall_start", "wall_end")
+    }
+    out["children"] = [_strip_wall(c) for c in span_dict.get("children", [])]
+    return out
+
+
+def traced_trees(point) -> list[dict]:
+    """Worker: run one traced point, return wall-stripped span trees.
+
+    Module-level so ``ProcessPoolExecutor`` can pickle it.
+    """
+    scheme, workload, seed = point
+    bus = EventBus()
+    tracer = SpanTracer(bus)
+    simulate(_build_config(scheme), workload, num_requests=REQUESTS,
+             seed=seed, bus=bus)
+    trees = []
+    for trace in tracer.traces:
+        d = trace.to_dict()
+        d["root"] = _strip_wall(d["root"])
+        trees.append(d)
+    return trees
+
+
+needs_fork = pytest.mark.skipif(
+    sys.platform == "win32", reason="no fork-friendly process pool"
+)
+
+
+class TestSpanDeterminism:
+    def test_repeat_in_process_is_identical(self):
+        assert traced_trees(POINTS[0]) == traced_trees(POINTS[0])
+
+    @needs_fork
+    def test_subprocess_matches_in_process(self):
+        local = traced_trees(POINTS[0])
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(traced_trees, POINTS[0]).result()
+        assert local
+        assert remote == local
+
+    @needs_fork
+    def test_serial_vs_parallel_sweep_identical(self):
+        serial = [traced_trees(p) for p in POINTS]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            parallel = list(pool.map(traced_trees, POINTS))
+        for point, a, b in zip(POINTS, serial, parallel):
+            assert a, f"no traces for {point}"
+            assert a == b, f"span trees diverged for {point}"
+
+    def test_traced_and_untraced_share_simulated_timeline(self):
+        """The trees describe the run an untraced simulation also takes."""
+        scheme, workload, seed = POINTS[0]
+        config = _build_config(scheme)
+        trees = traced_trees(POINTS[0])
+        plain = simulate(config, workload, num_requests=REQUESTS, seed=seed)
+        roots = [t for t in trees if t["kind"] == "request"]
+        assert len(roots) == plain.llc_misses
+        finish = max(t["root"]["end"] for t in trees)
+        assert finish <= plain.total_cycles

@@ -130,3 +130,43 @@ class TestCsvRoundTrip:
         tracer.write_csv(buffer)
         header = buffer.getvalue().splitlines()[0]
         assert header.startswith("index,addr,op,issue")
+
+    def test_shadow_duplication_run_round_trips(self):
+        """Shadow-sourced records survive the CSV round-trip exactly.
+
+        A long run against a small tree guarantees shadow_path and
+        shadow_stash hits, so the round-trip is exercised on every
+        served_from value and on both boolean columns.
+        """
+        tracer = make_tracer(1200, seed=9)
+        sources = set(tracer.served_from_histogram())
+        assert {"shadow_path", "path"} <= sources
+        assert any(r.advanced for r in tracer.records)
+        assert any(r.evicted for r in tracer.records)
+
+        buffer = io.StringIO()
+        tracer.write_csv(buffer)
+        buffer.seek(0)
+        reloaded = RequestTracer.read_csv(buffer)
+
+        assert len(reloaded) == len(tracer)
+        for a, b in zip(tracer.records, reloaded.records):
+            assert a == b
+        assert reloaded.served_from_histogram() == (
+            tracer.served_from_histogram()
+        )
+        assert reloaded.advanced_fraction() == tracer.advanced_fraction()
+
+    def test_csv_bool_cells_parse_as_bools(self):
+        tracer = make_tracer(400, seed=9)
+        buffer = io.StringIO()
+        tracer.write_csv(buffer)
+        buffer.seek(0)
+        reloaded = RequestTracer.read_csv(buffer)
+        advanced = {r.advanced for r in reloaded.records}
+        evicted = {r.evicted for r in reloaded.records}
+        assert advanced <= {True, False} and True in (advanced | evicted)
+        for rec in reloaded.records:
+            assert isinstance(rec.advanced, bool)
+            assert isinstance(rec.evicted, bool)
+            assert rec.advanced == (rec.served_from == "shadow_path")
