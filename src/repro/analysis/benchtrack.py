@@ -146,10 +146,8 @@ class BenchHistory:
             return []
         return list(payload.get("entries", []))
 
-    def append(self, entry: dict[str, object]) -> int:
-        """Append ``entry``; returns the total entry count after the write."""
-        entries = self.load()
-        entries.append(entry)
+    def _write(self, entries: list[dict[str, object]]) -> None:
+        """Atomically persist ``entries`` (write-temp + ``os.replace``)."""
         self.directory.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_suffix(".json.tmp")
         with open(tmp, "w") as stream:
@@ -157,6 +155,37 @@ class BenchHistory:
                       indent=2, sort_keys=False)
             stream.write("\n")
         os.replace(tmp, self.path)
+
+    def append(self, entry: dict[str, object]) -> int:
+        """Append ``entry``; returns the total entry count after the write."""
+        entries = self.load()
+        entries.append(entry)
+        self._write(entries)
+        return len(entries)
+
+    def replace_latest(self, entry: dict[str, object]) -> int:
+        """Overwrite the newest entry sharing ``entry``'s fingerprint.
+
+        This is the ``--update-baseline`` primitive: after an intentional
+        perf change (a refactor that makes the simulator faster), the
+        recorded baseline for a config fingerprint must be re-recorded
+        in place rather than appended, or ``--compare`` would keep gating
+        against the stale pre-change number forever.  Entries for *other*
+        fingerprints — including deliberately retained pre-change records
+        under a different config — are untouched.  Falls back to a plain
+        append when the fingerprint has no prior entry.  The write is the
+        same atomic read-modify-``os.replace`` as :meth:`append`.
+
+        Returns the total entry count after the write.
+        """
+        entries = self.load()
+        for i in range(len(entries) - 1, -1, -1):
+            if entries[i].get("key") == entry.get("key"):
+                entries[i] = entry
+                break
+        else:
+            entries.append(entry)
+        self._write(entries)
         return len(entries)
 
     def find_baseline(

@@ -583,7 +583,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         # Find the baseline before appending, or an identical re-run
         # would compare the new entry against itself's history twin.
         baseline = history.find_baseline(entry["key"], base=args.compare)
-    total = history.append(entry)
+    if args.update_baseline:
+        total = history.replace_latest(entry)
+        print(f"baseline updated in place for fingerprint "
+              f"{str(entry['key'])[:16]}")
+    else:
+        total = history.append(entry)
     print(format_table(
         ["field", "value"], benchtrack.summarize_entry(entry),
         title=f"Benchmark entry ({history.path}, {total} total)",
@@ -821,6 +826,13 @@ def make_parser() -> argparse.ArgumentParser:
         help="logical host name for the history file and entry (default: "
              "this machine's hostname); CI uses a fixed name so baselines "
              "recorded on different runners stay comparable",
+    )
+    bench_p.add_argument(
+        "--update-baseline", action="store_true",
+        help="re-record the baseline: atomically overwrite the newest "
+             "history entry for this config fingerprint instead of "
+             "appending (use after an intentional perf change so "
+             "--compare gates against the new expected numbers)",
     )
     bench_p.add_argument(
         "--compare", nargs="?", const="latest", default=None, metavar="BASE",

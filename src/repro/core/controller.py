@@ -23,7 +23,9 @@ unchanged from the baseline — the security tests in
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
+from operator import itemgetter
 from random import Random
 
 from repro.core.config import ShadowConfig
@@ -34,7 +36,6 @@ from repro.core.partition import (
     DynamicPartitionPolicy,
     PartitionPolicy,
 )
-from repro.core.queues import DupCandidate, hd_queue, rd_queue
 from repro.mem.dram import DramModel, PathTimer
 from repro.obs.events import (
     DUP_HD,
@@ -47,12 +48,16 @@ from repro.obs.events import (
 )
 from repro.oram.block import Block
 from repro.oram.config import OramConfig
+from repro.oram.stash import StashOverflowError
 from repro.oram.tiny import (
     SERVED_SHADOW_STASH,
     AccessResult,
     Observer,
     TinyOramController,
 )
+
+
+_SHADOW_HOTNESS = itemgetter(0)
 
 
 @dataclass(slots=True)
@@ -109,6 +114,15 @@ class ShadowOramController(TinyOramController):
         # stash shadow keeps satisfying Rule-2 (strictly root-ward of its
         # original); maps addr -> source level.
         self._shadow_source_level: dict[int, int] = {}
+        # Monotonic stash-arrival stamp per shadow address.  Candidate
+        # selection needs stash-FIFO order for equally-hot shadows; the
+        # stamp lets :meth:`_fill_dummies` recover that order for the few
+        # hot-cache-tracked shadows it collects out of FIFO order.  Values
+        # are compared, never iterated, so stale entries for dropped
+        # shadows are harmless (re-insertion overwrites with a fresh
+        # stamp).
+        self._shadow_seq: dict[int, int] = {}
+        self._shadow_seq_next = 0
 
     def _build_partition_policy(self) -> PartitionPolicy:
         max_level = self.config.levels + 1
@@ -207,16 +221,55 @@ class ShadowOramController(TinyOramController):
     # Shadow bookkeeping on path reads
     # ------------------------------------------------------------------
     def _stash_insert(self, blk: Block, level: int) -> None:
-        super()._stash_insert(blk, level)
+        # :meth:`Stash.insert` inlined (it stays the canonical reference
+        # implementation): this runs once per block absorbed on every path
+        # read and eviction read, and the call dispatch plus re-deriving
+        # which merge rule fired afterwards is measurable there.
+        stash = self.stash
+        real = stash._real
+        shadow = stash._shadow
+        addr = blk.addr
         if blk.is_shadow:
-            if self.stash.lookup_shadow(blk.addr) is blk:
-                # The shadow survived the merge rules: remember the level it
-                # came from, which bounds where a re-evicted copy may go
-                # (Rule-2: strictly root-ward of the original).
-                self._shadow_source_level[blk.addr] = level
-        elif self.stash.lookup_shadow(blk.addr) is None:
-            # A real arrival merged away any stashed shadow of this addr.
-            self._shadow_source_level.pop(blk.addr, None)
+            if addr in real or addr in shadow:
+                stash.merges += 1
+                return
+            if len(real) + len(shadow) + 1 > stash.capacity and shadow:
+                del shadow[next(iter(shadow))]
+                stash.shadow_drops += 1
+            shadow[addr] = blk
+            # The shadow survived the merge rules: remember the level it
+            # came from, which bounds where a re-evicted copy may go
+            # (Rule-2: strictly root-ward of the original).
+            self._shadow_source_level[addr] = level
+            self._shadow_seq[addr] = self._shadow_seq_next
+            self._shadow_seq_next += 1
+            if stash.bus._subs:
+                stash._emit_occupancy()
+            return
+
+        if shadow.pop(addr, None) is not None:
+            stash.merges += 1
+        if addr in real:
+            raise StashOverflowError(
+                f"duplicate real block for addr {addr}: the single-version "
+                "invariant was violated upstream"
+            )
+        nreal = len(real)
+        if nreal >= stash.capacity:
+            raise StashOverflowError(
+                f"stash overflow: capacity {stash.capacity} exceeded"
+            )
+        real[addr] = blk
+        nreal += 1
+        if nreal + len(shadow) > stash.capacity and shadow:
+            del shadow[next(iter(shadow))]
+            stash.shadow_drops += 1
+        if nreal > stash.peak_real:
+            stash.peak_real = nreal
+        # A real arrival merged away any stashed shadow of this addr.
+        self._shadow_source_level.pop(addr, None)
+        if stash.bus._subs:
+            stash._emit_occupancy()
 
     # ------------------------------------------------------------------
     # Shadow generation on path writes (Algorithm 1)
@@ -224,88 +277,223 @@ class ShadowOramController(TinyOramController):
     def _fill_dummies(
         self,
         leaf: int,
-        contents: dict[tuple[int, int], Block],
+        buf: list[Block | None],
         fill: list[int],
         placed: list[tuple[Block, int]],
     ) -> None:
+        """Algorithm 1 with the RD/HD queues flattened into local arrays.
+
+        This is :class:`repro.core.queues.DuplicationQueue` selection
+        inlined: both queues hold the *same* candidates and differ only in
+        priority key, so one set of parallel lists (``bounds`` / ``hots``
+        / ``blocks``) serves both, and the per-level scan replicates
+        ``select_many`` operation for operation (same incremental
+        best-list, same stable sorts, hence the same picks in the same
+        order).  The class-based queues remain the documented reference —
+        the differential suite asserts this inline form matches them.
+        """
         cfg = self.config
         bus = self.bus
         observed = bool(bus._subs)
         if observed:
             bus.emit(SpanStarted(name="shadow_fill", ts=bus.now))
-        rd = rd_queue()
-        hd = hd_queue()
-        # Blocks written back on this very path: automatically Rule-1-safe.
+        # Hot-cache lookups are inlined (``hotness(addr)`` is one get on
+        # the cache's merged view): this loop body runs for every
+        # written-back block and every stashed shadow on every path write.
+        hot_get = self.hot_cache._all.get
+        levels = cfg.levels
+        # Candidate arrays.  Indices < n_placed are blocks written back on
+        # this very path (automatically Rule-1-safe); indices >= n_placed
+        # are re-evicted stash shadows with ``rule1`` divergence levels.
+        bounds: list[int] = []
+        hots: list[int] = []
+        blocks: list[Block] = []
+        max_bound = -1
         for blk, level in placed:
-            cand = DupCandidate(
-                block=blk,
-                level_bound=level,
-                hotness=self.hot_cache.hotness(blk.addr),
-            )
-            rd.push(cand)
-            hd.push(cand)
+            bounds.append(level)
+            hots.append(hot_get(blk.addr, 0))
+            blocks.append(blk)
+            if level > max_bound:
+                max_bound = level
         # Evictable shadow blocks from the stash (Section V-B-2).  The
         # hardware queues are small, so cap the stash-shadow candidates to
         # the hottest few that can actually land on this path.
-        stash_shadow_cands: list[DupCandidate] = []
-        eligible_shadows = [
-            (self.hot_cache.hotness(sblk.addr), sblk)
-            for sblk in self.stash.shadow_blocks()
-            if self._shadow_source_level.get(sblk.addr, 0) > 0
-        ]
-        eligible_shadows.sort(key=lambda hs: -hs[0])
-        for hotness, sblk in eligible_shadows[: self._STASH_SHADOW_CANDIDATES]:
-            cand = DupCandidate(
-                block=sblk,
-                level_bound=self._shadow_source_level.get(sblk.addr, 0),
-                hotness=hotness,
-                from_stash_shadow=True,
-            )
-            rd.push(cand)
-            hd.push(cand)
-            stash_shadow_cands.append(cand)
+        source_level = self._shadow_source_level
+        get_level = source_level.get
+        shadow_store = self.stash._shadow
+        # Eligible stash shadows, hottest first, FIFO order among equals —
+        # the same list a full FIFO scan + stable descending hotness sort
+        # would produce, built without touching every stashed shadow:
+        #
+        # * shadows with a nonzero counter must appear in the hot cache,
+        #   so enumerating its merged view (bounded by cache capacity,
+        #   128 entries) finds them all; their stash-FIFO order is
+        #   recovered from the arrival stamps before the stable hotness
+        #   sort, matching the reference's scan order for equal counters;
+        # * every other eligible shadow has hotness 0 and ranks below all
+        #   of the above in FIFO order, so a FIFO walk that skips
+        #   hot-tracked addresses and stops once the candidate cap is
+        #   reachable yields exactly the entries the reference's sorted
+        #   tail would contribute.
+        hot_all = self.hot_cache._all
+        eligible_shadows: list[tuple[int, int, Block]] = []
+        eligible_append = eligible_shadows.append
+        for addr, count in hot_all.items():
+            lvl = get_level(addr, 0)
+            if lvl > 0:
+                sblk = shadow_store.get(addr)
+                if sblk is not None:
+                    eligible_append((count, lvl, sblk))
+        if len(eligible_shadows) > 1:
+            seq = self._shadow_seq
+            eligible_shadows.sort(key=lambda hls: seq[hls[2].addr])
+            eligible_shadows.sort(key=_SHADOW_HOTNESS, reverse=True)
+        cold_needed = self._STASH_SHADOW_CANDIDATES - len(eligible_shadows)
+        if cold_needed > 0:
+            for addr, sblk in shadow_store.items():
+                if addr in hot_all:
+                    continue
+                lvl = get_level(addr, 0)
+                if lvl > 0:
+                    eligible_append((0, lvl, sblk))
+                    cold_needed -= 1
+                    if cold_needed == 0:
+                        break
+        n_placed = len(blocks)
+        # Unified Rule-1 bounds: placed blocks were evicted onto this very
+        # path so their divergence level is effectively unbounded, letting
+        # the scan loops use one ``rule1[idx] < level`` test for everybody.
+        rule1 = [levels + 1] * n_placed
+        for shadow_hotness, lvl, sblk in (
+            eligible_shadows[: self._STASH_SHADOW_CANDIDATES]
+        ):
+            bounds.append(lvl)
+            hots.append(shadow_hotness)
+            blocks.append(sblk)
+            # Rule-1 bound: deepest level this shadow's own path shares
+            # with the eviction path (inlined OramTree.common_level).
+            diff = sblk.leaf ^ leaf
+            rule1.append(levels if diff == 0 else levels - diff.bit_length())
+            if lvl > max_bound:
+                max_bound = lvl
+        ncand = len(blocks)
+        used = [False] * ncand
 
-        for level in range(cfg.levels, -1, -1):
-            free = cfg.z - fill[level]
+        # Deepest-bound-first activation schedule.  A candidate is
+        # eligible (Rule-2 aside from Rule-1) once the level drops
+        # strictly below its bound; a selection then lowers the bound to
+        # the level just placed at, which is still deeper than every
+        # level yet to come — so eligibility, once gained, is never lost,
+        # ``active`` grows monotonically as the level walk descends, and
+        # the per-candidate ``level >= bound`` test drops out of the scan
+        # loops entirely.  ``insort`` keeps ``active`` in index order,
+        # which is the reference scan order.
+        activation = sorted(zip(bounds, range(ncand)))
+        act_ptr = ncand - 1
+        active: list[int] = []
+
+        z = cfg.z
+        sstats = self.shadow_stats
+        uses_hd = self.partition.uses_hd
+        rd_selected = hd_selected = 0
+        slots_seen = 0
+        for level in range(levels, -1, -1):
+            free = z - fill[level]
             if free <= 0:
                 continue
-            self.shadow_stats.dummy_slots_seen += free
-            use_hd = self.partition.uses_hd(level)
-            queue = hd if use_hd else rd
-            chosen = queue.select_many(level, free, leaf, cfg.levels)
-            for offset, cand in enumerate(chosen):
-                copy = cand.block.shadow_copy()
-                contents[(level, fill[level] + offset)] = copy
-                self.shadow_stats.dummy_slots_filled += 1
-                if use_hd:
-                    self.shadow_stats.hd_shadows += 1
-                else:
-                    self.shadow_stats.rd_shadows += 1
-                if bus._subs:
+            slots_seen += free
+            use_hd = uses_hd(level)
+            if level >= max_bound:
+                # No candidate can satisfy Rule-2 here: every bound is at
+                # most ``max_bound`` (selection only lowers bounds) and
+                # eligibility needs a strictly deeper one.
+                continue
+            while act_ptr >= 0:
+                bound, idx = activation[act_ptr]
+                if bound <= level:
+                    break
+                insort(active, idx)
+                act_ptr -= 1
+            # select_many inlined: (priority, index) best-list, lowest
+            # priority first; displacement needs strictly higher priority.
+            # While the list is still filling, sorting is deferred — a
+            # stable sort on the priority key is idempotent, so sorting
+            # once when the list first fills (the only point the minimum
+            # at ``best[0]`` starts being consulted) leaves every later
+            # state, and the final stable re-sort below, bit-identical to
+            # the reference's sort-after-every-append.
+            best: list[tuple[int, int]] = []
+            append_best = best.append
+            nbest = 0
+            if use_hd:
+                for idx in active:
+                    if rule1[idx] < level:
+                        continue
+                    priority = hots[idx]
+                    if nbest < free:
+                        append_best((priority, idx))
+                        nbest += 1
+                        if nbest == free:
+                            best.sort(key=_SHADOW_HOTNESS)
+                    elif priority > best[0][0]:
+                        best[0] = (priority, idx)
+                        best.sort(key=_SHADOW_HOTNESS)
+            else:
+                for idx in active:
+                    if rule1[idx] < level:
+                        continue
+                    priority = bounds[idx]
+                    if nbest < free:
+                        append_best((priority, idx))
+                        nbest += 1
+                        if nbest == free:
+                            best.sort(key=_SHADOW_HOTNESS)
+                    elif priority > best[0][0]:
+                        best[0] = (priority, idx)
+                        best.sort(key=_SHADOW_HOTNESS)
+            if not best:
+                continue
+            chosen = sorted(best, key=lambda pc: -pc[0])
+            if use_hd:
+                hd_selected += nbest
+                sstats.hd_shadows += nbest
+            else:
+                rd_selected += nbest
+                sstats.rd_shadows += nbest
+            sstats.dummy_slots_filled += nbest
+            base = level * z + fill[level]
+            for offset, (_priority, idx) in enumerate(chosen):
+                bounds[idx] = level
+                used[idx] = True
+                copy = blocks[idx].shadow_copy()
+                buf[base + offset] = copy
+                if observed:
                     bus.emit(
                         DuplicationPlaced(
                             addr=copy.addr,
                             level=level,
                             kind=DUP_HD if use_hd else DUP_RD,
-                            from_stash=cand.from_stash_shadow,
+                            from_stash=idx >= n_placed,
                             ts=bus.now,
                         )
                     )
+        sstats.dummy_slots_seen += slots_seen
 
         # A stash shadow that produced at least one tree copy has been
         # "evicted": drop the on-chip copy (its slot becomes free).
-        for cand in stash_shadow_cands:
-            if cand.used:
-                self.stash.remove_shadow(cand.block.addr)
-                self._shadow_source_level.pop(cand.block.addr, None)
-                self.shadow_stats.stash_shadow_reevictions += 1
+        for idx in range(n_placed, ncand):
+            if used[idx]:
+                addr = blocks[idx].addr
+                self.stash.remove_shadow(addr)
+                source_level.pop(addr, None)
+                sstats.stash_shadow_reevictions += 1
         if observed:
             bus.emit(SpanFinished(
                 name="shadow_fill",
                 ts=bus.now,
                 detail=(
-                    f"rd={rd.selected},hd={hd.selected},"
-                    f"candidates={len(rd)}"
+                    f"rd={rd_selected},hd={hd_selected},"
+                    f"candidates={ncand}"
                 ),
             ))
 
@@ -333,6 +521,14 @@ class ShadowOramController(TinyOramController):
         self.shadow_stats = dataclass_from_dict(
             ShadowStats, state["shadow_stats"]
         )
+        # Re-stamp restored shadows in their (checkpoint-preserved) FIFO
+        # order.  Absolute stamp values differ from the uninterrupted run
+        # but only their relative order is ever compared, so selection —
+        # and therefore the simulation — stays bit-identical.
+        self._shadow_seq = {
+            addr: seq for seq, addr in enumerate(self.stash._shadow)
+        }
+        self._shadow_seq_next = len(self._shadow_seq)
         self._shadow_source_level = {
             int(addr): int(level)
             for addr, level in state["shadow_source_level"]

@@ -34,6 +34,12 @@ class HotAddressCache:
         self.ways = ways
         self.bus = bus if bus is not None else EventBus()
         self._lines: list[dict[int, int]] = [{} for _ in range(sets)]
+        # Merged view over all sets.  An address maps to exactly one set,
+        # so the union is collision-free; keeping it up to date on touch /
+        # evict turns every ``hotness`` lookup (one per duplication
+        # candidate per path write) into a single dict get with no
+        # set-indexing arithmetic.
+        self._all: dict[int, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -49,9 +55,10 @@ class HotAddressCache:
         """Record one LLC miss to ``addr``; return its updated counter."""
         line = self._set_of(addr)
         if addr in line:
-            line[addr] += 1
+            count = line[addr] + 1
+            line[addr] = count
+            self._all[addr] = count
             self.hits += 1
-            count = line[addr]
             if self.bus._subs:
                 self._emit_touch(addr, count, hit=True)
             return count
@@ -59,8 +66,10 @@ class HotAddressCache:
         if len(line) >= self.ways:
             victim = min(line, key=line.__getitem__)
             del line[victim]
+            del self._all[victim]
             self.evictions += 1
         line[addr] = 1
+        self._all[addr] = 1
         if self.bus._subs:
             self._emit_touch(addr, 1, hit=False)
         return 1
@@ -75,7 +84,7 @@ class HotAddressCache:
         The paper: "if a candidate is not in the access counter cache,
         priority of this block is set to zero."
         """
-        return self._set_of(addr).get(addr, 0)
+        return self._all.get(addr, 0)
 
     def snapshot_state(self) -> dict[str, object]:
         """Checkpointable rendering; per-set entry order is preserved.
@@ -101,6 +110,9 @@ class HotAddressCache:
         self._lines = [
             {int(addr): int(count) for addr, count in line} for line in lines
         ]
+        self._all = {
+            addr: count for line in self._lines for addr, count in line.items()
+        }
         self.hits = state["hits"]
         self.misses = state["misses"]
         self.evictions = state["evictions"]

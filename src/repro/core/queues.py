@@ -21,9 +21,12 @@ this very path, checked explicitly for re-evicted stash shadows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import itemgetter
 
 from repro.oram.block import Block
 from repro.oram.tree import OramTree
+
+_PRIORITY = itemgetter(0)
 
 
 @dataclass(slots=True)
@@ -42,6 +45,11 @@ class DupCandidate:
         from_stash_shadow: Whether the candidate is a shadow block being
             re-evicted from the stash (needs the explicit Rule-1 check).
         used: Set once the candidate produced at least one shadow copy.
+        rule1_level: Cached ``common_level(block.leaf, evict_leaf)`` for
+            stash-shadow candidates.  The eviction leaf is fixed for the
+            whole path write (queues are rebuilt per write), so the
+            divergence level is computed at most once per candidate
+            instead of once per slot level scanned.
     """
 
     block: Block
@@ -49,9 +57,15 @@ class DupCandidate:
     hotness: int = 0
     from_stash_shadow: bool = False
     used: bool = False
+    rule1_level: int | None = None
 
     def eligible(self, slot_level: int, evict_leaf: int, levels: int) -> bool:
-        """Whether this candidate may be copied into ``slot_level``."""
+        """Whether this candidate may be copied into ``slot_level``.
+
+        Reference predicate; the selection hot path inlines the same
+        checks (with the Rule-1 level cached) in
+        :meth:`DuplicationQueue.select_many`.
+        """
         if slot_level >= self.level_bound:
             return False
         if self.from_stash_shadow:
@@ -73,6 +87,12 @@ class DuplicationQueue:
             raise ValueError(f"unknown priority key {key!r}")
         self._key = key
         self._candidates: list[DupCandidate] = []
+        # Upper bound on any candidate's ``level_bound`` (selection only
+        # lowers bounds, so the push-time maximum stays valid).  Lets
+        # ``select_many`` skip the scan at slot levels no candidate could
+        # ever be eligible for — e.g. the leaf level, where eligibility
+        # would need a bound deeper than the tree.
+        self._max_bound = -1
         # Per-path-write selection tallies, surfaced as span annotations
         # (the shadow_fill span reports rd/hd picks for this write).
         self.pushed = 0
@@ -83,6 +103,8 @@ class DuplicationQueue:
 
     def push(self, candidate: DupCandidate) -> None:
         self._candidates.append(candidate)
+        if candidate.level_bound > self._max_bound:
+            self._max_bound = candidate.level_bound
         self.pushed += 1
 
     def select(
@@ -108,21 +130,35 @@ class DuplicationQueue:
         so the top-``count`` eligible candidates are exactly what per-slot
         selection would have produced.
         """
-        if count <= 0:
+        if count <= 0 or slot_level >= self._max_bound:
+            # No candidate can satisfy Rule-2 at this level: every bound is
+            # at most ``_max_bound`` and eligibility needs a strictly
+            # deeper one.  Identical to a scan that selects nothing.
             return []
-        key = self._key
+        by_hotness = self._key == "hotness"
+        common_level = OramTree.common_level
         # (priority, candidate) of current best picks, lowest priority first.
         best: list[tuple[int, DupCandidate]] = []
+        nbest = 0
         for cand in self._candidates:
-            if not cand.eligible(slot_level, evict_leaf, levels):
+            if slot_level >= cand.level_bound:
                 continue
-            priority = getattr(cand, key)
-            if len(best) < count:
+            if cand.from_stash_shadow:
+                # Rule-1: the slot's bucket must lie on the candidate's path.
+                rule1 = cand.rule1_level
+                if rule1 is None:
+                    rule1 = common_level(cand.block.leaf, evict_leaf, levels)
+                    cand.rule1_level = rule1
+                if rule1 < slot_level:
+                    continue
+            priority = cand.hotness if by_hotness else cand.level_bound
+            if nbest < count:
                 best.append((priority, cand))
-                best.sort(key=lambda pc: pc[0])
+                nbest += 1
+                best.sort(key=_PRIORITY)
             elif priority > best[0][0]:
                 best[0] = (priority, cand)
-                best.sort(key=lambda pc: pc[0])
+                best.sort(key=_PRIORITY)
         chosen = [cand for _p, cand in sorted(best, key=lambda pc: -pc[0])]
         for cand in chosen:
             cand.level_bound = slot_level
@@ -132,6 +168,7 @@ class DuplicationQueue:
 
     def clear(self) -> None:
         self._candidates.clear()
+        self._max_bound = -1
         self.pushed = 0
         self.selected = 0
 

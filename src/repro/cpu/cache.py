@@ -147,20 +147,65 @@ class CacheHierarchy:
         misses: list[LlcMiss] = []
         gap = 0.0
         l1_hits = l2_hits = 0
+        # The loop below is :meth:`access` inlined (same dict operations in
+        # the same order, stats accumulated locally and flushed after): the
+        # hierarchy filters every raw request of every workload, so the
+        # per-request call overhead was the single largest cost of trace
+        # construction.
+        l1, l2 = self.l1, self.l2
+        l1_sets, l1_nsets, l1_ways = l1._sets, l1.sets, l1.ways
+        l2_sets, l2_nsets, l2_ways = l2._sets, l2.sets, l2.ways
+        l1_lat = cfg.l1_latency
+        both_lat = cfg.l1_latency + cfg.l2_latency
+        model_wb = cfg.model_writebacks
+        append = misses.append
+        l1_hit_n = l1_miss_n = l2_hit_n = l2_miss_n = 0
         for req in requests:
             gap += req.work
-            cycles, writeback = self.access(req)
-            if cycles > 0:
-                gap += cycles
-                if cycles == cfg.l1_latency:
+            addr = req.addr
+            is_write = req.op == "write"
+            line = l1_sets[addr % l1_nsets]
+            dirty = line.pop(addr, None)
+            if dirty is not None:
+                l1_hit_n += 1
+                line[addr] = dirty or is_write
+                gap += l1_lat
+                l1_hits += 1
+                continue
+            l1_miss_n += 1
+            if len(line) >= l1_ways:
+                victim_addr = next(iter(line))
+                if line.pop(victim_addr):
+                    # Dirty L1 victim drains into L2 (inclusive enough for
+                    # us: an L2 write touch without changing hit stats).
+                    l2_line = l2_sets[victim_addr % l2_nsets]
+                    if victim_addr in l2_line:
+                        l2_line[victim_addr] = True
+            line[addr] = is_write
+            line2 = l2_sets[addr % l2_nsets]
+            dirty2 = line2.pop(addr, None)
+            if dirty2 is not None:
+                l2_hit_n += 1
+                line2[addr] = dirty2 or is_write
+                gap += both_lat
+                # Mirrors the old cycles-based classification: a zero L2
+                # latency made L2 hits indistinguishable from L1 hits.
+                if both_lat == l1_lat:
                     l1_hits += 1
                 else:
                     l2_hits += 1
                 continue
-            gap += -cycles  # lookup latency spent discovering the miss
-            misses.append(
+            l2_miss_n += 1
+            writeback = None
+            if len(line2) >= l2_ways:
+                victim_addr = next(iter(line2))
+                if line2.pop(victim_addr) and model_wb:
+                    writeback = victim_addr
+            line2[addr] = is_write
+            gap += both_lat  # lookup latency spent discovering the miss
+            append(
                 LlcMiss(
-                    addr=req.addr,
+                    addr=addr,
                     op=req.op,
                     gap=gap,
                     dependent=req.dependent,
@@ -168,6 +213,10 @@ class CacheHierarchy:
                 )
             )
             gap = 0.0
+        l1.hits += l1_hit_n
+        l1.misses += l1_miss_n
+        l2.hits += l2_hit_n
+        l2.misses += l2_miss_n
         return MissTrace(
             workload=workload,
             misses=misses,

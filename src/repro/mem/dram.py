@@ -22,10 +22,22 @@ spacing derived from DDR3-1333 parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.mem.layout import SubtreeLayout
 from repro.obs.events import EventBus, SpanFinished, SpanStarted
 from repro.serialize import serializable
+
+
+@lru_cache(maxsize=64)
+def _functional_offsets(levels: int, z: int) -> tuple[tuple[float, ...], ...]:
+    """All-zero arrival-offset template for functional (untimed) accesses.
+
+    One shared immutable template per geometry replaces the per-call
+    ``[[0.0] * z for _ in range(levels + 1)]`` allocation — functional
+    timings are read-only, so sharing is safe.
+    """
+    return tuple((0.0,) * z for _ in range(levels + 1))
 
 
 @serializable
@@ -94,7 +106,9 @@ class PathTiming:
     """
 
     start: float
-    arrival_offsets: list[list[float]]
+    # Sequence-of-sequences indexed [level][slot]; shared templates may be
+    # immutable tuples, per-access builders may hand in lists.  Read-only.
+    arrival_offsets: list[list[float]] | tuple[tuple[float, ...], ...]
     internal_finish: float
     finish: float
     activations: int
@@ -144,9 +158,10 @@ class DramModel:
         channel_time = [0.0] * cfg.channels
         channel_group: list[int | None] = [None] * cfg.channels
         offsets: list[list[float]] = []
+        channel_map, row_group_map = self.layout.address_maps(self.levels)
         for level in range(first_level, self.levels + 1):
-            chan = self.layout.channel_of(level)
-            group = self.layout.row_group_of(level)
+            chan = channel_map[level]
+            group = row_group_map[level]
             if channel_group[chan] != group:
                 channel_time[chan] += cfg.activation_cycles
                 channel_group[chan] = group
@@ -383,7 +398,7 @@ class PathTimer:
     def _functional(self, now: float) -> PathTiming:
         return PathTiming(
             start=now,
-            arrival_offsets=[[0.0] * self.z for _ in range(self.levels + 1)],
+            arrival_offsets=_functional_offsets(self.levels, self.z),
             internal_finish=now,
             finish=now,
             activations=0,

@@ -58,13 +58,43 @@ class SubtreeLayout:
         return level // self.subtree_levels
 
     def activations_for_path(self, num_levels: int) -> int:
-        """Total row activations needed to read/write one full path."""
-        activations = 0
-        for channel in range(self.channels):
-            groups = {
-                self.row_group_of(level)
-                for level in range(num_levels)
-                if self.channel_of(level) == channel
-            }
-            activations += len(groups)
-        return activations
+        """Total row activations needed to read/write one full path.
+
+        Cached per ``(layout, num_levels)`` — every path access of a run
+        asks for the same handful of values.
+        """
+        return _activations_for_path(self.channels, self.subtree_levels, num_levels)
+
+    def address_maps(self, levels: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Per-level ``(channel, row_group)`` tables for levels ``0..levels``.
+
+        The timing model walks these instead of calling :meth:`channel_of`
+        / :meth:`row_group_of` per level per template build.  Cached per
+        ``(layout, levels)`` — the layout is frozen, so the maps are pure.
+        """
+        return _address_maps(self.channels, self.subtree_levels, levels)
+
+
+from functools import lru_cache  # noqa: E402
+
+
+@lru_cache(maxsize=256)
+def _activations_for_path(channels: int, subtree_levels: int, num_levels: int) -> int:
+    activations = 0
+    for channel in range(channels):
+        groups = {
+            level // subtree_levels
+            for level in range(num_levels)
+            if level % channels == channel
+        }
+        activations += len(groups)
+    return activations
+
+
+@lru_cache(maxsize=128)
+def _address_maps(
+    channels: int, subtree_levels: int, levels: int
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    channel_map = tuple(level % channels for level in range(levels + 1))
+    row_group_map = tuple(level // subtree_levels for level in range(levels + 1))
+    return channel_map, row_group_map

@@ -50,23 +50,11 @@ class Block:
         shadow bit differs.  Encrypted under a fresh one-time pad it is
         indistinguishable from any other block, dummy or real.
         """
-        return Block(
-            addr=self.addr,
-            leaf=self.leaf,
-            version=self.version,
-            payload=self.payload,
-            is_shadow=True,
-        )
+        return Block(self.addr, self.leaf, self.version, self.payload, True)
 
     def promote(self) -> "Block":
         """Return a real (non-shadow) block with identical contents."""
-        return Block(
-            addr=self.addr,
-            leaf=self.leaf,
-            version=self.version,
-            payload=self.payload,
-            is_shadow=False,
-        )
+        return Block(self.addr, self.leaf, self.version, self.payload, False)
 
 
 def block_to_jsonable(blk: Block | None) -> dict[str, object] | None:

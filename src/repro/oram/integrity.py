@@ -46,34 +46,54 @@ class IntegrityError(RuntimeError):
     """Raised when a path's contents do not match the trusted root digest."""
 
 
-_DUMMY_DIGEST = hashlib.sha256(b"\x00dummy").digest()
+_DUMMY_BYTES = b"\x00dummy"
+_DUMMY_DIGEST = hashlib.sha256(_DUMMY_BYTES).digest()
+
+# Experiments run with ``payload=None`` on every block, so the canonical
+# JSON rendering of ``None`` dominates pre-image construction; compute it
+# once instead of round-tripping through the codec per slot.
+_NONE_PAYLOAD_BYTES = payload_bytes(None)
+
+_sha256 = hashlib.sha256
+
+
+def _slot_bytes(blk: Block | None) -> bytes:
+    """Canonical pre-image of one bucket slot's logical contents.
+
+    Dummies render as a fixed marker; blocks render their full identity
+    (address, leaf, version, shadow bit, canonical payload bytes) so any
+    stale or forged replacement changes the bytes — and therefore the
+    digest.  This is the unit the batched hasher feeds to ``sha256`` and
+    the unit localization compares: byte equality of pre-images is
+    exactly the property slot-digest equality certified, checked without
+    hashing anything.
+    """
+    if blk is None:
+        return _DUMMY_BYTES
+    return b"".join(
+        (
+            b"\x01",
+            blk.addr.to_bytes(8, "little", signed=False),
+            blk.leaf.to_bytes(8, "little", signed=False),
+            blk.version.to_bytes(8, "little", signed=True),
+            b"\x01" if blk.is_shadow else b"\x00",
+            _NONE_PAYLOAD_BYTES
+            if blk.payload is None
+            else payload_bytes(blk.payload),
+        )
+    )
 
 
 def _slot_digest(blk: Block | None) -> bytes:
     """Digest of one bucket slot's logical contents.
 
-    Dummies hash as a fixed marker; blocks hash their full identity
-    (address, leaf, version, shadow bit, canonical payload bytes) so any
-    stale or forged replacement changes the digest.
+    Equal to ``sha256(_slot_bytes(blk))`` by construction; kept as the
+    reference definition (and for callers that need a fixed-width
+    commitment rather than the variable-length pre-image).
     """
     if blk is None:
         return _DUMMY_DIGEST
-    h = hashlib.sha256()
-    h.update(b"\x01")
-    h.update(blk.addr.to_bytes(8, "little", signed=False))
-    h.update(blk.leaf.to_bytes(8, "little", signed=False))
-    h.update(blk.version.to_bytes(8, "little", signed=True))
-    h.update(b"\x01" if blk.is_shadow else b"\x00")
-    h.update(payload_bytes(blk.payload))
-    return h.digest()
-
-
-def _hash_bucket(blocks: list[Block | None]) -> bytes:
-    """Digest of one bucket: the concatenation of its slot digests."""
-    h = hashlib.sha256()
-    for blk in blocks:
-        h.update(_slot_digest(blk))
-    return h.digest()
+    return _sha256(_slot_bytes(blk)).digest()
 
 
 @dataclass(slots=True, frozen=True)
@@ -148,7 +168,13 @@ class MerkleTree:
     def __init__(self, tree: OramTree) -> None:
         self.tree = tree
         self._digests: list[bytes] = [b""] * tree.num_buckets
-        self._slot_digests: list[list[bytes]] = [
+        # Per-slot canonical pre-image bytes from the last authenticated
+        # rehash.  Storing pre-images instead of digests is what makes
+        # both hashing and localization batched: a bucket's node digest is
+        # one ``sha256`` pass over its (length-prefixed) slot bytes plus
+        # the child digests, and a corrupt slot is found by comparing
+        # bytes — no per-slot digest objects anywhere on the hot path.
+        self._slot_preimages: list[list[bytes]] = [
             [] for _ in range(tree.num_buckets)
         ]
         self._slot_meta: list[list[SlotMeta | None]] = [
@@ -161,9 +187,21 @@ class MerkleTree:
         """The trusted on-chip root digest."""
         return self._digests[0]
 
+    def slot_bytes(self, bucket_index: int, slot: int) -> bytes:
+        """Trusted pre-image of one slot (from the last authenticated rehash).
+
+        Comparing a live block's ``_slot_bytes`` against this is the
+        hash-free equivalent of comparing slot digests; recovery's scrub
+        loops use it to skip a ``sha256`` per inspected slot.
+        """
+        return self._slot_preimages[bucket_index][slot]
+
     def slot_digest(self, bucket_index: int, slot: int) -> bytes:
         """Trusted digest of one slot (from the last authenticated rehash)."""
-        return self._slot_digests[bucket_index][slot]
+        preimage = self._slot_preimages[bucket_index][slot]
+        if preimage == _DUMMY_BYTES:
+            return _DUMMY_DIGEST
+        return _sha256(preimage).digest()
 
     def slot_meta(self, bucket_index: int, slot: int) -> SlotMeta | None:
         """Directory entry for one slot (``None`` = authenticated dummy)."""
@@ -177,27 +215,36 @@ class MerkleTree:
             return None, None
         return left, right
 
-    def _node_digest(self, index: int, slot_digests: list[bytes]) -> bytes:
-        h = hashlib.sha256()
-        for digest in slot_digests:
-            h.update(digest)
+    def _node_digest(self, index: int, slot_preimages: list[bytes]) -> bytes:
+        """One-pass bucket digest: H(len-prefixed slot bytes || children).
+
+        The 4-byte length prefix keeps the encoding injective — slot
+        pre-images vary in length with their payloads, so without it two
+        different buckets could concatenate to the same byte stream.
+        """
+        h = _sha256()
+        update = h.update
+        for preimage in slot_preimages:
+            update(len(preimage).to_bytes(4, "little"))
+            update(preimage)
         left, right = self._children(index)
         if left is not None:
-            h.update(self._digests[left])
-            h.update(self._digests[right])
+            update(self._digests[left])
+            update(self._digests[right])
         return h.digest()
 
     def _rehash(self, index: int) -> None:
         """Re-authenticate one bucket from its live contents."""
         bucket = self.tree.bucket(index)
-        self._slot_digests[index] = [_slot_digest(blk) for blk in bucket]
+        preimages = [_slot_bytes(blk) for blk in bucket]
+        self._slot_preimages[index] = preimages
         self._slot_meta[index] = [
             None
             if blk is None
             else SlotMeta(blk.addr, blk.leaf, blk.version, blk.is_shadow, blk.payload)
             for blk in bucket
         ]
-        self._digests[index] = self._node_digest(index, self._slot_digests[index])
+        self._digests[index] = self._node_digest(index, preimages)
 
     def _rebuild_all(self) -> None:
         for index in range(self.tree.num_buckets - 1, -1, -1):
@@ -210,11 +257,11 @@ class MerkleTree:
         Recomputes each path node's digest from the (untrusted) bucket
         contents and the stored child digests; any mismatch along the way
         — a tampered bucket, a stale digest, a forged sibling — raises
-        :class:`IntegrityError`.
+        :class:`IntegrityError`.  One ``sha256`` pass per bucket.
         """
         path = self.tree.path_indices(leaf)
         for index in reversed(path):
-            live = [_slot_digest(blk) for blk in self.tree.bucket(index)]
+            live = [_slot_bytes(blk) for blk in self.tree.bucket(index)]
             if self._node_digest(index, live) != self._digests[index]:
                 level = self.tree.level_of_bucket(index)
                 raise IntegrityError(
@@ -239,17 +286,17 @@ class MerkleTree:
     # ------------------------------------------------------------------
     def _localize_bucket(self, index: int) -> list[CorruptSlot]:
         bucket = self.tree.bucket(index)
-        expected = self._slot_digests[index]
+        expected = self._slot_preimages[index]
         out: list[CorruptSlot] = []
         for slot in range(len(bucket)):
-            if _slot_digest(bucket[slot]) != expected[slot]:
+            if _slot_bytes(bucket[slot]) != expected[slot]:
                 out.append(
                     CorruptSlot(
                         bucket=index,
                         level=self.tree.level_of_bucket(index),
                         slot=slot,
                         expected=self._slot_meta[index][slot],
-                        digest=expected[slot],
+                        digest=self.slot_digest(index, slot),
                     )
                 )
         return out
@@ -272,14 +319,15 @@ class MerkleTree:
         """Re-authenticate bucket ``index`` and propagate to the root.
 
         Used after a recovery heals a slot: the healed bucket gets fresh
-        slot digests/metadata, and every ancestor's node digest is
-        recomputed from its (unchanged) stored slot digests — O(L) hashes.
+        slot pre-images/metadata, and every ancestor's node digest is
+        recomputed from its (unchanged) stored slot pre-images — O(L)
+        hashes.
         """
         self._rehash(index)
         while index > 0:
             index = (index - 1) // 2
             self._digests[index] = self._node_digest(
-                index, self._slot_digests[index]
+                index, self._slot_preimages[index]
             )
         return self.root
 
@@ -314,16 +362,26 @@ class VerifiedOram:
     def access(self, addr: int, op: str = "read", payload: object = None,
                now: float = 0.0):
         """Verify-before-read, re-hash-after-write, then serve the access."""
-        leaf = self.controller.posmap.lookup(addr)
+        ctrl = self.controller
+        leaf = ctrl.posmap.lookup(addr)
         self.merkle.verify_path(leaf)
         self.verified_paths += 1
-        result = self.controller.access(addr, op, payload=payload, now=now)
-        # Any bucket the access rewrote lies on one of the touched paths;
-        # re-hash conservatively: the read path and (if an eviction ran)
-        # the whole tree's dirty region is bounded by the eviction path.
+        # Snapshot the eviction schedule: if this access triggers the RW
+        # eviction, the leaf it will use is fully determined *now* (the
+        # reverse-lexicographic counter advances deterministically), which
+        # lets us re-hash exactly the two rewritten paths afterwards
+        # instead of rebuilding the whole tree.
+        evict_leaf = ctrl._rev_table[
+            ctrl._eviction_counter % ctrl.config.num_leaves
+        ]
+        result = ctrl.access(addr, op, payload=payload, now=now)
+        # Any bucket the access rewrote lies on one of the touched paths:
+        # the read path always, plus the eviction path when an eviction
+        # ran.  Re-hashing both is O(L) — the same bound the hardware's
+        # Step-6 Merkle update enjoys.
         self.merkle.update_path(leaf)
         if result.evicted:
-            self.merkle._rebuild_all()
+            self.merkle.update_path(evict_leaf)
         return result
 
     def tamper(self, bucket_index: int, blk: Block | None) -> None:

@@ -27,10 +27,11 @@ from random import Random
 
 from repro.core.partition import PartitionPolicy
 from repro.core.queues import DupCandidate, rd_queue
-from repro.mem.dram import DramModel, PathTiming
+from repro.mem.dram import DramModel, PathTiming, _functional_offsets
 from repro.obs.events import EventBus, SpanFinished, SpanStarted
 from repro.oram.block import Block
 from repro.oram.config import OramConfig
+from repro.oram.derived import bit_reverse_table
 from repro.oram.posmap import PositionMap
 from repro.oram.stash import Stash
 from repro.oram.tiny import AccessResult, Observer
@@ -134,6 +135,10 @@ class RingOramController:
         self._partition = PartitionPolicy(0, config.levels + 1)  # pure RD-Dup
         self._access_count = 0
         self._eviction_counter = 0
+        self._rev_table = bit_reverse_table(config.levels)
+        path_slots = (config.levels + 1) * config.slots_per_bucket
+        self._path_buf: list[Block | None] = [None] * path_slots
+        self._empty_path: list[Block | None] = [None] * path_slots
         self.stats_reads = 0
         self.stats_evictions = 0
         self.stats_reshuffles = 0
@@ -356,7 +361,7 @@ class RingOramController:
         cfg = self.config
         g = self._eviction_counter % cfg.num_leaves
         self._eviction_counter += 1
-        leaf = int(format(g, f"0{cfg.levels}b")[::-1], 2) if cfg.levels else 0
+        leaf = self._rev_table[g]
         self.stats_evictions += 1
         bus = self.bus
         observed = bool(bus._subs)
@@ -376,33 +381,40 @@ class RingOramController:
             self._meta[idx].touched = [False] * cfg.slots_per_bucket
             self._meta[idx].reads = 0
 
-        # Greedy deepest-first placement of up to Z real blocks per bucket.
-        fill = [0] * (cfg.levels + 1)
+        # Greedy deepest-first placement of up to Z real blocks per bucket
+        # (stable: grouped by deepest legal level, leaf-ward groups first —
+        # the same order as the stable sorted(reverse=True) it replaces).
+        levels = cfg.levels
+        spb = cfg.slots_per_bucket
+        fill = [0] * (levels + 1)
         placed: list[tuple[Block, int]] = []
-        contents: dict[tuple[int, int], Block] = {}
-        for blk in sorted(
-            self.stash.real_blocks(),
-            key=lambda b: OramTree.common_level(b.leaf, leaf, cfg.levels),
-            reverse=True,
-        ):
-            level = OramTree.common_level(blk.leaf, leaf, cfg.levels)
-            while level >= 0 and fill[level] >= cfg.z:
-                level -= 1
-            if level < 0:
-                continue
-            contents[(level, fill[level])] = blk
-            fill[level] += 1
-            placed.append((blk, level))
+        buf = self._path_buf
+        buf[:] = self._empty_path
+        groups: list[list[Block]] = [[] for _ in range(levels + 1)]
+        for blk in self.stash.iter_real():
+            diff = blk.leaf ^ leaf
+            lvl = levels if diff == 0 else levels - diff.bit_length()
+            groups[lvl].append(blk)
+        for lvl in range(levels, -1, -1):
+            for blk in groups[lvl]:
+                level = lvl
+                while level >= 0 and fill[level] >= cfg.z:
+                    level -= 1
+                if level < 0:
+                    continue
+                buf[level * spb + fill[level]] = blk
+                fill[level] += 1
+                placed.append((blk, level))
         for blk, _level in placed:
             self.stash.remove_real(blk.addr)
 
         if cfg.enable_shadows:
             if observed:
                 bus.emit(SpanStarted(name="shadow_fill", ts=now))
-            self._fill_shadows(leaf, contents, fill, placed)
+            self._fill_shadows(leaf, buf, fill, placed)
             if observed:
                 bus.emit(SpanFinished(name="shadow_fill", ts=now))
-        self.tree.write_path(leaf, contents)
+        self.tree.write_path_buffer(leaf, buf)
         self.stats_blocks_on_bus += 2 * (cfg.levels + 1) * cfg.slots_per_bucket
         end = now
         if self._dram_bulk is not None:
@@ -421,31 +433,32 @@ class RingOramController:
     def _fill_shadows(
         self,
         leaf: int,
-        contents: dict[tuple[int, int], Block],
+        buf: list[Block | None],
         fill: list[int],
         placed: list[tuple[Block, int]],
     ) -> None:
         """RD-Dup over the ring's spare dummy slots (Section II-C claim)."""
         cfg = self.config
+        spb = cfg.slots_per_bucket
         queue = rd_queue()
         for blk, level in placed:
             queue.push(DupCandidate(block=blk, level_bound=level))
         for level in range(cfg.levels, -1, -1):
-            free = cfg.slots_per_bucket - fill[level]
+            free = spb - fill[level]
             if free <= 0:
                 continue
             # Keep at least one untouchable dummy per bucket so dummy
             # touches stay available between reshuffles.
             chosen = queue.select_many(level, max(0, free - 1), leaf, cfg.levels)
             for offset, cand in enumerate(chosen):
-                contents[(level, fill[level] + offset)] = cand.block.shadow_copy()
+                buf[level * spb + fill[level] + offset] = cand.block.shadow_copy()
 
     # ------------------------------------------------------------------
     def _read_timing(self, now: float) -> PathTiming:
         if self._dram_read is None:
             return PathTiming(
                 start=now,
-                arrival_offsets=[[0.0] for _ in range(self.config.levels + 1)],
+                arrival_offsets=_functional_offsets(self.config.levels, 1),
                 internal_finish=now,
                 finish=now,
                 activations=0,
@@ -455,15 +468,19 @@ class RingOramController:
 
     def _bootstrap(self) -> None:
         cfg = self.config
-        fill = [0] * self.tree.num_buckets
+        tree = self.tree
+        slots = tree._slots
+        spb = cfg.slots_per_bucket
+        levels = cfg.levels
+        fill = [0] * tree.num_buckets
         for addr in range(cfg.num_blocks):
             leaf = self.posmap.lookup(addr)
             blk = Block(addr=addr, leaf=leaf, version=0)
-            level = cfg.levels
+            level = levels
             while level >= 0:
-                idx = self.tree.bucket_index(leaf, level)
+                idx = (1 << level) - 1 + (leaf >> (levels - level))
                 if fill[idx] < cfg.z:
-                    self.tree.bucket(idx)[fill[idx]] = blk
+                    slots[idx * spb + fill[idx]] = blk
                     fill[idx] += 1
                     break
                 level -= 1

@@ -94,6 +94,26 @@ class Stash:
         """Snapshot of all shadow blocks (re-duplication candidates)."""
         return list(self._shadow.values())
 
+    def iter_real(self):
+        """Live view over real blocks in insertion order (no copy).
+
+        The eviction hot path scans this every path write; callers must
+        not mutate the stash while iterating (collect first, remove
+        after), which is what :meth:`real_blocks`'s copy used to paper
+        over at O(stash) cost per scan.
+        """
+        return self._real.values()
+
+    def iter_shadow(self):
+        """Live view over shadow blocks in FIFO order (no copy).
+
+        The insertion-ordered ``_shadow`` dict *is* the intrusive shadow
+        free-list: the head (first key) is the next drop victim, removal
+        and re-insertion are O(1) dict operations, and no auxiliary order
+        structure needs maintaining.
+        """
+        return self._shadow.values()
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
@@ -106,35 +126,42 @@ class Stash:
         * incoming shadow + stashed real -> incoming discarded;
         * incoming shadow + stashed shadow -> merged into a single shadow.
         """
+        real = self._real
+        shadow = self._shadow
+        addr = blk.addr
         if blk.is_shadow:
-            if blk.addr in self._real:
+            if addr in real or addr in shadow:
                 self.merges += 1
                 return
-            if blk.addr in self._shadow:
-                self.merges += 1
-                return
-            self._make_room_for_shadow()
-            self._shadow[blk.addr] = blk
+            if len(real) + len(shadow) + 1 > self.capacity and shadow:
+                # FIFO shadow drop (``_drop_one_shadow`` inlined: this is
+                # the hottest mutation path).
+                del shadow[next(iter(shadow))]
+                self.shadow_drops += 1
+            shadow[addr] = blk
             if self.bus._subs:
                 self._emit_occupancy()
             return
 
-        shadowed = self._shadow.pop(blk.addr, None)
-        if shadowed is not None:
+        if shadow.pop(addr, None) is not None:
             self.merges += 1
-        if blk.addr in self._real:
+        if addr in real:
             raise StashOverflowError(
-                f"duplicate real block for addr {blk.addr}: the single-version "
+                f"duplicate real block for addr {addr}: the single-version "
                 "invariant was violated upstream"
             )
-        if len(self._real) >= self.capacity:
+        nreal = len(real)
+        if nreal >= self.capacity:
             raise StashOverflowError(
                 f"stash overflow: capacity {self.capacity} exceeded"
             )
-        self._real[blk.addr] = blk
-        if len(self._real) + len(self._shadow) > self.capacity:
-            self._drop_one_shadow()
-        self.peak_real = max(self.peak_real, len(self._real))
+        real[addr] = blk
+        nreal += 1
+        if nreal + len(shadow) > self.capacity and shadow:
+            del shadow[next(iter(shadow))]
+            self.shadow_drops += 1
+        if nreal > self.peak_real:
+            self.peak_real = nreal
         if self.bus._subs:
             self._emit_occupancy()
 

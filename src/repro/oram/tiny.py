@@ -40,6 +40,7 @@ from repro.obs.events import (
 )
 from repro.oram.block import Block
 from repro.oram.config import OramConfig
+from repro.oram.derived import DerivedCache, bit_reverse_table
 from repro.oram.posmap import PositionMap
 from repro.oram.stash import Stash
 from repro.oram.tree import OramTree
@@ -191,6 +192,19 @@ class TinyOramController:
         self.post_access_hook: Callable[[AccessResult], None] | None = None
         self._ro_since_eviction = 0
         self._eviction_counter = 0
+        # Derived-value caches + preallocated path buffers (hot-path
+        # data layout): the eviction-order bit-reversal table, per-leaf
+        # flat-store offsets, and a reusable (levels+1)*z write buffer
+        # shared by _build_path_contents/_path_write.
+        self._rev_table = bit_reverse_table(config.levels)
+        self.derived = DerivedCache(self.tree)
+        path_slots = (config.levels + 1) * config.z
+        self._path_buf: list[Block | None] = [None] * path_slots
+        self._empty_path: list[Block | None] = [None] * path_slots
+        self._path_bases_buf: list[int] = [0] * (config.levels + 1)
+        self._level_groups: list[list[Block]] = [
+            [] for _ in range(config.levels + 1)
+        ]
         self._bootstrap()
         # Integrated integrity verification + self-healing recovery
         # (Tiny ORAM ships with integrity verification).  Built after
@@ -465,10 +479,13 @@ class TinyOramController:
         """Reverse-lexicographic eviction order (Step-5, after Ring ORAM)."""
         g = self._eviction_counter % self.config.num_leaves
         self._eviction_counter += 1
-        return self._bit_reverse(g, self.config.levels)
+        return self._rev_table[g]
 
     @staticmethod
     def _bit_reverse(value: int, bits: int) -> int:
+        """Loop-based bit reversal: the reference the cached table mirrors
+        (see :func:`repro.oram.derived.bit_reverse_table` and the
+        differential suite in ``tests/oram/test_differential.py``)."""
         out = 0
         for _ in range(bits):
             out = (out << 1) | (value & 1)
@@ -529,41 +546,87 @@ class TinyOramController:
         served_level = -1
         treetop = self.config.treetop_levels
         tree = self.tree
+        z = tree.z
+        slots = tree._slots
         onchip = now + self.config.onchip_latency
-        for level in range(self.config.levels + 1):
-            bucket = tree.bucket(tree.bucket_index(leaf, level))
-            for slot in range(self.config.z):
-                blk = bucket[slot]
-                if blk is None:
-                    continue
-                if level < treetop:
-                    arrival = onchip
-                else:
-                    arrival = timing.arrival(level, slot)
-                if intended_addr is not None and blk.addr == intended_addr:
-                    if data_ready is None:
-                        data_ready = arrival
-                        served_level = level
-                        if level < treetop:
-                            served_from = SERVED_TREETOP
-                        elif blk.is_shadow:
-                            served_from = SERVED_SHADOW_PATH
+        stash = self.stash
+        stash_real = stash._real
+        stash_shadow = stash._shadow
+        stash_insert = self._stash_insert
+        bases = tree.path_bases(leaf, self._path_bases_buf)
+        # Merge fast path: an absorbed *shadow* whose address is already
+        # stashed (real or shadow) is discarded by the merge rules before
+        # any other effect — :meth:`Stash.insert` would bump ``merges`` and
+        # return.  Most shadows met on a path read hit this case, so the
+        # membership test here skips the whole insert call chain for them.
+        if absorb_all and intended_addr is None:
+            # RW eviction read: every block on the path moves to the stash
+            # (level ascending, slot ascending — the streaming order).
+            for level in range(self.config.levels + 1):
+                base = bases[level]
+                for i in range(base, base + z):
+                    blk = slots[i]
+                    if blk is not None:
+                        slots[i] = None
+                        if blk.is_shadow:
+                            addr = blk.addr
+                            if addr in stash_real or addr in stash_shadow:
+                                stash.merges += 1
+                            else:
+                                stash_insert(blk, level)
                         else:
-                            served_from = SERVED_PATH
-                    bucket[slot] = None
-                    if not blk.is_shadow:
-                        self._stash_insert(blk, level)
-                    # Shadow copies of the requested block are discarded:
-                    # the block is being remapped and they would go stale.
-                    continue
-                if absorb_all:
-                    bucket[slot] = None
-                    self._stash_insert(blk, level)
-                elif blk.is_shadow:
-                    # HD-Dup payoff: shadow blocks encountered on any path
-                    # read are cached in the stash (replaceable).  The tree
-                    # copy stays valid — its original has not moved.
-                    self._stash_insert(blk, level)
+                            stash_insert(blk, level)
+        else:
+            offsets = timing.arrival_offsets
+            tstart = timing.start
+            for level in range(self.config.levels + 1):
+                base = bases[level]
+                for i in range(base, base + z):
+                    blk = slots[i]
+                    if blk is None:
+                        continue
+                    addr = blk.addr
+                    # ``intended_addr`` is None for dummy/eviction reads and
+                    # block addresses are non-negative, so the comparison
+                    # alone decides (None never equals an int).
+                    if addr == intended_addr:
+                        if data_ready is None:
+                            served_level = level
+                            if level < treetop:
+                                data_ready = onchip
+                                served_from = SERVED_TREETOP
+                            else:
+                                data_ready = tstart + offsets[level][i - base]
+                                if blk.is_shadow:
+                                    served_from = SERVED_SHADOW_PATH
+                                else:
+                                    served_from = SERVED_PATH
+                        slots[i] = None
+                        if not blk.is_shadow:
+                            stash_insert(blk, level)
+                        # Shadow copies of the requested block are
+                        # discarded: the block is being remapped and they
+                        # would go stale.
+                    elif blk.is_shadow:
+                        if addr in stash_real or addr in stash_shadow:
+                            # Absorbed either way (eviction or HD-Dup
+                            # caching), and already stashed: merged away
+                            # immediately.
+                            if absorb_all:
+                                slots[i] = None
+                            stash.merges += 1
+                        elif absorb_all:
+                            slots[i] = None
+                            stash_insert(blk, level)
+                        else:
+                            # HD-Dup payoff: shadow blocks encountered on
+                            # any path read are cached in the stash
+                            # (replaceable).  The tree copy stays valid —
+                            # its original has not moved.
+                            stash_insert(blk, level)
+                    elif absorb_all:
+                        slots[i] = None
+                        stash_insert(blk, level)
         if observed:
             bus.emit(SpanFinished(name="stash_scan", ts=now))
             bus.emit(
@@ -607,8 +670,8 @@ class TinyOramController:
             # write (shadow fill, stash occupancy) stamp the write phase.
             bus.now = now
             bus.emit(SpanStarted(name="eviction_write", ts=now))
-        contents = self._build_path_contents(leaf)
-        self.tree.write_path(leaf, contents)
+        buf = self._build_path_contents(leaf)
+        self.tree.write_path_buffer(leaf, buf)
         timing = self.timer.write(now)
         self.stats.path_writes += 1
         self.stats.activations += timing.activations
@@ -632,39 +695,53 @@ class TinyOramController:
         """Blocks touched inside DRAM per path access (treetop excluded)."""
         return (self.config.levels + 1 - self.config.treetop_levels) * self.config.z
 
-    def _build_path_contents(self, leaf: int) -> dict[tuple[int, int], Block]:
+    def _build_path_contents(self, leaf: int) -> list[Block | None]:
         """Greedy deepest-first stash eviction onto path ``leaf``.
+
+        Returns the controller's reusable flat path buffer: level ``lvl``
+        occupies ``buf[lvl * z : (lvl + 1) * z]``, dummies are ``None``.
+        Candidate order is the stable deepest-first order of the original
+        ``sorted(..., reverse=True)``: blocks are grouped by their deepest
+        legal level and the groups walked leaf-ward first, preserving
+        stash insertion order within each group — bit-identical placement.
 
         Subclasses extend this to fill the remaining dummy slots with
         shadow blocks (Algorithm 1, line 4).
         """
         cfg = self.config
-        fill = [0] * (cfg.levels + 1)
-        contents: dict[tuple[int, int], Block] = {}
-        candidates = sorted(
-            self.stash.real_blocks(),
-            key=lambda b: OramTree.common_level(b.leaf, leaf, cfg.levels),
-            reverse=True,
-        )
+        levels = cfg.levels
+        z = cfg.z
+        buf = self._path_buf
+        buf[:] = self._empty_path
+        fill = [0] * (levels + 1)
+        groups = self._level_groups
+        for group in groups:
+            group.clear()
+        for blk in self.stash.iter_real():
+            diff = blk.leaf ^ leaf
+            lvl = levels if diff == 0 else levels - diff.bit_length()
+            groups[lvl].append(blk)
         placed: list[tuple[Block, int]] = []
-        for blk in candidates:
-            level = OramTree.common_level(blk.leaf, leaf, cfg.levels)
-            while level >= 0 and fill[level] >= cfg.z:
-                level -= 1
-            if level < 0:
-                continue
-            contents[(level, fill[level])] = blk
-            fill[level] += 1
-            placed.append((blk, level))
+        for lvl in range(levels, -1, -1):
+            for blk in groups[lvl]:
+                level = lvl
+                while level >= 0 and fill[level] >= z:
+                    level -= 1
+                if level < 0:
+                    continue
+                buf[level * z + fill[level]] = blk
+                fill[level] += 1
+                placed.append((blk, level))
+        remove_real = self.stash.remove_real
         for blk, _level in placed:
-            self.stash.remove_real(blk.addr)
-        self._fill_dummies(leaf, contents, fill, placed)
-        return contents
+            remove_real(blk.addr)
+        self._fill_dummies(leaf, buf, fill, placed)
+        return buf
 
     def _fill_dummies(
         self,
         leaf: int,
-        contents: dict[tuple[int, int], Block],
+        buf: list[Block | None],
         fill: list[int],
         placed: list[tuple[Block, int]],
     ) -> None:
@@ -728,15 +805,20 @@ class TinyOramController:
         warmed-up ORAM.  A residual handful may start in the stash.
         """
         cfg = self.config
-        fill = [0] * self.tree.num_buckets
+        tree = self.tree
+        slots = tree._slots
+        z = tree.z
+        levels = cfg.levels
+        fill = [0] * tree.num_buckets
+        leaf_of = self.posmap._leaf
         for addr in range(cfg.num_blocks):
-            leaf = self.posmap.lookup(addr)
-            blk = Block(addr=addr, leaf=leaf, version=0)
-            level = cfg.levels
+            leaf = leaf_of[addr]
+            blk = Block(addr, leaf, 0)
+            level = levels
             while level >= 0:
-                idx = self.tree.bucket_index(leaf, level)
-                if fill[idx] < cfg.z:
-                    self.tree.bucket(idx)[fill[idx]] = blk
+                idx = (1 << level) - 1 + (leaf >> (levels - level))
+                if fill[idx] < z:
+                    slots[idx * z + fill[idx]] = blk
                     fill[idx] += 1
                     break
                 level -= 1

@@ -10,6 +10,15 @@ Buckets are addressed with the classic heap numbering so that the bucket at
 level ``lvl`` along path ``leaf`` is ``(2**lvl - 1) + (leaf >> (levels -
 lvl))``.  This arithmetic mapping is also what the DRAM layout model uses to
 place buckets into rows (see :mod:`repro.mem.layout`).
+
+Storage layout: all buckets live in one flat slot array (``_slots``), with
+bucket ``i`` occupying ``_slots[i * z : (i + 1) * z]``.  The hot path-access
+loops in :mod:`repro.oram.tiny` index this array directly (one multiply per
+level instead of two method calls per slot); :meth:`bucket` hands out a
+:class:`_BucketView` so existing per-bucket callers (tests, recovery, fault
+injection) keep their mutable-sequence semantics.  ``epoch`` counts
+structural mutations (whole-store replacement on restore) and keys the
+derived-value caches in :mod:`repro.oram.derived`.
 """
 
 from __future__ import annotations
@@ -17,6 +26,52 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.oram.block import Block
+
+
+class _BucketView:
+    """Mutable view of one bucket's ``z`` slots inside the flat store.
+
+    Supports the subset of the old ``list`` API the codebase uses:
+    indexing (read/write, including negative indices), iteration, length
+    and equality against plain sequences.
+    """
+
+    __slots__ = ("_slots", "_base", "_z")
+
+    def __init__(self, slots: list[Block | None], base: int, z: int) -> None:
+        self._slots = slots
+        self._base = base
+        self._z = z
+
+    def _resolve(self, index: int) -> int:
+        if index < 0:
+            index += self._z
+        if not 0 <= index < self._z:
+            raise IndexError(f"slot {index} out of range 0..{self._z - 1}")
+        return self._base + index
+
+    def __getitem__(self, index: int) -> Block | None:
+        return self._slots[self._resolve(index)]
+
+    def __setitem__(self, index: int, value: Block | None) -> None:
+        self._slots[self._resolve(index)] = value
+
+    def __len__(self) -> int:
+        return self._z
+
+    def __iter__(self) -> Iterator[Block | None]:
+        base = self._base
+        return iter(self._slots[base:base + self._z])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _BucketView):
+            return list(self) == list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_BucketView({list(self)!r})"
 
 
 class OramTree:
@@ -37,9 +92,11 @@ class OramTree:
         self.z = z
         self.num_leaves = 1 << levels
         self.num_buckets = (1 << (levels + 1)) - 1
-        self._buckets: list[list[Block | None]] = [
-            [None] * z for _ in range(self.num_buckets)
-        ]
+        # Flat index-addressed store: bucket i owns slots [i*z, (i+1)*z).
+        self._slots: list[Block | None] = [None] * (self.num_buckets * z)
+        # Bumped whenever the store is structurally replaced (restore);
+        # derived-value caches key on (geometry, epoch).
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     # Addressing
@@ -56,9 +113,24 @@ class OramTree:
         """Bucket indices along path ``leaf`` ordered root -> leaf."""
         return [self.bucket_index(leaf, lvl) for lvl in range(self.levels + 1)]
 
-    def bucket(self, index: int) -> list[Block | None]:
-        """Direct access to a bucket's slot list (mutable)."""
-        return self._buckets[index]
+    def path_bases(self, leaf: int, out: list[int] | None = None) -> list[int]:
+        """Flat-store base offsets of path ``leaf``'s buckets, root -> leaf.
+
+        The bucket at ``level`` occupies ``_slots[out[level] : out[level] +
+        z]``.  ``out`` may be a preallocated ``levels + 1`` list, reused
+        across calls to keep the hot loops allocation-free.
+        """
+        levels = self.levels
+        z = self.z
+        if out is None:
+            out = [0] * (levels + 1)
+        for level in range(levels + 1):
+            out[level] = ((1 << level) - 1 + (leaf >> (levels - level))) * z
+        return out
+
+    def bucket(self, index: int) -> _BucketView:
+        """Mutable view of bucket ``index``'s slot sequence."""
+        return _BucketView(self._slots, index * self.z, self.z)
 
     @staticmethod
     def common_level(leaf_a: int, leaf_b: int, levels: int) -> int:
@@ -85,12 +157,17 @@ class OramTree:
         order within a bucket.  Read slots are invalidated (set to dummy), as
         in Step-3 of Section II-C.
         """
+        if not 0 <= leaf < self.num_leaves:
+            raise ValueError(f"leaf {leaf} out of range 0..{self.num_leaves - 1}")
+        slots = self._slots
+        z = self.z
+        levels = self.levels
         out: list[tuple[int, int, Block | None]] = []
-        for level in range(self.levels + 1):
-            bucket = self._buckets[self.bucket_index(leaf, level)]
-            for slot in range(self.z):
-                out.append((level, slot, bucket[slot]))
-                bucket[slot] = None
+        for level in range(levels + 1):
+            base = ((1 << level) - 1 + (leaf >> (levels - level))) * z
+            for slot in range(z):
+                out.append((level, slot, slots[base + slot]))
+                slots[base + slot] = None
         return out
 
     def write_path(self, leaf: int, contents: dict[tuple[int, int], Block]) -> None:
@@ -101,20 +178,42 @@ class OramTree:
         required for probabilistic re-encryption to hide which slots hold
         data (Section IV-B).
         """
-        for level in range(self.levels + 1):
-            bucket = self._buckets[self.bucket_index(leaf, level)]
-            for slot in range(self.z):
-                bucket[slot] = contents.get((level, slot))
+        if not 0 <= leaf < self.num_leaves:
+            raise ValueError(f"leaf {leaf} out of range 0..{self.num_leaves - 1}")
+        slots = self._slots
+        z = self.z
+        levels = self.levels
+        get = contents.get
+        for level in range(levels + 1):
+            base = ((1 << level) - 1 + (leaf >> (levels - level))) * z
+            for slot in range(z):
+                slots[base + slot] = get((level, slot))
+
+    def write_path_buffer(self, leaf: int, buf: list[Block | None]) -> None:
+        """Write a preallocated flat path buffer onto path ``leaf``.
+
+        ``buf`` has ``(levels + 1) * z`` entries; level ``lvl`` occupies
+        ``buf[lvl * z : (lvl + 1) * z]``.  Every path slot is overwritten
+        (dummies included), exactly like :meth:`write_path`, but with one
+        slice assignment per level instead of a dict probe per slot.
+        """
+        slots = self._slots
+        z = self.z
+        levels = self.levels
+        for level in range(levels + 1):
+            base = ((1 << level) - 1 + (leaf >> (levels - level))) * z
+            off = level * z
+            slots[base:base + z] = buf[off:off + z]
 
     # ------------------------------------------------------------------
     # Introspection helpers (testing / statistics)
     # ------------------------------------------------------------------
     def iter_blocks(self) -> Iterator[tuple[int, int, Block]]:
         """Yield ``(bucket_index, slot, block)`` for every non-dummy slot."""
-        for idx, bucket in enumerate(self._buckets):
-            for slot, blk in enumerate(bucket):
-                if blk is not None:
-                    yield idx, slot, blk
+        z = self.z
+        for i, blk in enumerate(self._slots):
+            if blk is not None:
+                yield i // z, i % z, blk
 
     def level_of_bucket(self, index: int) -> int:
         """Level of bucket ``index`` (root = 0)."""
@@ -123,11 +222,12 @@ class OramTree:
     def count_blocks(self) -> tuple[int, int]:
         """Return ``(num_real, num_shadow)`` blocks currently stored."""
         real = shadow = 0
-        for _, _, blk in self.iter_blocks():
-            if blk.is_shadow:
-                shadow += 1
-            else:
-                real += 1
+        for blk in self._slots:
+            if blk is not None:
+                if blk.is_shadow:
+                    shadow += 1
+                else:
+                    real += 1
         return real, shadow
 
     def on_path(self, leaf: int, bucket_index: int) -> bool:
@@ -142,10 +242,12 @@ class OramTree:
         """Checkpointable rendering of every bucket."""
         from repro.oram.block import block_to_jsonable
 
+        slots = self._slots
+        z = self.z
         return {
             "buckets": [
-                [block_to_jsonable(blk) for blk in bucket]
-                for bucket in self._buckets
+                [block_to_jsonable(blk) for blk in slots[base:base + z]]
+                for base in range(0, len(slots), z)
             ]
         }
 
@@ -159,6 +261,13 @@ class OramTree:
                 f"tree snapshot has {len(buckets)} buckets, "
                 f"expected {self.num_buckets}"
             )
-        self._buckets = [
-            [block_from_jsonable(data) for data in bucket] for bucket in buckets
-        ]
+        slots: list[Block | None] = []
+        for bucket in buckets:
+            if len(bucket) != self.z:
+                raise ValueError(
+                    f"tree snapshot bucket has {len(bucket)} slots, "
+                    f"expected {self.z}"
+                )
+            slots.extend(block_from_jsonable(data) for data in bucket)
+        self._slots = slots
+        self.epoch += 1

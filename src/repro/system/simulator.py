@@ -22,6 +22,7 @@ Example:
 
 from __future__ import annotations
 
+import gc
 import heapq
 from functools import lru_cache
 
@@ -302,6 +303,53 @@ class SystemSimulator:
                         )
                     )
 
+        # The drive loop allocates millions of short-lived acyclic objects
+        # (blocks, timings, events); cyclic-GC passes over them are pure
+        # overhead.  Pause collection for the loop and restore the
+        # caller's setting after — reference counting still reclaims
+        # everything promptly, and any cyclic garbage (e.g. span trees) is
+        # collected at the next enabled pass.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._drive_loop(
+                backend,
+                workload_name,
+                traces,
+                policies,
+                cursors,
+                heap,
+                record_progress,
+                checkpointer,
+                served,
+                end_time,
+                latency_sum,
+                completions,
+                total_misses,
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _drive_loop(
+        self,
+        backend: Backend,
+        workload_name: str,
+        traces: list[MissTrace],
+        policies: list[MissIssuePolicy],
+        cursors: list[int],
+        heap: list[tuple[float, int]],
+        record_progress: bool,
+        checkpointer: Checkpointer | None,
+        served: int,
+        end_time: float,
+        latency_sum: float,
+        completions: list[float],
+        total_misses: int,
+    ) -> SimulationResult:
+        bus = self.bus
+        observed = bool(bus._subs)
         while heap:
             ready, core = heapq.heappop(heap)
             trace = traces[core]

@@ -15,7 +15,7 @@ a (workload, seed) pair is fully deterministic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from hashlib import sha256
 from random import Random
 from typing import Callable, Sequence
@@ -74,10 +74,13 @@ def pointer_chase(
     if region < 1:
         raise ValueError(f"region must be positive, got {region}")
     out = []
+    rand = rng.random
+    randrange = rng.randrange
+    append = out.append
     for _ in range(n):
-        addr = base + rng.randrange(region)
-        op = "write" if rng.random() < write_frac else "read"
-        out.append(MemoryRequest(addr=addr, op=op, work=work, dependent=True))
+        addr = base + randrange(region)
+        op = "write" if rand() < write_frac else "read"
+        append(MemoryRequest(addr=addr, op=op, work=work, dependent=True))
     return out
 
 
@@ -102,13 +105,16 @@ def hot_cold(
         raise ValueError(f"hot set must be positive, got {hot_blocks}")
     hot_blocks = min(hot_blocks, region)
     out = []
+    rand = rng.random
+    randrange = rng.randrange
+    append = out.append
     for _ in range(n):
-        if rng.random() < hot_frac:
-            addr = base + rng.randrange(hot_blocks)
+        if rand() < hot_frac:
+            addr = base + randrange(hot_blocks)
         else:
-            addr = base + rng.randrange(region)
-        op = "write" if rng.random() < write_frac else "read"
-        out.append(MemoryRequest(addr=addr, op=op, work=work, dependent=dependent))
+            addr = base + randrange(region)
+        op = "write" if rand() < write_frac else "read"
+        append(MemoryRequest(addr=addr, op=op, work=work, dependent=dependent))
     return out
 
 
@@ -214,19 +220,25 @@ class Workload:
     description: str
     memory_intensity: str
     generate: GeneratorFn
+    # Per-workload seed tweak, computed once at construction (the name is
+    # frozen).  Must be stable across *processes* (``hash(str)`` is
+    # randomized per interpreter), or identical jobs would produce
+    # different traces in sweep workers and cache lookups would return
+    # streams no fresh run can reproduce.
+    name_hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "name_hash",
+            int.from_bytes(sha256(self.name.encode()).digest()[:4], "big"),
+        )
 
     def requests(
         self, seed: int, num_requests: int, address_space: int
     ) -> list[MemoryRequest]:
-        """Generate the deterministic request stream for ``seed``.
-
-        The per-workload seed tweak must be stable across *processes*
-        (``hash(str)`` is randomized per interpreter), or identical jobs
-        would produce different traces in sweep workers and cache lookups
-        would return streams no fresh run can reproduce.
-        """
-        name_hash = int.from_bytes(sha256(self.name.encode()).digest()[:4], "big")
-        rng = Random(seed ^ name_hash)
+        """Generate the deterministic request stream for ``seed``."""
+        rng = Random(seed ^ self.name_hash)
         reqs = self.generate(rng, num_requests, address_space)
         for req in reqs:
             if not 0 <= req.addr < address_space:

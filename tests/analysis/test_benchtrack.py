@@ -83,6 +83,24 @@ class TestMeasureAndHistory:
         assert history.find_baseline("k1", base="zzz") is None
         assert history.find_baseline("missing") is None
 
+    def test_replace_latest_overwrites_newest_same_key(self, tmp_path):
+        history = benchtrack.BenchHistory(tmp_path, host="ci-box")
+        history.append({"key": "k1", "git": "aaa111"})
+        history.append({"key": "k2", "git": "bbb222"})
+        history.append({"key": "k1", "git": "ccc333"})
+        assert history.replace_latest({"key": "k1", "git": "ddd444"}) == 3
+        entries = history.load()
+        # Older k1 entry and the k2 entry survive; only the newest k1
+        # record was re-recorded in place.
+        assert [e["git"] for e in entries] == ["aaa111", "bbb222", "ddd444"]
+        assert history.find_baseline("k1")["git"] == "ddd444"
+
+    def test_replace_latest_appends_when_key_unknown(self, tmp_path):
+        history = benchtrack.BenchHistory(tmp_path)
+        history.append({"key": "k1", "git": "aaa111"})
+        assert history.replace_latest({"key": "k9", "git": "new"}) == 2
+        assert [e["key"] for e in history.load()] == ["k1", "k9"]
+
     def test_history_file_is_valid_json(self, tmp_path):
         history = benchtrack.BenchHistory(tmp_path)
         history.append({"key": "k", "git": "g"})
@@ -167,3 +185,22 @@ class TestBenchCli:
         for expected in (1, 2, 3):
             main(BENCH_ARGS + ["--history-dir", str(tmp_path)])
             assert len(benchtrack.BenchHistory(tmp_path).load()) == expected
+
+    def test_update_baseline_rerecords_in_place(self, tmp_path, monkeypatch,
+                                                capsys):
+        monkeypatch.setattr(benchtrack, "perf_counter", FakeTimer(5.0))
+        assert main(BENCH_ARGS + ["--history-dir", str(tmp_path)]) == 0
+        # The refactor made the simulator faster; re-record the baseline
+        # in place and verify a subsequent --compare gates against the
+        # *new* number (a re-run at the old speed now regresses).
+        monkeypatch.setattr(benchtrack, "perf_counter", FakeTimer(0.5))
+        code = main(BENCH_ARGS + ["--history-dir", str(tmp_path),
+                                  "--update-baseline"])
+        assert code == 0
+        assert "baseline updated in place" in capsys.readouterr().out
+        history = benchtrack.BenchHistory(tmp_path)
+        assert len(history.load()) == 1
+        assert history.load()[0]["wall_s"] == [0.5, 0.5]
+        monkeypatch.setattr(benchtrack, "perf_counter", FakeTimer(5.0))
+        code = main(BENCH_ARGS + ["--history-dir", str(tmp_path), "--compare"])
+        assert code == EXIT_BENCH_REGRESSION

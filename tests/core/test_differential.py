@@ -1,0 +1,201 @@
+"""Differential test: inlined shadow selection vs the queue reference.
+
+``ShadowOramController._fill_dummies`` inlines
+:class:`repro.core.queues.DuplicationQueue` selection into flat parallel
+arrays (shared RD/HD candidate state, deferred best-list sorts, a
+deepest-bound-first activation schedule).  The class-based queues remain
+the documented reference implementation; this suite drives random
+workloads through both forms and asserts the *entire* controller state
+stays bit-identical — every placement decision, every statistic, every
+stash/tree mutation — including under an injected bit flip healed by
+the recovery layer.
+"""
+
+from operator import itemgetter
+from random import Random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ShadowConfig
+from repro.core.controller import ShadowOramController
+from repro.core.queues import DupCandidate, hd_queue, rd_queue
+from repro.oram.config import OramConfig
+
+
+class ReferenceShadowController(ShadowOramController):
+    """Shadow controller whose path writes use the documented queues.
+
+    ``_fill_dummies`` here is the pre-refactor shape: build one
+    :class:`DupCandidate` per written-back block and per eligible stash
+    shadow, push each into *both* queues (shared ``level_bound`` state),
+    and let :meth:`DuplicationQueue.select_many` pick per level.  The
+    eligible stash shadows come from a full FIFO scan plus a stable
+    descending hotness sort — the order the optimized hot-cache
+    inversion reconstructs from arrival stamps.
+    """
+
+    def _fill_dummies(self, leaf, buf, fill, placed):
+        cfg = self.config
+        levels = cfg.levels
+        hotness = self.hot_cache.hotness
+        rd = rd_queue()
+        hd = hd_queue()
+        for blk, level in placed:
+            cand = DupCandidate(
+                block=blk, level_bound=level, hotness=hotness(blk.addr)
+            )
+            rd.push(cand)
+            hd.push(cand)
+        eligible = []
+        for addr, sblk in self.stash._shadow.items():  # FIFO order
+            lvl = self._shadow_source_level.get(addr, 0)
+            if lvl > 0:
+                eligible.append((hotness(addr), lvl, sblk))
+        eligible.sort(key=itemgetter(0), reverse=True)  # stable: FIFO ties
+        stash_cands = []
+        for hot, lvl, sblk in eligible[: self._STASH_SHADOW_CANDIDATES]:
+            cand = DupCandidate(
+                block=sblk, level_bound=lvl, hotness=hot,
+                from_stash_shadow=True,
+            )
+            rd.push(cand)
+            hd.push(cand)
+            stash_cands.append(cand)
+        z = cfg.z
+        sstats = self.shadow_stats
+        uses_hd = self.partition.uses_hd
+        for level in range(levels, -1, -1):
+            free = z - fill[level]
+            if free <= 0:
+                continue
+            sstats.dummy_slots_seen += free
+            use_hd = uses_hd(level)
+            queue = hd if use_hd else rd
+            chosen = queue.select_many(level, free, leaf, levels)
+            if not chosen:
+                continue
+            if use_hd:
+                sstats.hd_shadows += len(chosen)
+            else:
+                sstats.rd_shadows += len(chosen)
+            sstats.dummy_slots_filled += len(chosen)
+            base = level * z + fill[level]
+            for offset, cand in enumerate(chosen):
+                buf[base + offset] = cand.block.shadow_copy()
+        for cand in stash_cands:
+            if cand.used:
+                addr = cand.block.addr
+                self.stash.remove_shadow(addr)
+                self._shadow_source_level.pop(addr, None)
+                sstats.stash_shadow_reevictions += 1
+
+
+def _state_fingerprint(ctl):
+    from repro.serialize import dataclass_to_dict
+
+    return {
+        "stats": dataclass_to_dict(ctl.stats),
+        "shadow_stats": dataclass_to_dict(ctl.shadow_stats),
+        "tree": ctl.tree.snapshot_state(),
+        "stash": ctl.stash.snapshot_state(),
+        "posmap": list(ctl.posmap._leaf),
+        "hot_cache": ctl.hot_cache.snapshot_state(),
+        "source_level": dict(ctl._shadow_source_level),
+    }
+
+
+operation = st.tuples(st.integers(min_value=0, max_value=31), st.booleans())
+
+
+def _build(cls, seed, shadow):
+    cfg = OramConfig(levels=5, z=4, a=3, utilization=0.25, stash_capacity=120)
+    return cls(cfg, Random(seed), shadow)
+
+
+@given(
+    ops=st.lists(operation, min_size=5, max_size=80),
+    partition_level=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(
+    max_examples=30, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_inline_fill_dummies_matches_queue_reference(ops, partition_level,
+                                                     seed):
+    shadow = ShadowConfig.static(min(partition_level, 6))
+    optimized = _build(ShadowOramController, seed, shadow)
+    reference = _build(ReferenceShadowController, seed, shadow)
+    for i, (raw_addr, is_write) in enumerate(ops):
+        results = []
+        for ctl in (optimized, reference):
+            addr = raw_addr % ctl.num_blocks
+            if is_write:
+                r = ctl.access(addr, "write", payload=i)
+            else:
+                r = ctl.access(addr, "read")
+            results.append(
+                (r.served_from, r.value, r.version, r.data_ready, r.finish)
+            )
+        assert results[0] == results[1], f"access {i} diverged"
+    assert _state_fingerprint(optimized) == _state_fingerprint(reference)
+
+
+@given(
+    ops=st.lists(operation, min_size=5, max_size=60),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_dynamic_partition_matches_queue_reference(ops, seed):
+    shadow = ShadowConfig(dynamic=True)
+    optimized = _build(ShadowOramController, seed, shadow)
+    reference = _build(ReferenceShadowController, seed, shadow)
+    rng = Random(seed ^ 0xD00D)
+    for i, (raw_addr, is_write) in enumerate(ops):
+        if rng.random() < 0.25:
+            optimized.dummy_access()
+            reference.dummy_access()
+        for ctl in (optimized, reference):
+            addr = raw_addr % ctl.num_blocks
+            ctl.access(addr, "write" if is_write else "read",
+                       payload=i if is_write else None)
+    assert _state_fingerprint(optimized) == _state_fingerprint(reference)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(
+    max_examples=5, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_inline_selection_matches_reference_under_bit_flip_recovery(seed):
+    """Both forms heal the same injected flip to the same final state."""
+    def build(cls):
+        cfg = OramConfig(levels=5, z=4, a=3, integrity=True,
+                         recovery="recover", scrub_interval=1)
+        return cls(cfg, Random(seed), ShadowConfig.static(3))
+
+    optimized = build(ShadowOramController)
+    reference = build(ReferenceShadowController)
+    rng = Random(seed ^ 0xF11F)
+    ops = [(rng.randrange(40), rng.random() < 0.3) for _ in range(40)]
+    for i, (raw_addr, is_write) in enumerate(ops):
+        if i == 10:
+            # Identical flip in both trees: first occupied slot, the
+            # injector's mutation (version flip + payload wrap).
+            for ctl in (optimized, reference):
+                for _idx, _slot, blk in ctl.tree.iter_blocks():
+                    blk.version ^= 1
+                    blk.payload = ("bitflip", blk.payload)
+                    break
+        for ctl in (optimized, reference):
+            addr = raw_addr % ctl.num_blocks
+            ctl.access(addr, "write" if is_write else "read",
+                       payload=i if is_write else None)
+    assert optimized.recovery.stats.recoveries >= 1
+    assert (optimized.recovery.stats.recoveries
+            == reference.recovery.stats.recoveries)
+    assert _state_fingerprint(optimized) == _state_fingerprint(reference)

@@ -62,6 +62,48 @@ class TestProfileRun:
         assert result.dummy_requests > 0
         assert "dummy requests" in totals
 
+    def test_wrap_targets_do_not_silently_vanish(self):
+        """Every section the profiler promises gets real time attributed.
+
+        A hot-path refactor that renames or inlines a wrapped method
+        (e.g. the shadow controller inlining ``stash.insert``) would
+        leave ``Profiler.wrap`` shadowing a method nobody calls — the
+        run still works, the section just silently reads zero.  Guard:
+        on a shadow-scheme run every controller-side stage must
+        accumulate strictly positive exclusive time, and the wrapped
+        attribute names must still exist.
+        """
+        from repro.core.controller import ShadowOramController
+        from repro.oram.stash import Stash
+
+        for cls, name in (
+            (ShadowOramController, "access"),
+            (ShadowOramController, "_maybe_evict"),
+            (ShadowOramController, "dummy_access"),
+            (ShadowOramController, "_stash_insert"),
+            (Stash, "lookup_real"),
+            (Stash, "lookup_shadow"),
+        ):
+            assert callable(getattr(cls, name)), (
+                f"profiler wrap target {cls.__name__}.{name} vanished"
+            )
+
+        config = SystemConfig.dynamic(3, oram=OramConfig(levels=8))
+        totals, result = profile_run(config, "mcf", num_requests=2000)
+        assert result.llc_misses > 0
+        for stage in ("oram access", "eviction", "stash scan"):
+            assert totals.get(stage, 0.0) > 0.0, (
+                f"stage {stage!r} attributed no time: its wrapped "
+                "method is no longer on the hot path"
+            )
+
+    def test_merkle_stage_attributed_with_integrity_armed(self):
+        config = SystemConfig.dynamic(
+            3, oram=OramConfig(levels=8, integrity=True, recovery="recover")
+        )
+        totals, _result = profile_run(config, "mcf", num_requests=2000)
+        assert totals.get("merkle hashing", 0.0) > 0.0
+
     def test_insecure_config_profiles_without_controller_stages(self):
         config = SystemConfig.insecure_system(oram=OramConfig(levels=8))
         totals, result = profile_run(config, "mcf", num_requests=2000)
