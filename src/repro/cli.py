@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep --workloads mcf,libquantum --schemes insecure,tiny,dynamic-3 --jobs 4
     python -m repro sweep --jobs 4 --metrics merged.json --live --progress-jsonl progress.jsonl
     python -m repro bench --workload mcf --requests 5000 --compare
+    python -m repro serve --scheme dynamic-3 --port 7700 --checkpoint-dir ckpt
+    python -m repro load --port 7700 --clients 8 --requests 500 --rate 400
     python -m repro workloads
     python -m repro overhead
 
@@ -25,6 +27,7 @@ path sequence respectively.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from pathlib import Path
 
@@ -34,6 +37,14 @@ from repro.analysis.engine import SweepInterrupted, SweepRunner
 from repro.analysis.manifest import SweepLedger
 from repro.analysis.report import format_table
 from repro.core.config import ShadowConfig
+from repro.exit_codes import (
+    EXIT_BENCH_REGRESSION,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_SERVE_FAILED,
+    EXIT_SWEEP_FAILED,
+    EXIT_TRACE_INVALID,
+)
 from repro.faults import (
     FAULT_KINDS,
     BitFlip,
@@ -301,12 +312,9 @@ def _print_sweep_failures(report) -> None:
               + (f" ({point.error})" if point.error else ""))
 
 
-# Exit codes of ``python -m repro sweep`` / ``bench`` / ``trace`` (see
-# the README).
-EXIT_SWEEP_FAILED = 3
-EXIT_BENCH_REGRESSION = 4
-EXIT_TRACE_INVALID = 5
-EXIT_INTERRUPTED = 130
+# Exit codes live in :mod:`repro.exit_codes` (the single documented
+# table); re-exported at the historical location for callers that import
+# them from here.
 
 
 def _write_sweep_metrics(registry, args, workloads, configs) -> None:
@@ -612,6 +620,135 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fault_plan(args: argparse.Namespace):
+    """``--inject`` specs → injector (or ``None`` without specs)."""
+    if not args.inject:
+        return None
+    try:
+        plan = FaultPlan.parse(args.inject, seed=args.fault_seed)
+    except FaultSpecError as exc:
+        raise SystemExit(f"bad --inject spec: {exc}")
+    print(f"fault plan (seed {plan.seed}):")
+    for spec in plan.specs:
+        print(f"  {spec.to_dict()}")
+    return plan.injector(in_worker=False)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import OramServer, ServeSettings
+
+    config = build_config(args)
+    if args.restore and not args.checkpoint_dir:
+        raise SystemExit("--restore needs --checkpoint-dir")
+    injector = _parse_fault_plan(args)
+    checkpointer = (
+        Checkpointer(args.checkpoint_dir) if args.checkpoint_dir else None
+    )
+    settings = ServeSettings(
+        host=args.host,
+        port=args.port,
+        max_clients=args.max_clients,
+        client_space=args.client_space,
+        queue_depth=args.queue_depth,
+        shed_highwater=args.shed_highwater,
+        session_window=args.session_window,
+        default_deadline_ms=args.default_deadline_ms,
+        retry_after_ms=args.retry_after_ms,
+        checkpoint_every=args.checkpoint_every,
+    )
+    registry = MetricsRegistry()
+    open_files = []
+    observer = None
+    if args.adversary_trace:
+        stream = open(args.adversary_trace, "w")
+        open_files.append(stream)
+        observer = AdversaryTraceWriter(stream)
+        observer.logger.write_record(
+            run_metadata(config, mode="serve", seed=args.seed)
+        )
+    server = OramServer(
+        config,
+        seed=args.seed,
+        settings=settings,
+        registry=registry,
+        injector=injector,
+        checkpointer=checkpointer,
+        restore=args.restore,
+        observer=observer,
+    )
+
+    def announce(srv) -> None:
+        host, port = srv.address
+        print(f"serving {config.describe()}", flush=True)
+        print(f"listening on {host}:{port} "
+              f"({settings.max_clients} slots x {srv.client_space} blocks); "
+              f"drain with SIGTERM or a shutdown message", flush=True)
+
+    try:
+        code = asyncio.run(server.run(on_started=announce))
+    finally:
+        for stream in open_files:
+            stream.close()
+    if server.crashed is not None:
+        print(f"server crashed: {server.crashed}")
+    else:
+        print(f"drained ({server.drain_reason or 'done'})")
+    stats = server.stats_snapshot()
+    for key in sorted(stats):
+        print(f"  {key}: {stats[key]}")
+    if injector is not None and injector.fired():
+        print("fired faults (deterministic for this plan+seed):")
+        for entry in injector.fired():
+            print(f"  {entry}")
+    if args.metrics:
+        with open(args.metrics, "w") as stream:
+            registry.write_json(
+                stream, **run_metadata(config, mode="serve", seed=args.seed)
+            )
+        print(f"wrote metrics (JSON): {args.metrics}")
+    return code
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import LoadSettings, run_load
+
+    injector = _parse_fault_plan(args)
+    settings = LoadSettings(
+        host=args.host,
+        port=args.port,
+        clients=args.clients,
+        requests=args.requests,
+        rate=args.rate,
+        seed=args.seed,
+        alpha=args.alpha,
+        write_frac=args.write_frac,
+        deadline_ms=args.deadline_ms,
+        timeout_s=args.timeout_s,
+        retries=args.retries,
+        backoff_s=args.backoff_s,
+        shutdown_after=args.shutdown_after,
+    )
+    try:
+        report = asyncio.run(run_load(settings, injector=injector))
+    except ConnectionError as exc:
+        print(f"load failed: cannot reach "
+              f"{settings.host}:{settings.port}: {exc}")
+        return EXIT_SERVE_FAILED
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if injector is not None and injector.fired():
+        print("fired faults (deterministic for this plan+seed):")
+        for entry in injector.fired():
+            print(f"  {entry}")
+    if args.report:
+        with open(args.report, "w") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote load report (JSON): {args.report}")
+    return EXIT_OK if report["served"] > 0 else EXIT_SERVE_FAILED
+
+
 def cmd_workloads(_args: argparse.Namespace) -> int:
     rows = [
         [name, WORKLOADS[name].memory_intensity, WORKLOADS[name].description]
@@ -880,6 +1017,109 @@ def make_parser() -> argparse.ArgumentParser:
     # Fault runs default to self-healing (the other subcommands keep the
     # fail-stop `raise` default); --recovery-policy raise still aborts.
     faults_p.set_defaults(fn=cmd_faults, recovery_policy="recover")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve the ORAM to concurrent TCP clients (newline-JSON "
+             "protocol) with bounded admission, load shedding, deadlines, "
+             "graceful drain, and crash-restartable checkpoints",
+    )
+    common(serve_p)
+    serve_p.add_argument("--scheme", default="dynamic-3")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=7700,
+                         help="bind port (0 picks an ephemeral port)")
+    serve_p.add_argument("--max-clients", type=int, default=16,
+                         help="address-space slots; further connections "
+                              "are refused")
+    serve_p.add_argument("--client-space", type=int, default=None,
+                         metavar="BLOCKS",
+                         help="ORAM blocks per client slot (default: "
+                              "num_blocks / max-clients)")
+    serve_p.add_argument("--queue-depth", type=int, default=256,
+                         help="hard bound of the admission queue")
+    serve_p.add_argument("--shed-highwater", type=int, default=None,
+                         metavar="N",
+                         help="shed (retry_after) once the queue holds N "
+                              "requests (default: 3/4 of --queue-depth)")
+    serve_p.add_argument("--session-window", type=int, default=32,
+                         help="per-client in-flight cap; a client that "
+                              "stops reading responses is throttled, "
+                              "not buffered unboundedly")
+    serve_p.add_argument("--default-deadline-ms", type=float, default=1000.0,
+                         help="deadline for requests that carry none "
+                              "(<= 0 disables)")
+    serve_p.add_argument("--retry-after-ms", type=float, default=50.0,
+                         help="backoff hint attached to shed responses")
+    serve_p.add_argument("--checkpoint-dir", metavar="DIR",
+                         help="snapshot the served ORAM state into DIR")
+    serve_p.add_argument("--checkpoint-every", type=int, default=500,
+                         metavar="N",
+                         help="checkpoint every N served accesses "
+                              "(0 disables periodic snapshots; a final "
+                              "one is still taken on drain)")
+    serve_p.add_argument("--restore", action="store_true",
+                         help="resume from the newest valid checkpoint "
+                              "before accepting clients; state is "
+                              "bit-identical to the killed server's "
+                              "last snapshot")
+    serve_p.add_argument("--metrics", metavar="FILE",
+                         help="write the serve/* metrics registry as JSON "
+                              "on exit")
+    serve_p.add_argument("--adversary-trace", metavar="FILE",
+                         help="dump the adversary-visible path sequence "
+                              "as JSONL")
+    serve_p.add_argument("--inject", action="append", default=[],
+                         metavar="SPEC",
+                         help="fault spec, e.g. "
+                              "server-crash:at_access=100,mode=exit")
+    serve_p.add_argument("--fault-seed", type=int, default=0)
+    serve_p.set_defaults(fn=cmd_serve)
+
+    load_p = sub.add_parser(
+        "load",
+        help="open-loop Poisson/Zipf load generator for 'repro serve' "
+             "with per-request timeout + capped-backoff retries and a "
+             "p50/p95/p99 latency report",
+    )
+    load_p.add_argument("--host", default="127.0.0.1")
+    load_p.add_argument("--port", type=int, default=7700)
+    load_p.add_argument("--clients", type=int, default=4,
+                        help="concurrent connections")
+    load_p.add_argument("--requests", type=int, default=200,
+                        help="total scheduled requests")
+    load_p.add_argument("--rate", type=float, default=400.0,
+                        help="aggregate Poisson arrival rate (req/s); "
+                             "open loop: arrivals do not slow down when "
+                             "the server does")
+    load_p.add_argument("--seed", type=int, default=1,
+                        help="schedule seed (arrivals, addresses, ops)")
+    load_p.add_argument("--alpha", type=float, default=1.2,
+                        help="Zipf skew of the address distribution")
+    load_p.add_argument("--write-frac", type=float, default=0.1)
+    load_p.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-request deadline forwarded to the "
+                             "server (default: server's own)")
+    load_p.add_argument("--timeout-s", type=float, default=5.0,
+                        help="per-attempt client-side timeout")
+    load_p.add_argument("--retries", type=int, default=3,
+                        help="retries after timeout / retry_after / "
+                             "disconnect")
+    load_p.add_argument("--backoff-s", type=float, default=0.05,
+                        help="initial retry backoff, doubled per retry "
+                             "(capped at 1s)")
+    load_p.add_argument("--shutdown-after", action="store_true",
+                        help="ask the server for a graceful drain once "
+                             "the schedule completes")
+    load_p.add_argument("--report", metavar="FILE",
+                        help="also write the report as JSON")
+    load_p.add_argument("--inject", action="append", default=[],
+                        metavar="SPEC",
+                        help="client-side fault spec, e.g. "
+                             "client-disconnect:at_request=5 or "
+                             "slow-client:at_request=3,stall_s=0.5")
+    load_p.add_argument("--fault-seed", type=int, default=0)
+    load_p.set_defaults(fn=cmd_load)
 
     wl_p = sub.add_parser("workloads", help="list available workloads")
     wl_p.set_defaults(fn=cmd_workloads)

@@ -7,13 +7,25 @@ degrades gracefully: seeded, serializable fault specs
 :class:`~repro.faults.invariants.RuntimeInvariants` audits controller
 state per access with a configurable degrade-vs-raise policy.
 
+PR 8 extends the taxonomy to the serving seams (DESIGN.md §10):
+``client-disconnect`` / ``slow-client`` drive the load generator's
+misbehaviour and ``server-crash`` kills ``repro serve`` between ORAM
+accesses — all deterministic for a given plan + seed.
+
 Try it from the shell::
 
     python -m repro faults --list
     python -m repro faults --inject worker-crash@2 --inject cache-corrupt
+    python -m repro serve --inject server-crash:at_access=500,mode=exit ...
+    python -m repro load --inject client-disconnect:at_request=10 ...
 """
 
-from repro.faults.injector import FaultInjector, FaultPlan, InjectedCrash
+from repro.faults.injector import (
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    ServerCrashed,
+)
 from repro.faults.invariants import (
     InvariantReport,
     InvariantViolation,
@@ -24,9 +36,12 @@ from repro.faults.spec import (
     BitFlip,
     CacheCorruption,
     CacheOsError,
+    ClientDisconnect,
     FaultSpec,
     FaultSpecError,
     PosmapCorrupt,
+    ServerCrash,
+    SlowClient,
     StashPressure,
     WorkerCrash,
     WorkerHang,
@@ -39,6 +54,7 @@ __all__ = [
     "BitFlip",
     "CacheCorruption",
     "CacheOsError",
+    "ClientDisconnect",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
@@ -48,6 +64,9 @@ __all__ = [
     "InvariantViolation",
     "PosmapCorrupt",
     "RuntimeInvariants",
+    "ServerCrash",
+    "ServerCrashed",
+    "SlowClient",
     "StashPressure",
     "WorkerCrash",
     "WorkerHang",

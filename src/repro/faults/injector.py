@@ -35,8 +35,11 @@ from repro.faults.spec import (
     BitFlip,
     CacheCorruption,
     CacheOsError,
+    ClientDisconnect,
     FaultSpec,
     PosmapCorrupt,
+    ServerCrash,
+    SlowClient,
     StashPressure,
     WorkerCrash,
     WorkerHang,
@@ -47,6 +50,15 @@ from repro.faults.spec import (
 
 class InjectedCrash(RuntimeError):
     """The failure a ``worker-crash`` spec raises (and retries recover from)."""
+
+
+class ServerCrashed(RuntimeError):
+    """The failure a ``server-crash`` spec raises in ``mode="exception"``.
+
+    The in-process serve tests catch this to simulate the process dying
+    between two ORAM accesses; ``mode="exit"`` skips the exception and
+    hard-kills the process instead.
+    """
 
 
 @dataclass(slots=True, frozen=True)
@@ -103,6 +115,7 @@ class FaultInjector:
         self._cache_puts = 0
         self._accesses = 0
         self._squeezed: list[tuple[StashPressure, object, int]] = []
+        self._client_fired: set[FaultSpec] = set()
 
     # ------------------------------------------------------------------
     def _specs(self, cls: type) -> list[FaultSpec]:
@@ -132,6 +145,56 @@ class FaultInjector:
                     f"injected worker crash at point {index} "
                     f"(attempt {attempt})"
                 )
+
+    # ------------------------------------------------------------------
+    # Seam 1b: the serving loop (repro serve / repro load)
+    # ------------------------------------------------------------------
+    def before_serve_access(self, access_index: int) -> None:
+        """Fire ``server-crash`` specs before serve-path access N.
+
+        Called by the serve dispatcher with the bridge's served-access
+        counter just before each ORAM access, so a crash at index N
+        leaves exactly N accesses applied — aligning ``at_access`` to a
+        checkpoint boundary makes the restart lossless.
+        """
+        for spec in self._specs(ServerCrash):
+            if spec.at_access == access_index:
+                self.log.append(
+                    f"server-crash@access{access_index}:{spec.mode}"
+                )
+                if spec.mode == "exit":
+                    os._exit(70)
+                raise ServerCrashed(
+                    f"injected server crash before access {access_index}"
+                )
+
+    def client_disconnect_after(self, request_index: int) -> bool:
+        """Whether the load generator should abort its socket after
+        sending the request with this 0-based global ordinal.
+
+        One-shot per spec: a *retry* of the same ordinal reuses the
+        ordinal but must not re-fire the disconnect, or the request
+        could never complete.
+        """
+        for spec in self._specs(ClientDisconnect):
+            if spec.at_request == request_index and spec not in self._client_fired:
+                self._client_fired.add(spec)
+                self.log.append(f"client-disconnect@req{request_index}")
+                return True
+        return False
+
+    def client_stall_after(self, request_index: int) -> float:
+        """Seconds the sending connection should stop reading responses
+        after this request (0.0 when no ``slow-client`` spec matches).
+        One-shot per spec, like :meth:`client_disconnect_after`."""
+        for spec in self._specs(SlowClient):
+            if spec.at_request == request_index and spec not in self._client_fired:
+                self._client_fired.add(spec)
+                self.log.append(
+                    f"slow-client@req{request_index}:{spec.stall_s}s"
+                )
+                return spec.stall_s
+        return 0.0
 
     # ------------------------------------------------------------------
     # Seam 2: the result cache

@@ -29,6 +29,15 @@ kind                      what it models
 ``posmap-corrupt``        a stale position-map entry (on-chip SRAM upset or a
                           lost remap), the fault recovery's posmap-repair
                           branch exists to fix
+``client-disconnect``     a serving client dropping its connection mid-request
+                          (the load generator aborts the socket after sending
+                          request N; the server must abandon, not crash)
+``slow-client``           a client that stops reading responses for a while
+                          (the server's per-session window must throttle its
+                          reads instead of buffering unboundedly)
+``server-crash``          the serve process dying between two ORAM accesses
+                          (``repro serve`` restarts with ``--restore`` and
+                          resumes from the last checkpoint bit-identically)
 ========================  =====================================================
 """
 
@@ -186,10 +195,69 @@ class PosmapCorrupt(FaultSpec):
     addr: int = -1
 
 
+@dataclass(slots=True, frozen=True)
+class ClientDisconnect(FaultSpec):
+    """Drop a serving client's connection right after request ``at_request``.
+
+    Applied by the load generator (:mod:`repro.serve.load`): the request
+    whose 0-based global ordinal equals ``at_request`` is sent and then
+    the socket is *aborted* (RST, no FIN handshake), modelling a client
+    crash mid-request.  The generator reconnects and retries; the server
+    must abandon the orphaned work without wasting ORAM accesses on it.
+    """
+
+    kind = "client-disconnect"
+
+    at_request: int = 0
+
+
+@dataclass(slots=True, frozen=True)
+class SlowClient(FaultSpec):
+    """Stop reading responses for ``stall_s`` after request ``at_request``.
+
+    Applied by the load generator: the connection that sent the matching
+    request stops draining its receive side for ``stall_s`` seconds.  The
+    server's per-session admission window must throttle further reads
+    from that client (bounded buffering) while other clients keep being
+    served.
+    """
+
+    kind = "slow-client"
+
+    at_request: int = 0
+    stall_s: float = 0.5
+
+
+@dataclass(slots=True, frozen=True)
+class ServerCrash(FaultSpec):
+    """Kill the serve process before ORAM access ``at_access``.
+
+    Fires in :meth:`repro.faults.injector.FaultInjector.before_serve_access`
+    when the bridge's served-access counter reaches ``at_access``.
+    ``mode="exit"`` hard-kills the process (``os._exit``), the CI-smoke
+    form; ``mode="exception"`` raises
+    :class:`~repro.faults.injector.ServerCrashed`, which the in-process
+    tests catch to simulate the kill.  Restarting with ``--restore``
+    resumes from the last checkpoint; a crash aligned to a checkpoint
+    boundary loses no state at all.
+    """
+
+    kind = "server-crash"
+
+    at_access: int = 0
+    mode: str = "exception"  # exception | exit
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("exception", "exit"):
+            raise FaultSpecError(f"server-crash mode must be "
+                                 f"'exception' or 'exit', got {self.mode!r}")
+
+
 FAULT_KINDS: dict[str, type[FaultSpec]] = {
     cls.kind: cls
     for cls in (WorkerCrash, WorkerHang, CacheCorruption, CacheOsError,
-                StashPressure, BitFlip, PosmapCorrupt)
+                StashPressure, BitFlip, PosmapCorrupt,
+                ClientDisconnect, SlowClient, ServerCrash)
 }
 
 

@@ -1,0 +1,103 @@
+"""Newline-JSON wire protocol between ``repro serve`` and its clients.
+
+One message per line, UTF-8 JSON, ``\\n``-terminated.  Every message is a
+flat object with a ``type`` discriminator; unknown fields are ignored so
+the protocol can grow without breaking old clients.
+
+Client → server::
+
+    {"type": "hello", "client": "loadgen-0", "space": 256}
+    {"type": "req", "id": 7, "op": "read", "addr": 12, "deadline_ms": 250}
+    {"type": "req", "id": 8, "op": "write", "addr": 3, "value": "v1"}
+    {"type": "digest"}           # ORAM state digest (bit-identity tests)
+    {"type": "stats"}            # serve counters snapshot
+    {"type": "shutdown"}         # request a graceful drain
+    {"type": "bye"}              # close this session
+
+Server → client::
+
+    {"type": "welcome", "session": 0, "base": 0, "space": 256}
+    {"type": "resp", "id": 7, "status": "ok", "latency_ms": ..., ...}
+    {"type": "resp", "id": 9, "status": "retry_after", "retry_after_ms": 50}
+    {"type": "digest", "digest": "..."}
+    {"type": "stats", "counters": {...}}
+    {"type": "error", "error": "..."}
+
+Response statuses (the overload model's observable alphabet):
+
+==================  ======================================================
+``ok``              served; carries latency + serving-source detail
+``retry_after``     load-shed at admission (queue past the high-water
+                    mark); carries ``retry_after_ms`` — *not* admitted
+``expired``         admitted but its deadline passed while queued; the
+                    ORAM access was never spent
+``draining``        the server is draining; no new work is admitted
+``error``           malformed request (bad op / address out of range)
+==================  ======================================================
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Longest accepted line (a line past this aborts the offending session,
+#: never the server).
+MAX_LINE_BYTES = 64 * 1024
+
+STATUS_OK = "ok"
+STATUS_RETRY_AFTER = "retry_after"
+STATUS_EXPIRED = "expired"
+STATUS_DRAINING = "draining"
+STATUS_ERROR = "error"
+
+#: Statuses a client may retry after backing off.
+RETRYABLE_STATUSES = frozenset({STATUS_RETRY_AFTER, STATUS_DRAINING})
+
+
+class ProtocolError(ValueError):
+    """A malformed line or message (per-session fatal, server-safe)."""
+
+
+def encode(message: dict[str, object]) -> bytes:
+    """One wire line for ``message`` (compact JSON + newline)."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes) -> dict[str, object]:
+    """Parse one received line into a message dict.
+
+    Raises :class:`ProtocolError` on anything other than a single JSON
+    object with a string ``type``.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"bad JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"message must be an object, got {type(message).__name__}")
+    kind = message.get("type")
+    if not isinstance(kind, str):
+        raise ProtocolError("message missing string 'type'")
+    return message
+
+
+def validate_request(message: dict[str, object], space: int) -> tuple[int, int, str]:
+    """Check a ``req`` message; returns ``(id, addr, op)``.
+
+    ``addr`` is the client-relative address, validated against the
+    session's ``space`` (the server adds the session base afterwards).
+    """
+    req_id = message.get("id")
+    if not isinstance(req_id, int):
+        raise ProtocolError("req missing integer 'id'")
+    addr = message.get("addr")
+    if not isinstance(addr, int) or not 0 <= addr < space:
+        raise ProtocolError(
+            f"req {req_id}: addr must be an integer in [0, {space}), got {addr!r}"
+        )
+    op = message.get("op", "read")
+    if op not in ("read", "write"):
+        raise ProtocolError(f"req {req_id}: op must be 'read' or 'write', got {op!r}")
+    return req_id, addr, op

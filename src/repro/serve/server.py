@@ -1,0 +1,561 @@
+"""``repro serve``: a fault-tolerant concurrent ORAM frontend.
+
+The server accepts many concurrent clients over the newline-JSON TCP
+protocol (:mod:`repro.serve.protocol`), maps each client's private
+address space onto the shared ORAM
+(:mod:`repro.serve.session`), and feeds every admitted request through
+the serialized :class:`~repro.serve.scheduler_bridge.OramServeBridge`.
+Robustness is the design center, not an afterthought:
+
+* **bounded admission queue with load shedding** — arrivals past the
+  high-water mark are answered ``retry_after`` immediately and are never
+  admitted; the queue's hard bound can never be exceeded.
+* **per-request deadlines** — a queued request whose deadline passes is
+  answered ``expired`` at dispatch time, *before* an ORAM access is
+  wasted on data nobody is waiting for.
+* **slow-reader backpressure** — each session holds a bounded window of
+  in-flight requests; when a client stops draining responses the server
+  stops reading its socket (see :mod:`repro.serve.session`), so a slow
+  client costs bounded memory and zero global throughput.
+* **graceful drain** — SIGTERM (or a ``shutdown`` message) stops
+  accepting, completes every admitted in-flight request, flushes
+  metrics/checkpoints, and exits 0.
+* **crash recovery** — periodic
+  :class:`~repro.system.checkpoint.Checkpointer` snapshots of the full
+  bridged ORAM state; a killed server restarted with ``--restore``
+  resumes from the newest valid snapshot, and a crash aligned to a
+  checkpoint boundary is bit-identical to an uninterrupted serve
+  (``serve`` tests assert the digest equality).
+* **deterministic fault injection** — ``server-crash`` specs fire
+  through the existing seeded :class:`~repro.faults.FaultInjector`
+  between two ORAM accesses; ``client-disconnect``/``slow-client`` are
+  driven by the load generator and exercised against this server in the
+  ``serve-smoke`` CI job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from dataclasses import dataclass
+
+from repro.faults.injector import FaultInjector, ServerCrashed
+from repro.obs.events import EventBus
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.oram.tiny import Observer
+from repro.serialize import payload_to_jsonable
+from repro.serve import protocol
+from repro.serve.scheduler_bridge import OramServeBridge
+from repro.serve.session import Session
+from repro.system.checkpoint import Checkpointer
+from repro.system.config import SystemConfig
+
+#: Wall-clock served-latency ladder (milliseconds).
+WALL_MS_BUCKETS = [
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+    200.0, 500.0, 1_000.0, 2_000.0, 5_000.0,
+]
+
+_DRAIN = object()
+
+
+@dataclass(slots=True)
+class ServeSettings:
+    """Tunables of the serving/overload model (DESIGN.md §10).
+
+    Attributes:
+        host: Bind address.
+        port: Bind port (0 = ephemeral; tests use this).
+        max_clients: Address-space slots; connection N+1 is refused.
+        client_space: Addresses per client (default: ORAM blocks /
+            ``max_clients``).
+        queue_depth: Hard bound of the admission queue.
+        shed_highwater: Queue depth at/above which new requests are shed
+            with ``retry_after`` (default: 3/4 of ``queue_depth``).
+        session_window: Per-session in-flight cap (slow-reader throttle).
+        default_deadline_ms: Deadline applied to requests that carry
+            none (``None`` disables; a request's own ``deadline_ms <= 0``
+            also opts out).
+        retry_after_ms: Hint returned with shed responses.
+        checkpoint_every: Snapshot the bridged state every N served
+            accesses (0 disables; needs a checkpointer).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7700
+    max_clients: int = 16
+    client_space: int | None = None
+    queue_depth: int = 256
+    shed_highwater: int | None = None
+    session_window: int = 32
+    default_deadline_ms: float | None = 1_000.0
+    retry_after_ms: float = 50.0
+    checkpoint_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {self.max_clients}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.shed_highwater is None:
+            self.shed_highwater = max(1, (self.queue_depth * 3) // 4)
+        if not 1 <= self.shed_highwater <= self.queue_depth:
+            raise ValueError(
+                f"shed_highwater must be in [1, queue_depth], "
+                f"got {self.shed_highwater}"
+            )
+
+
+class OramServer:
+    """The asyncio serving frontend over one ORAM bridge.
+
+    Args:
+        config: Full-system configuration (scheme, tree, timing
+            protection); ``insecure`` is rejected by the bridge.
+        seed: ORAM controller seed.
+        settings: Serving/overload tunables.
+        registry: Metrics registry for the ``serve/*`` instruments
+            (a private one is created when omitted).
+        injector: Seeded fault injector (``server-crash`` seam).
+        checkpointer: Snapshot writer; combined with
+            ``settings.checkpoint_every`` and ``restore``.
+        restore: Resume the bridged ORAM state from the newest valid
+            checkpoint before accepting clients.
+        observer: Adversary-view callback, as in batch runs.
+        bus: Observability event bus.
+
+    Attributes:
+        dispatch_gate: Test seam — clearing this event pauses the
+            dispatcher *before* each ORAM access, letting tests fill the
+            admission queue deterministically (shed/deadline/drain
+            tests).  Always set in production.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        seed: int = 1,
+        settings: ServeSettings | None = None,
+        registry: MetricsRegistry | None = None,
+        injector: FaultInjector | None = None,
+        checkpointer: Checkpointer | None = None,
+        restore: bool = False,
+        observer: Observer | None = None,
+        bus: EventBus | None = None,
+    ) -> None:
+        self.settings = settings if settings is not None else ServeSettings()
+        self.bridge = OramServeBridge(config, seed, bus=bus, observer=observer)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.injector = injector
+        self.checkpointer = checkpointer
+        self.restore = restore
+        if checkpointer is not None:
+            checkpointer.run_key = self.bridge.run_key()
+        space = self.bridge.num_blocks
+        per_client = self.settings.client_space
+        if per_client is None:
+            per_client = max(1, space // self.settings.max_clients)
+        if per_client * self.settings.max_clients > space:
+            raise ValueError(
+                f"{self.settings.max_clients} clients x {per_client} blocks "
+                f"exceed the ORAM address space ({space} blocks)"
+            )
+        self.client_space = per_client
+
+        reg = self.registry
+        self.h_wall = reg.histogram("serve/latency_wall_ms", WALL_MS_BUCKETS)
+        self.h_cycles = reg.histogram("serve/latency_cycles", LATENCY_BUCKETS)
+        self._counters = {
+            name: reg.counter(f"serve/{name}")
+            for name in (
+                "accepted", "admitted", "served", "shed", "expired",
+                "abandoned", "errors", "sessions_opened", "sessions_closed",
+                "sessions_refused", "checkpoints_saved", "restored",
+            )
+        }
+
+        self._queue: asyncio.Queue = asyncio.Queue(
+            maxsize=self.settings.queue_depth
+        )
+        self._free_slots = list(range(self.settings.max_clients))
+        self._sessions: dict[int, Session] = {}
+        self._next_session_id = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._draining = False
+        self.drain_reason = ""
+        self._drained = asyncio.Event()
+        self.dispatch_gate = asyncio.Event()
+        self.dispatch_gate.set()
+        self.crashed: BaseException | None = None
+        self.address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str) -> None:
+        self._counters[name].inc()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def stats_snapshot(self) -> dict[str, object]:
+        """Serve counters + latency percentiles (the ``stats`` reply)."""
+        out: dict[str, object] = {
+            f"serve/{name}": counter.value
+            for name, counter in sorted(self._counters.items())
+        }
+        out["serve/queue_depth"] = self._queue.qsize()
+        out["serve/sessions"] = len(self._sessions)
+        out["serve/oram_accesses"] = self.bridge.served
+        for q in (50, 95, 99):
+            out[f"serve/latency_wall_ms/p{q}"] = self.h_wall.percentile(q)
+            out[f"serve/latency_cycles/p{q}"] = self.h_cycles.percentile(q)
+        return out
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Restore state (if asked), bind the socket, start dispatching."""
+        if self.restore and self.checkpointer is not None:
+            loaded = self.checkpointer.load_latest()
+            if loaded is not None:
+                _, state, _ = loaded
+                self.bridge.restore_state(state)
+                self._count("restored")
+        self._server = await asyncio.start_server(
+            self._handle_client, self.settings.host, self.settings.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop(), name="serve-dispatcher"
+        )
+
+    async def run(self, install_signal_handlers: bool = True, on_started=None) -> int:
+        """Serve until drained; returns the process exit code.
+
+        ``SIGTERM``/``SIGINT`` trigger a graceful drain when
+        ``install_signal_handlers`` is set (the CLI path; in-process
+        tests drive :meth:`request_drain` directly).  ``on_started`` is
+        called with the server once the socket is bound.
+        """
+        from repro.exit_codes import EXIT_OK, EXIT_SERVE_FAILED
+
+        await self.start()
+        if on_started is not None:
+            on_started(self)
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(
+                        sig, self.request_drain, f"signal {sig.name}"
+                    )
+                except (NotImplementedError, RuntimeError):
+                    pass
+        await self._drained.wait()
+        await self._shutdown()
+        return EXIT_SERVE_FAILED if self.crashed is not None else EXIT_OK
+
+    def request_drain(self, reason: str = "") -> None:
+        """Begin the graceful drain (idempotent).
+
+        Stops accepting connections, refuses new requests with
+        ``draining``, and queues the drain sentinel *behind* everything
+        already admitted — those requests all complete before exit.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self.drain_reason = reason
+        if self._server is not None:
+            self._server.close()
+        # The sentinel must enter the queue even when it is momentarily
+        # full; admission has already stopped, so depth can only shrink.
+        asyncio.get_running_loop().create_task(self._queue.put(_DRAIN))
+
+    async def _shutdown(self) -> None:
+        if self.checkpointer is not None and self.crashed is None:
+            # Final snapshot so a subsequent --restore resumes from the
+            # exact drained state regardless of the interval phase.
+            self.checkpointer.save(
+                self.bridge.served, self.bridge.snapshot_state()
+            )
+            self._count("checkpoints_saved")
+        for session in list(self._sessions.values()):
+            await session.close()
+        self._sessions.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+
+    # ------------------------------------------------------------------
+    # Admission: the per-client read loop
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = await self._handshake(reader, writer)
+        if session is None:
+            return
+        try:
+            await self._read_loop(reader, session)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            session.closed = True
+            await session.close()
+            self._sessions.pop(session.session_id, None)
+            self._free_slots.append(session.slot)
+            self._free_slots.sort()
+            self._count("sessions_closed")
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Session | None:
+        async def refuse(error: str) -> None:
+            try:
+                writer.write(protocol.encode({"type": "error", "error": error}))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+
+        try:
+            line = await reader.readline()
+            hello = protocol.decode(line) if line else None
+        except (protocol.ProtocolError, ConnectionError, OSError):
+            hello = None
+        if hello is None or hello.get("type") != "hello":
+            await refuse("expected a hello message")
+            return None
+        if self._draining:
+            self._count("sessions_refused")
+            await refuse("draining")
+            return None
+        if not self._free_slots:
+            self._count("sessions_refused")
+            await refuse("server full")
+            return None
+        requested = hello.get("space")
+        space = self.client_space
+        if isinstance(requested, int) and 0 < requested <= self.client_space:
+            space = requested
+        slot = self._free_slots.pop(0)
+        session = Session(
+            session_id=self._next_session_id,
+            slot=slot,
+            base=slot * self.client_space,
+            space=space,
+            writer=writer,
+            window=self.settings.session_window,
+        )
+        self._next_session_id += 1
+        self._sessions[session.session_id] = session
+        session.start()
+        self._count("sessions_opened")
+        session.send({
+            "type": "welcome",
+            "session": session.session_id,
+            "slot": slot,
+            "base": session.base,
+            "space": space,
+        })
+        return session
+
+    async def _read_loop(
+        self, reader: asyncio.StreamReader, session: Session
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            # The slow-reader throttle: no permit, no read.  Every
+            # message holds its permit until its response has drained.
+            await session.window.acquire()
+            line = await reader.readline()
+            if not line:
+                session.window.release()
+                break
+            try:
+                message = protocol.decode(line)
+            except protocol.ProtocolError as exc:
+                self._count("errors")
+                session.send(
+                    {"type": "error", "error": str(exc)}, release_window=True
+                )
+                break
+            kind = message["type"]
+            if kind == "req":
+                self._admit(session, message, loop)
+            elif kind == "digest":
+                session.send(
+                    {
+                        "type": "digest",
+                        "digest": self.bridge.state_digest(),
+                        "served": self.bridge.served,
+                    },
+                    release_window=True,
+                )
+            elif kind == "stats":
+                session.send(
+                    {"type": "stats", "counters": self.stats_snapshot()},
+                    release_window=True,
+                )
+            elif kind == "shutdown":
+                self.request_drain("shutdown message")
+                session.send(
+                    {"type": "ok", "op": "shutdown"}, release_window=True
+                )
+            elif kind == "bye":
+                session.window.release()
+                break
+            else:
+                self._count("errors")
+                session.send(
+                    {"type": "error", "error": f"unknown type {kind!r}"},
+                    release_window=True,
+                )
+
+    def _admit(
+        self,
+        session: Session,
+        message: dict[str, object],
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        self._count("accepted")
+        req_id = message.get("id")
+        req_id = req_id if isinstance(req_id, int) else -1
+        if self._draining:
+            session.send(
+                _resp(req_id, protocol.STATUS_DRAINING), release_window=True
+            )
+            return
+        try:
+            req_id, addr, op = protocol.validate_request(message, session.space)
+        except protocol.ProtocolError as exc:
+            self._count("errors")
+            session.send(
+                _resp(req_id, protocol.STATUS_ERROR, error=str(exc)),
+                release_window=True,
+            )
+            return
+        if self._queue.qsize() >= self.settings.shed_highwater:
+            self._count("shed")
+            session.send(
+                _resp(
+                    req_id,
+                    protocol.STATUS_RETRY_AFTER,
+                    retry_after_ms=self.settings.retry_after_ms,
+                ),
+                release_window=True,
+            )
+            return
+        deadline_ms = message.get("deadline_ms", self.settings.default_deadline_ms)
+        admit_t = loop.time()
+        deadline = (
+            admit_t + deadline_ms / 1000.0
+            if isinstance(deadline_ms, (int, float)) and deadline_ms > 0
+            else None
+        )
+        item = (
+            session, req_id, session.map_addr(addr), op,
+            message.get("value"), admit_t, deadline,
+        )
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self._count("shed")
+            session.send(
+                _resp(
+                    req_id,
+                    protocol.STATUS_RETRY_AFTER,
+                    retry_after_ms=self.settings.retry_after_ms,
+                ),
+                release_window=True,
+            )
+            return
+        self._count("admitted")
+        self.registry.gauge("serve/queue_depth").set(self._queue.qsize())
+
+    # ------------------------------------------------------------------
+    # Dispatch: the single consumer feeding the ORAM bridge
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                item = await self._queue.get()
+                if item is _DRAIN:
+                    break
+                await self.dispatch_gate.wait()
+                self._serve_item(item, loop)
+            # Drain phase: everything admitted before the sentinel has
+            # been consumed above; anything that raced in behind it is
+            # still completed — admitted work is never dropped.
+            while not self._queue.empty():
+                item = self._queue.get_nowait()
+                if item is _DRAIN:
+                    continue
+                await self.dispatch_gate.wait()
+                self._serve_item(item, loop)
+        except ServerCrashed as crash:
+            self.crashed = crash
+        finally:
+            self._drained.set()
+
+    def _serve_item(
+        self,
+        item: tuple,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        session, req_id, addr, op, payload, admit_t, deadline = item
+        if session.closed:
+            # Client vanished mid-request: abandon before spending an
+            # ORAM access on a response nobody will read.
+            self._count("abandoned")
+            session.window.release()
+            return
+        if deadline is not None and loop.time() > deadline:
+            # Deadline expiry beats the access, not the response: queued
+            # work is retired before it wastes controller time.
+            self._count("expired")
+            session.send(_resp(req_id, protocol.STATUS_EXPIRED), release_window=True)
+            return
+        if self.injector is not None:
+            self.injector.before_serve_access(self.bridge.served)
+        access = self.bridge.access(addr, op, payload)
+        wall_ms = (loop.time() - admit_t) * 1000.0
+        self.h_wall.observe(wall_ms)
+        self.h_cycles.observe(access.latency_cycles)
+        self._count("served")
+        self.registry.counter(
+            f"serve/served_from/{access.served_from}"
+        ).inc()
+        response = _resp(
+            req_id,
+            protocol.STATUS_OK,
+            latency_ms=wall_ms,
+            latency_cycles=access.latency_cycles,
+            served_from=access.served_from,
+        )
+        if op == "read":
+            response["value"] = payload_to_jsonable(access.value, strict=False)
+        session.send(response, release_window=True)
+        self._maybe_checkpoint()
+
+    def _maybe_checkpoint(self) -> None:
+        every = self.settings.checkpoint_every
+        if (
+            self.checkpointer is None
+            or every <= 0
+            or self.bridge.served % every != 0
+        ):
+            return
+        self.checkpointer.save(self.bridge.served, self.bridge.snapshot_state())
+        self._count("checkpoints_saved")
+
+
+def _resp(req_id: int, status: str, **extra: object) -> dict[str, object]:
+    out: dict[str, object] = {"type": "resp", "id": req_id, "status": status}
+    out.update(extra)
+    return out

@@ -1,0 +1,142 @@
+"""Per-client session state: address-space slot, outbox, and throttling.
+
+A :class:`Session` owns one TCP connection's server-side state:
+
+* **address-space slot** — each client sees a private address space
+  ``[0, space)``; the session maps it onto the shared ORAM at
+  ``base + addr``.  Slots are recycled lowest-first when clients leave,
+  so the mapping is deterministic for a deterministic arrival order.
+* **bounded outbox + writer task** — responses are queued and written by
+  a dedicated task that awaits TCP drain.  A slow reader therefore backs
+  up its *own* outbox only; nothing global blocks on it.
+* **admission window** — a semaphore of ``window`` in-flight requests.
+  The server's read loop acquires a permit before reading the next
+  request and the writer releases it once the response has fully left
+  the socket buffer.  When a slow client stops draining responses, its
+  window empties and the server simply *stops reading its socket* —
+  bounded memory, per-client fairness, TCP backpressure to the client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.protocol import encode
+
+#: Per-connection kernel write-buffer high-water mark.  Deliberately
+#: small so ``writer.drain()`` engages (and the admission window with
+#: it) as soon as a client stops reading.
+WRITE_BUFFER_HIGH = 16 * 1024
+
+_CLOSE = object()
+
+
+class Session:
+    """One connected client: slot mapping, outbox, throttle window.
+
+    Args:
+        session_id: Monotonic server-wide session ordinal.
+        slot: Address-space slot index (lowest free at accept time).
+        base: First ORAM address of this session's region.
+        space: Number of addresses the client may use.
+        writer: The connection's stream writer.
+        window: Max in-flight (admitted, response not yet drained)
+            requests before the server stops reading this client.
+    """
+
+    def __init__(
+        self,
+        session_id: int,
+        slot: int,
+        base: int,
+        space: int,
+        writer: asyncio.StreamWriter,
+        window: int = 32,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"session window must be >= 1, got {window}")
+        self.session_id = session_id
+        self.slot = slot
+        self.base = base
+        self.space = space
+        self.writer = writer
+        self.window = asyncio.Semaphore(window)
+        self.closed = False
+        self._outbox: asyncio.Queue = asyncio.Queue()
+        self._writer_task: asyncio.Task | None = None
+        transport = writer.transport
+        if transport is not None:
+            transport.set_write_buffer_limits(high=WRITE_BUFFER_HIGH)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the outbox writer task (idempotent)."""
+        if self._writer_task is None:
+            self._writer_task = asyncio.get_running_loop().create_task(
+                self._write_loop(), name=f"session-{self.session_id}-writer"
+            )
+
+    def map_addr(self, addr: int) -> int:
+        """Client-relative address → shared ORAM address."""
+        return self.base + addr
+
+    def send(self, message: dict[str, object], release_window: bool = False) -> None:
+        """Queue one response line; never blocks the caller.
+
+        ``release_window`` marks the message as completing an admitted
+        request: its window permit is returned once the line has drained
+        to the socket (or immediately if the session already died — the
+        permit must never leak).
+        """
+        if self.closed:
+            if release_window:
+                self.window.release()
+            return
+        self._outbox.put_nowait((message, release_window))
+
+    async def _write_loop(self) -> None:
+        writer = self.writer
+        while True:
+            item = await self._outbox.get()
+            if item is _CLOSE:
+                break
+            message, release = item
+            try:
+                writer.write(encode(message))
+                await writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                # Peer vanished mid-write: drop the session; queued
+                # permits are released as their items are consumed.
+                self.closed = True
+            finally:
+                if release:
+                    self.window.release()
+            if self.closed:
+                break
+        # Drain remaining permits so admitted-but-unwritten work never
+        # wedges accounting.  A second _CLOSE can land here when the
+        # client handler and server shutdown close concurrently.
+        while not self._outbox.empty():
+            item = self._outbox.get_nowait()
+            if item is _CLOSE:
+                continue
+            _, release = item
+            if release:
+                self.window.release()
+
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Flush the outbox, stop the writer task, close the transport."""
+        self.closed = True
+        if self._writer_task is not None:
+            self._outbox.put_nowait(_CLOSE)
+            try:
+                await asyncio.wait_for(self._writer_task, timeout=2.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                self._writer_task.cancel()
+            self._writer_task = None
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, RuntimeError, OSError):
+            pass

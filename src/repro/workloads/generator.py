@@ -7,7 +7,9 @@ composes each benchmark's *memory behaviour* out of four primitives
 * ``stream``        — sequential scans (libquantum-style);
 * ``pointer_chase`` — dependent uniform-random accesses (mcf-style);
 * ``hot_cold``      — skewed reuse of a small hot set (h264ref-style);
-* ``phases``        — time-multiplexing of other primitives (hmmer-style).
+* ``phases``        — time-multiplexing of other primitives (hmmer-style);
+* ``zipf``          — heavy-tailed ranked popularity with optional hotspot
+  rotation (cloud key-value traffic; feeds ``repro load``).
 
 Every primitive is driven by a caller-supplied :class:`random.Random`, so
 a (workload, seed) pair is fully deterministic.
@@ -170,6 +172,88 @@ def conflict_walk(
             if len(out) >= n:
                 break
         pos += 1
+    return out
+
+
+class ZipfSampler:
+    """Seeded sampler over ranks ``0..region-1`` with ``p(r) ∝ (r+1)^-alpha``.
+
+    The inverse-CDF table is precomputed once (O(region)); each draw is a
+    binary search (O(log region)).  Rank 0 is the most popular — callers
+    map ranks onto addresses, so the hot set is stable by construction,
+    exactly the reuse shape HD-Dup's Hot Address Cache captures and the
+    skew cloud traces exhibit (PAPERS.md, "Optimizing Path ORAM for Cloud
+    Storage Applications").
+
+    The sampler is deliberately *stateless between draws* apart from the
+    caller's ``Random``, so it is as serializable as the other
+    primitives: (region, alpha, seed) reproduces the stream bit-exactly
+    in any process.
+    """
+
+    __slots__ = ("region", "alpha", "_cdf", "_total")
+
+    def __init__(self, region: int, alpha: float = 1.2) -> None:
+        if region < 1:
+            raise ValueError(f"region must be positive, got {region}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.region = region
+        self.alpha = alpha
+        cdf = []
+        total = 0.0
+        for rank in range(region):
+            total += (rank + 1) ** -alpha
+            cdf.append(total)
+        self._cdf = cdf
+        self._total = total
+
+    def sample(self, rng: Random) -> int:
+        """Draw one rank in ``[0, region)`` using ``rng``."""
+        from bisect import bisect_left
+
+        return bisect_left(self._cdf, rng.random() * self._total)
+
+
+def zipf(
+    rng: Random,
+    n: int,
+    base: int,
+    region: int,
+    alpha: float = 1.2,
+    hotspot_interval: int = 0,
+    work: int = 12,
+    write_frac: float = 0.1,
+    dependent: bool = False,
+) -> list[MemoryRequest]:
+    """Heavy-tailed ranked-popularity accesses (cloud key-value traffic).
+
+    Popularity follows a Zipf law with exponent ``alpha``: rank ``r``
+    receives ``(r+1)^-alpha`` of the traffic, so a tiny head of the
+    region absorbs most requests while the tail stays long — the skew
+    both ``repro load`` and the ``zipf`` workload replay against the
+    serving stack.
+
+    ``hotspot_interval > 0`` additionally *rotates* the popular set: every
+    that many requests the rank→address mapping shifts by a seeded random
+    offset, modelling trending keys (a hot object going cold as another
+    heats up).  Rotation keeps the instantaneous skew identical while
+    defeating any cache tuned to one static hot set.
+    """
+    if region < 1:
+        raise ValueError(f"region must be positive, got {region}")
+    sampler = ZipfSampler(region, alpha)
+    out: list[MemoryRequest] = []
+    offset = 0
+    rand = rng.random
+    append = out.append
+    sample = sampler.sample
+    for i in range(n):
+        if hotspot_interval > 0 and i > 0 and i % hotspot_interval == 0:
+            offset = rng.randrange(region)
+        addr = base + (sample(rng) + offset) % region
+        op = "write" if rand() < write_frac else "read"
+        append(MemoryRequest(addr=addr, op=op, work=work, dependent=dependent))
     return out
 
 

@@ -43,6 +43,7 @@ from repro.workloads.generator import (
     phases,
     pointer_chase,
     stream,
+    zipf,
 )
 
 # The scaled experiment LLC (CacheConfig.scaled) holds 1024 lines in 128
@@ -199,6 +200,15 @@ def _gcc(rng: Random, n: int, space: int) -> list[MemoryRequest]:
     return out[:n]
 
 
+def _zipf(rng: Random, n: int, space: int) -> list[MemoryRequest]:
+    # Cloud key-value traffic: Zipf(1.2) over half the address space with
+    # slow hotspot rotation (trending keys).  This is the default address
+    # distribution of `repro load` and a sweep-able batch workload here.
+    region = _region(space, 0.5)
+    return zipf(rng, n, 0, region, alpha=1.2, hotspot_interval=4096,
+                work=20, write_frac=0.1)
+
+
 WORKLOADS: dict[str, Workload] = {
     "mcf": Workload(
         "mcf", "large pointer-chasing working set, memory bound", "high", _mcf
@@ -231,6 +241,10 @@ WORKLOADS: dict[str, Workload] = {
     "gcc": Workload(
         "gcc", "mixed pointer/stream compilation heap", "medium", _gcc
     ),
+    "zipf": Workload(
+        "zipf", "heavy-tailed cloud key-value skew with hotspot rotation",
+        "high", _zipf,
+    ),
 }
 
 
@@ -244,8 +258,8 @@ def get_workload(name: str) -> Workload:
 
 
 def workload_names() -> list[str]:
-    """The paper's ten benchmarks, in the order figures list them."""
+    """The paper's ten benchmarks (figure order) plus the cloud extras."""
     return [
         "mcf", "libquantum", "omnetpp", "hmmer", "sjeng",
-        "h264ref", "namd", "astar", "bzip2", "gcc",
+        "h264ref", "namd", "astar", "bzip2", "gcc", "zipf",
     ]

@@ -9,9 +9,12 @@ from repro.faults import (
     BitFlip,
     CacheCorruption,
     CacheOsError,
+    ClientDisconnect,
     FaultPlan,
     FaultSpecError,
     PosmapCorrupt,
+    ServerCrash,
+    SlowClient,
     StashPressure,
     WorkerCrash,
     WorkerHang,
@@ -27,6 +30,9 @@ ALL_SPECS = [
     StashPressure(at_access=10, window=5, squeeze=3),
     BitFlip(at_access=42),
     PosmapCorrupt(at_access=7, addr=12),
+    ClientDisconnect(at_request=4),
+    SlowClient(at_request=2, stall_s=0.25),
+    ServerCrash(at_access=100, mode="exit"),
 ]
 
 
@@ -40,6 +46,9 @@ class TestRegistry:
             "stash-pressure",
             "bit-flip",
             "posmap-corrupt",
+            "client-disconnect",
+            "slow-client",
+            "server-crash",
         }
 
     def test_kinds_match_classes(self):
@@ -65,6 +74,8 @@ class TestDictRoundTrip:
             WorkerCrash(mode="shrug")
         with pytest.raises(FaultSpecError):
             CacheCorruption(mode="shred")
+        with pytest.raises(FaultSpecError):
+            ServerCrash(mode="gently")
 
 
 class TestParseSpec:

@@ -1,0 +1,76 @@
+"""Wire-protocol unit tests."""
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        message = {"type": "req", "id": 7, "op": "read", "addr": 12}
+        line = protocol.encode(message)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert protocol.decode(line) == message
+
+    def test_encode_is_compact_single_line(self):
+        line = protocol.encode({"type": "resp", "id": 1, "status": "ok"})
+        assert b" " not in line[:-1]
+        assert json.loads(line)["status"] == "ok"
+
+    def test_decode_rejects_bad_json(self):
+        with pytest.raises(protocol.ProtocolError, match="bad JSON"):
+            protocol.decode(b"{nope\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError, match="must be an object"):
+            protocol.decode(b"[1, 2]\n")
+
+    def test_decode_rejects_missing_type(self):
+        with pytest.raises(protocol.ProtocolError, match="type"):
+            protocol.decode(b'{"id": 3}\n')
+
+    def test_decode_rejects_oversized_line(self):
+        huge = b'{"type": "' + b"x" * protocol.MAX_LINE_BYTES + b'"}\n'
+        with pytest.raises(protocol.ProtocolError, match="exceeds"):
+            protocol.decode(huge)
+
+
+class TestValidateRequest:
+    def test_accepts_minimal_read(self):
+        req_id, addr, op = protocol.validate_request(
+            {"type": "req", "id": 3, "addr": 5}, space=10
+        )
+        assert (req_id, addr, op) == (3, 5, "read")
+
+    def test_accepts_write(self):
+        _, _, op = protocol.validate_request(
+            {"type": "req", "id": 0, "addr": 0, "op": "write", "value": "v"},
+            space=1,
+        )
+        assert op == "write"
+
+    @pytest.mark.parametrize("addr", [-1, 10, "3", None, 2.5])
+    def test_rejects_bad_addr(self, addr):
+        with pytest.raises(protocol.ProtocolError, match="addr"):
+            protocol.validate_request(
+                {"type": "req", "id": 1, "addr": addr}, space=10
+            )
+
+    def test_rejects_bad_op(self):
+        with pytest.raises(protocol.ProtocolError, match="op"):
+            protocol.validate_request(
+                {"type": "req", "id": 1, "addr": 1, "op": "delete"}, space=10
+            )
+
+    def test_rejects_missing_id(self):
+        with pytest.raises(protocol.ProtocolError, match="id"):
+            protocol.validate_request({"type": "req", "addr": 1}, space=10)
+
+    def test_retryable_statuses(self):
+        assert protocol.STATUS_RETRY_AFTER in protocol.RETRYABLE_STATUSES
+        assert protocol.STATUS_DRAINING in protocol.RETRYABLE_STATUSES
+        assert protocol.STATUS_EXPIRED not in protocol.RETRYABLE_STATUSES
+        assert protocol.STATUS_OK not in protocol.RETRYABLE_STATUSES

@@ -177,3 +177,68 @@ def test_primitives_respect_bounds(n, region, seed):
     ):
         assert len(reqs) == n
         assert all(5 <= r.addr < 5 + region for r in reqs)
+
+
+class TestZipf:
+    def test_deterministic_and_in_bounds(self):
+        from repro.workloads.generator import zipf
+
+        a = zipf(Random(3), 2000, base=10, region=500)
+        b = zipf(Random(3), 2000, base=10, region=500)
+        assert [r.addr for r in a] == [r.addr for r in b]
+        assert all(10 <= r.addr < 510 for r in a)
+        assert len(a) == 2000
+
+    def test_head_absorbs_most_traffic(self):
+        from collections import Counter
+
+        from repro.workloads.generator import zipf
+
+        reqs = zipf(Random(1), 20000, base=0, region=1000, alpha=1.2)
+        counts = Counter(r.addr for r in reqs)
+        head = sum(count for _, count in counts.most_common(10))
+        # Ten of a thousand addresses take a dominant share of traffic.
+        assert head / len(reqs) > 0.3
+        # ...but the tail is long: many distinct addresses still appear.
+        assert len(counts) > 300
+
+    def test_alpha_zero_is_uniform(self):
+        from collections import Counter
+
+        from repro.workloads.generator import zipf
+
+        reqs = zipf(Random(1), 20000, base=0, region=100, alpha=0.0)
+        counts = Counter(r.addr for r in reqs)
+        head = sum(count for _, count in counts.most_common(5))
+        assert head / len(reqs) < 0.12
+
+    def test_hotspot_rotation_moves_the_hot_set(self):
+        from collections import Counter
+
+        from repro.workloads.generator import zipf
+
+        reqs = zipf(
+            Random(2), 4000, base=0, region=1000, alpha=1.5,
+            hotspot_interval=2000,
+        )
+        first = Counter(r.addr for r in reqs[:2000]).most_common(1)[0][0]
+        second = Counter(r.addr for r in reqs[2000:]).most_common(1)[0][0]
+        assert first != second
+
+    def test_sampler_validates_arguments(self):
+        from repro.workloads.generator import ZipfSampler
+
+        with pytest.raises(ValueError):
+            ZipfSampler(region=0)
+        with pytest.raises(ValueError):
+            ZipfSampler(region=10, alpha=-1.0)
+
+    def test_sampler_rank_zero_most_popular(self):
+        from collections import Counter
+
+        from repro.workloads.generator import ZipfSampler
+
+        sampler = ZipfSampler(region=50, alpha=1.2)
+        rng = Random(9)
+        counts = Counter(sampler.sample(rng) for _ in range(10000))
+        assert counts.most_common(1)[0][0] == 0
