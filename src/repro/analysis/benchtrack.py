@@ -120,6 +120,104 @@ def measure(
     }
 
 
+def sharded_bench_key(
+    config: SystemConfig, workload: str, requests: int, seed: int, shards: int
+) -> str:
+    """Fingerprint for sharded-serve throughput entries.
+
+    Includes the shard count (4-shard and 8-shard runs are different
+    experiments) and a ``mode`` marker so a sharded entry can never be
+    compared against a single-controller :func:`measure` entry for the
+    same config.
+    """
+    return stable_hash({
+        "config": config.to_dict(),
+        "workload": workload,
+        "requests": requests,
+        "seed": seed,
+        "shards": shards,
+        "mode": "sharded-serve",
+    })
+
+
+def measure_sharded(
+    config: SystemConfig,
+    workload: str,
+    requests: int,
+    seed: int = 1,
+    repeats: int = 3,
+    shards: int = 4,
+) -> dict[str, object]:
+    """Time ``requests`` padded dispatch rounds through an in-proc fleet.
+
+    Each pass builds a fresh :class:`~repro.shard.supervisor.ShardSupervisor`
+    (inproc housing, periodic checkpoints off — the fleet's steady-state
+    dispatch cost is the tracked statistic, not snapshot serialization)
+    in a throwaway state directory and drives the workload's request
+    stream through padded rounds.  The final pass's ``fleet/`` counters
+    are snapshotted; they are deterministic for the fingerprint, so any
+    drift under ``--compare`` is a behaviour change.
+    """
+    import shutil
+    import tempfile
+
+    from repro.shard import ShardSettings, ShardSupervisor
+    from repro.workloads.spec import get_workload
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    settings = ShardSettings(
+        num_shards=shards, mode="inproc", checkpoint_every=0
+    )
+
+    def one_pass() -> tuple[float, ShardSupervisor]:
+        tmp = tempfile.mkdtemp(prefix="repro-bench-shards-")
+        sup = ShardSupervisor(config, seed=seed, state_dir=tmp,
+                              settings=settings)
+        try:
+            sup.start()
+            reqs = get_workload(workload).requests(
+                seed, requests, sup.num_blocks
+            )
+            start = perf_counter()
+            for req in reqs:
+                sup.access(req.addr, req.op,
+                           req.addr if req.op == "write" else None)
+            elapsed = perf_counter() - start
+        finally:
+            sup.close()
+            shutil.rmtree(tmp, ignore_errors=True)
+        return elapsed, sup
+
+    wall: list[float] = []
+    sup = None
+    for _ in range(repeats):
+        elapsed, sup = one_pass()
+        wall.append(elapsed)
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    sup.export_metrics(registry)
+    counters = {
+        name: counter.value
+        for name, counter in sorted(registry._counters.items())
+        if name.startswith("fleet/")
+    }
+    return {
+        "key": sharded_bench_key(config, workload, requests, seed, shards),
+        "recorded_at": datetime.now(timezone.utc).isoformat(),
+        "git": git_describe(),
+        "host": host_slug(),
+        "scheme": config.name,
+        "workload": workload,
+        "requests": requests,
+        "seed": seed,
+        "shards": shards,
+        "wall_s": [round(w, 6) for w in wall],
+        "counters": counters,
+    }
+
+
 class BenchHistory:
     """Append-only per-host benchmark history (``BENCH_<host>.json``).
 
@@ -284,6 +382,8 @@ def summarize_entry(entry: dict[str, object]) -> list[list[object]]:
         ["requests x repeats",
          f"{entry.get('requests')} x {len(wall)}"],
     ]
+    if entry.get("shards"):
+        rows.append(["shards (padded dispatch)", entry["shards"]])
     if wall:
         rows.append(["wall best / mean",
                      f"{min(wall):.3f}s / {sum(wall) / len(wall):.3f}s"])

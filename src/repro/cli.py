@@ -578,10 +578,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
     config = build_config(args)
     print(f"config: {config.describe()}")
     history = benchtrack.BenchHistory(args.history_dir, host=args.host)
-    entry = benchtrack.measure(
-        config, args.workload, args.requests,
-        seed=args.seed, repeats=args.repeats,
-    )
+    if args.serve_shards > 1:
+        entry = benchtrack.measure_sharded(
+            config, args.workload, args.requests,
+            seed=args.seed, repeats=args.repeats, shards=args.serve_shards,
+        )
+    else:
+        entry = benchtrack.measure(
+            config, args.workload, args.requests,
+            seed=args.seed, repeats=args.repeats,
+        )
     if args.host is not None:
         # Pin the entry to the logical host name so CI baselines recorded
         # on different runner machines stay comparable by construction.
@@ -638,11 +644,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import OramServer, ServeSettings
 
     config = build_config(args)
-    if args.restore and not args.checkpoint_dir:
-        raise SystemExit("--restore needs --checkpoint-dir")
+    sharded = args.shards > 1
+    if args.restore and not (args.checkpoint_dir or sharded):
+        raise SystemExit("--restore needs --checkpoint-dir (or --shards)")
     injector = _parse_fault_plan(args)
     checkpointer = (
-        Checkpointer(args.checkpoint_dir) if args.checkpoint_dir else None
+        Checkpointer(args.checkpoint_dir)
+        if args.checkpoint_dir and not sharded else None
     )
     settings = ServeSettings(
         host=args.host,
@@ -666,6 +674,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
         observer.logger.write_record(
             run_metadata(config, mode="serve", seed=args.seed)
         )
+    supervisor = None
+    shard_trace = None
+    if sharded:
+        from repro.security import ShardTraceObserver
+        from repro.shard import ShardSettings, ShardSupervisor
+
+        if args.shard_trace:
+            shard_trace = ShardTraceObserver()
+        supervisor = ShardSupervisor(
+            config,
+            seed=args.seed,
+            state_dir=args.shard_dir,
+            settings=ShardSettings(
+                num_shards=args.shards,
+                mode=args.shard_mode,
+                degraded=args.degraded_mode,
+                checkpoint_every=args.checkpoint_every,
+                access_timeout_s=args.shard_timeout_s,
+                max_respawns=args.max_respawns,
+                padded=not args.unpadded_dispatch,
+            ),
+            injector=injector,
+            trace=shard_trace,
+        )
     server = OramServer(
         config,
         seed=args.seed,
@@ -675,11 +707,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         checkpointer=checkpointer,
         restore=args.restore,
         observer=observer,
+        bridge=supervisor,
     )
 
     def announce(srv) -> None:
         host, port = srv.address
         print(f"serving {config.describe()}", flush=True)
+        if supervisor is not None:
+            print(f"sharded backend: {args.shards} shards "
+                  f"({args.shard_mode}, degraded={args.degraded_mode}, "
+                  f"{supervisor.num_blocks} fleet blocks)", flush=True)
         print(f"listening on {host}:{port} "
               f"({settings.max_clients} slots x {srv.client_space} blocks); "
               f"drain with SIGTERM or a shutdown message", flush=True)
@@ -696,10 +733,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
     stats = server.stats_snapshot()
     for key in sorted(stats):
         print(f"  {key}: {stats[key]}")
+    if supervisor is not None:
+        report = supervisor.fleet_report()
+        print("fleet report:")
+        for key in sorted(report):
+            print(f"  {key}: {report[key]}")
+        supervisor.export_metrics(registry)
     if injector is not None and injector.fired():
         print("fired faults (deterministic for this plan+seed):")
         for entry in injector.fired():
             print(f"  {entry}")
+    if shard_trace is not None:
+        import json
+
+        with open(args.shard_trace, "w") as stream:
+            for round_no, shard in shard_trace.events:
+                stream.write(json.dumps({"round": round_no, "shard": shard}))
+                stream.write("\n")
+        print(f"wrote inter-shard dispatch trace (JSONL): "
+              f"{args.shard_trace} ({len(shard_trace)} slots)")
     if args.metrics:
         with open(args.metrics, "w") as stream:
             registry.write_json(
@@ -984,6 +1036,12 @@ def make_parser() -> argparse.ArgumentParser:
              "(0.25 = 25%%)",
     )
     bench_p.add_argument(
+        "--serve-shards", type=int, default=1, metavar="N",
+        help="benchmark padded dispatch rounds through an in-proc "
+             "N-shard fleet instead of the single-controller "
+             "simulator (shard count is part of the fingerprint)",
+    )
+    bench_p.add_argument(
         "--min-repeats", type=int, default=2, metavar="N",
         help="gate (never flag) comparisons where either side has fewer "
              "timing repeats than N",
@@ -1072,8 +1130,45 @@ def make_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--inject", action="append", default=[],
                          metavar="SPEC",
                          help="fault spec, e.g. "
-                              "server-crash:at_access=100,mode=exit")
+                              "server-crash:at_access=100,mode=exit or "
+                              "shard-crash:shard=1,at_access=40")
     serve_p.add_argument("--fault-seed", type=int, default=0)
+    serve_p.add_argument("--shards", type=int, default=1, metavar="N",
+                         help="shard the address space over N supervised "
+                              "workers behind a consistent-hash ring "
+                              "(1 = single-bridge backend, the default)")
+    serve_p.add_argument("--shard-mode", choices=["inproc", "process"],
+                         default="inproc",
+                         help="house shards in the server process "
+                              "(deterministic) or in spawned worker "
+                              "processes with pipe-timeout liveness")
+    serve_p.add_argument("--degraded-mode", choices=["deny", "allow"],
+                         default="allow",
+                         help="on a shard death: recover synchronously "
+                              "inside the failed access (deny) or keep "
+                              "serving healthy shards while the dead one "
+                              "recovers in the background (allow)")
+    serve_p.add_argument("--shard-dir", default=".repro-shards",
+                         metavar="DIR",
+                         help="durable root for per-shard intent logs "
+                              "and checkpoints (recovery + --restore "
+                              "read it; must be clean for a fresh fleet)")
+    serve_p.add_argument("--shard-timeout-s", type=float, default=5.0,
+                         metavar="S",
+                         help="per-command liveness budget for "
+                              "process-mode shards (a hang past this is "
+                              "treated as a death)")
+    serve_p.add_argument("--max-respawns", type=int, default=3, metavar="N",
+                         help="recovery attempts per shard before the "
+                              "fleet declares the death unrecoverable "
+                              f"(exit {EXIT_SERVE_FAILED})")
+    serve_p.add_argument("--shard-trace", metavar="FILE",
+                         help="dump the adversary-visible inter-shard "
+                              "dispatch stream (round, shard) as JSONL")
+    serve_p.add_argument("--unpadded-dispatch", action="store_true",
+                         help="insecure baseline: send each request only "
+                              "to its owning shard (leaks shard-locality; "
+                              "exists for the distinguisher tests)")
     serve_p.set_defaults(fn=cmd_serve)
 
     load_p = sub.add_parser(

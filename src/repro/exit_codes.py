@@ -18,8 +18,12 @@ constant                      code  meaning
 ``EXIT_TRACE_INVALID``           5  ``trace analyze`` found a span tree violating
                                     the cycle-exact exclusive-time invariant
 ``EXIT_SERVE_FAILED``            6  ``serve`` aborted before a clean drain
-                                    (fatal server error / injected crash), or
-                                    ``load`` finished with zero served requests
+                                    (fatal server error / injected crash), the
+                                    shard fleet failed unrecoverably (torn
+                                    intent log mid-history or respawn budget
+                                    exhausted -- a degraded-mode recovery that
+                                    drains cleanly still exits 0), or ``load``
+                                    finished with zero served requests
 ``EXIT_INTERRUPTED``           130  Ctrl-C; completed sweep points are flushed
                                     and resumable
 ============================  ====  ===============================================

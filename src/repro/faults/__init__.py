@@ -12,6 +12,11 @@ PR 8 extends the taxonomy to the serving seams (DESIGN.md §10):
 misbehaviour and ``server-crash`` kills ``repro serve`` between ORAM
 accesses — all deterministic for a given plan + seed.
 
+PR 9 extends it to the sharded fleet (DESIGN.md §11): ``shard-crash`` /
+``shard-hang`` kill or stall one shard worker at a chosen intent
+ordinal, and ``shard-checkpoint-corrupt`` tears the shard's newest
+snapshot right before the supervisor reloads it.
+
 Try it from the shell::
 
     python -m repro faults --list
@@ -25,6 +30,7 @@ from repro.faults.injector import (
     FaultPlan,
     InjectedCrash,
     ServerCrashed,
+    ShardDied,
 )
 from repro.faults.invariants import (
     InvariantReport,
@@ -41,6 +47,9 @@ from repro.faults.spec import (
     FaultSpecError,
     PosmapCorrupt,
     ServerCrash,
+    ShardCheckpointCorrupt,
+    ShardCrash,
+    ShardHang,
     SlowClient,
     StashPressure,
     WorkerCrash,
@@ -66,6 +75,10 @@ __all__ = [
     "RuntimeInvariants",
     "ServerCrash",
     "ServerCrashed",
+    "ShardCheckpointCorrupt",
+    "ShardCrash",
+    "ShardDied",
+    "ShardHang",
     "SlowClient",
     "StashPressure",
     "WorkerCrash",

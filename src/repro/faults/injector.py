@@ -39,6 +39,9 @@ from repro.faults.spec import (
     FaultSpec,
     PosmapCorrupt,
     ServerCrash,
+    ShardCheckpointCorrupt,
+    ShardCrash,
+    ShardHang,
     SlowClient,
     StashPressure,
     WorkerCrash,
@@ -58,6 +61,47 @@ class ServerCrashed(RuntimeError):
     The in-process serve tests catch this to simulate the process dying
     between two ORAM accesses; ``mode="exit"`` skips the exception and
     hard-kills the process instead.
+    """
+
+
+class ShardDied(RuntimeError):
+    """One shard of a sharded fleet stopped mid-access.
+
+    Raised by ``shard-crash``/``shard-hang`` specs in ``mode="exception"``
+    (or their in-process degradations), and by the
+    :class:`~repro.shard.supervisor.ShardSupervisor` itself when a worker
+    pipe breaks or times out.  Carries the shard index so the supervisor
+    knows which partition to respawn.
+    """
+
+    def __init__(self, shard: int, reason: str) -> None:
+        super().__init__(f"shard {shard} died: {reason}")
+        self.shard = shard
+        self.reason = reason
+
+
+class ShardUnavailable(RuntimeError):
+    """A request's owning shard is down (``degraded="allow"`` only).
+
+    The serve layer parks the request and re-dispatches it after the
+    background recovery finishes; it is never counted served, expired,
+    or abandoned while parked, so the fleet accounting identity holds.
+    (Defined here, next to :class:`ShardDied`, so the serve layer can
+    catch it without importing the shard package — which imports the
+    serve bridge.)
+    """
+
+    def __init__(self, shard: int) -> None:
+        super().__init__(f"shard {shard} is down; request parked")
+        self.shard = shard
+
+
+class FleetFailed(RuntimeError):
+    """A sharded fleet cannot continue: some shard is unrecoverable.
+
+    Raised when a shard's intent log is torn mid-history (the replayable
+    truth is gone) or its respawn budget is exhausted (the fault is not
+    transient).  The serve layer maps this to ``EXIT_SERVE_FAILED``.
     """
 
 
@@ -167,6 +211,80 @@ class FaultInjector:
                 raise ServerCrashed(
                     f"injected server crash before access {access_index}"
                 )
+
+    def before_shard_access(self, shard: int, ordinal: int) -> None:
+        """Fire ``shard-crash``/``shard-hang`` specs before a shard's
+        intent ``ordinal``.
+
+        Called by the shard worker (process mode) or the supervisor's
+        in-process handle just before applying the intent with that
+        0-based per-shard ordinal.  One-shot per spec, like the client
+        faults: the post-respawn *replay* of the same ordinals runs with
+        fault firing suppressed, and live re-execution must not re-kill
+        the freshly recovered shard.
+        """
+        for spec in self._specs(ShardHang):
+            if (
+                spec.shard == shard
+                and spec.at_access == ordinal
+                and spec not in self._client_fired
+            ):
+                self._client_fired.add(spec)
+                self.log.append(
+                    f"shard-hang@shard{shard}/access{ordinal}:{spec.hang_s}s"
+                )
+                if self.in_worker:
+                    time.sleep(spec.hang_s)
+                else:
+                    raise ShardDied(shard, "injected hang")
+        for spec in self._specs(ShardCrash):
+            if (
+                spec.shard == shard
+                and spec.at_access == ordinal
+                and spec not in self._client_fired
+            ):
+                self._client_fired.add(spec)
+                self.log.append(
+                    f"shard-crash@shard{shard}/access{ordinal}:{spec.mode}"
+                )
+                if spec.mode == "exit" and self.in_worker:
+                    os._exit(71)
+                raise ShardDied(shard, "injected crash")
+
+    def corrupt_shard_checkpoint(self, shard: int, directory) -> None:
+        """Damage shard ``shard``'s newest checkpoint before a reload.
+
+        Called by the supervisor at the top of a recovery, before
+        :meth:`~repro.system.checkpoint.Checkpointer.load_latest` walks
+        the directory.  One-shot per spec; a recovery that finds no
+        checkpoint files is a silent no-op (nothing to corrupt — the
+        fall-back-to-replay path is already the one being exercised).
+        """
+        from pathlib import Path
+
+        specs = [
+            s
+            for s in self._specs(ShardCheckpointCorrupt)
+            if s.shard == shard and s not in self._client_fired
+        ]
+        if not specs:
+            return
+        files = sorted(Path(directory).glob("ckpt-*.json"), reverse=True)
+        if not files:
+            return
+        newest = files[0]
+        size = newest.stat().st_size
+        for spec in specs:
+            self._client_fired.add(spec)
+            self.log.append(
+                f"shard-checkpoint-corrupt@shard{shard}:{spec.mode}"
+            )
+            if spec.mode == "truncate":
+                cut = self.rng.randrange(max(size, 1))
+                with open(newest, "r+b") as stream:
+                    stream.truncate(cut)
+            else:
+                newest.write_bytes(b"\x00garbage\xff" * 4)
 
     def client_disconnect_after(self, request_index: int) -> bool:
         """Whether the load generator should abort its socket after

@@ -38,6 +38,15 @@ kind                      what it models
 ``server-crash``          the serve process dying between two ORAM accesses
                           (``repro serve`` restarts with ``--restore`` and
                           resumes from the last checkpoint bit-identically)
+``shard-crash``           one shard worker of a sharded fleet dying at a
+                          given intent ordinal (the supervisor respawns it
+                          from checkpoint + intent-log replay)
+``shard-hang``            a shard worker that stops answering (the
+                          supervisor's access timeout must declare it dead
+                          and recover exactly like a crash)
+``shard-checkpoint-corrupt``  a shard's newest checkpoint file torn or
+                          rotted at recovery time (recovery must fall back
+                          to an older snapshot or a from-scratch replay)
 ========================  =====================================================
 """
 
@@ -253,11 +262,86 @@ class ServerCrash(FaultSpec):
                                  f"'exception' or 'exit', got {self.mode!r}")
 
 
+@dataclass(slots=True, frozen=True)
+class ShardCrash(FaultSpec):
+    """Kill shard ``shard`` of a sharded fleet before intent ``at_access``.
+
+    Fires in :meth:`repro.faults.injector.FaultInjector.before_shard_access`
+    when the shard's intent ordinal (its position in the per-shard
+    append-only intent log, real and dummy slots alike) reaches
+    ``at_access``.  ``mode="exit"`` hard-kills a shard *worker process*
+    (``os._exit``) — the CI-smoke form; in-process shards degrade it to
+    the exception form.  ``mode="exception"`` raises
+    :class:`~repro.faults.injector.ShardDied`, which the supervisor
+    treats exactly like a dead pipe.  One-shot per spec: recovery replay
+    must not re-trigger the crash or the shard could never come back.
+    """
+
+    kind = "shard-crash"
+
+    shard: int = 0
+    at_access: int = 0
+    mode: str = "exception"  # exception | exit
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("exception", "exit"):
+            raise FaultSpecError(f"shard-crash mode must be "
+                                 f"'exception' or 'exit', got {self.mode!r}")
+
+
+@dataclass(slots=True, frozen=True)
+class ShardHang(FaultSpec):
+    """Make shard ``shard`` stop answering before intent ``at_access``.
+
+    In a shard *worker process* the worker sleeps ``hang_s`` seconds
+    mid-command, so the supervisor's per-access timeout expires and the
+    heartbeat ladder declares the shard dead (then kills and respawns
+    it).  In-process shards cannot usefully sleep on the event loop, so
+    the hang degrades to :class:`~repro.faults.injector.ShardDied` —
+    the post-detection behaviour is identical either way.  One-shot per
+    spec, like ``shard-crash``.
+    """
+
+    kind = "shard-hang"
+
+    shard: int = 0
+    at_access: int = 0
+    hang_s: float = 5.0
+
+
+@dataclass(slots=True, frozen=True)
+class ShardCheckpointCorrupt(FaultSpec):
+    """Corrupt shard ``shard``'s newest checkpoint at recovery time.
+
+    Fires in
+    :meth:`repro.faults.injector.FaultInjector.corrupt_shard_checkpoint`
+    when the supervisor is about to reload the shard's state:
+    ``mode="truncate"`` cuts the newest checkpoint file at a seeded
+    offset (a torn write), ``mode="garbage"`` overwrites it with
+    non-JSON bytes.  :meth:`~repro.system.checkpoint.Checkpointer.load_latest`
+    must skip the damaged file and fall back to an older snapshot — or,
+    with none left, to a from-scratch intent-log replay.  One-shot per
+    spec.
+    """
+
+    kind = "shard-checkpoint-corrupt"
+
+    shard: int = 0
+    mode: str = "truncate"  # truncate | garbage
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("truncate", "garbage"):
+            raise FaultSpecError(
+                f"shard-checkpoint-corrupt mode must be "
+                f"'truncate' or 'garbage', got {self.mode!r}")
+
+
 FAULT_KINDS: dict[str, type[FaultSpec]] = {
     cls.kind: cls
     for cls in (WorkerCrash, WorkerHang, CacheCorruption, CacheOsError,
                 StashPressure, BitFlip, PosmapCorrupt,
-                ClientDisconnect, SlowClient, ServerCrash)
+                ClientDisconnect, SlowClient, ServerCrash,
+                ShardCrash, ShardHang, ShardCheckpointCorrupt)
 }
 
 

@@ -131,6 +131,29 @@ def merge_snapshot(
         hist.sum += float(snap["sum"])
 
 
+def merge_labeled_snapshots(
+    registry: MetricsRegistry,
+    snapshots: dict[object, dict[str, object]],
+    label: str,
+    rollup_prefix: str = "",
+) -> int:
+    """Merge indexed snapshots under ``label/<index>/`` + one rollup.
+
+    The sharded serve path uses this for its fleet telemetry: each
+    shard's registry snapshot lands once under ``shard/<n>/...`` (the
+    per-partition breakdown) and once under ``rollup_prefix`` (e.g.
+    ``fleet/...`` — counter sum / gauge watermark union / histogram
+    bucket add across the whole fleet).  Iteration is in sorted-index
+    order, so the rollup is deterministic regardless of which shard
+    finished what first.  Returns the number of snapshots merged.
+    """
+    for index in sorted(snapshots, key=str):
+        snapshot = snapshots[index]
+        merge_snapshot(registry, snapshot, prefix=f"{label}/{index}/")
+        merge_snapshot(registry, snapshot, prefix=rollup_prefix)
+    return len(snapshots)
+
+
 class TelemetryAggregator:
     """Collects per-point worker snapshots and merges them at sweep end.
 

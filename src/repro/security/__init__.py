@@ -2,6 +2,7 @@
 
 from repro.security.adversary import (
     AccessPatternObserver,
+    ShardTraceObserver,
     chi_square_uniformity,
     lag_autocorrelation,
     leaf_histogram,
@@ -13,11 +14,14 @@ from repro.security.distinguisher import (
     observable_trace,
     rrwp_rate,
     scan_sequence,
+    shard_rrwp_rate,
+    shard_trace_advantage,
 )
 
 __all__ = [
     "AccessPatternObserver",
     "CounterOtp",
+    "ShardTraceObserver",
     "chi_square_uniformity",
     "cyclic_sequence",
     "distinguishing_gap",
@@ -27,4 +31,6 @@ __all__ = [
     "rrwp_rate",
     "scan_sequence",
     "serialize_block",
+    "shard_rrwp_rate",
+    "shard_trace_advantage",
 ]

@@ -41,6 +41,44 @@ class AccessPatternObserver:
         return len(self.events)
 
 
+@dataclass(slots=True)
+class ShardTraceObserver:
+    """Records the inter-shard dispatch stream of a sharded fleet.
+
+    The PR 9 extension of the adversary model (DESIGN.md §11): with the
+    address space sharded across workers, the attacker additionally sits
+    on the supervisor-to-shard links and records *which shard* each
+    dispatch slot addresses, in order.  It cannot tell a real access
+    from a padding dummy (contents are encrypted) — the slot's
+    destination and position are the whole observable.
+
+    The :class:`~repro.shard.supervisor.ShardSupervisor` feeds this with
+    one ``(round, shard)`` event per slot, including the virtual slots
+    it emits for dead shards, which is exactly why a crash-and-recover
+    run is indistinguishable from a clean one.
+    """
+
+    events: list[tuple[int, int]] = field(default_factory=list)
+
+    def __call__(self, event: tuple[int, int]) -> None:
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    def shard_stream(self) -> list[int]:
+        """The shard index of every dispatch slot, in link order."""
+        return [shard for _round, shard in self.events]
+
+    def dispatch_counts(self, num_shards: int) -> list[int]:
+        """Total slots addressed to each shard."""
+        counts = [0] * num_shards
+        for _round, shard in self.events:
+            counts[shard] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
 def leaf_histogram(leaves: list[int], num_leaves: int) -> list[int]:
     """Occurrence counts per leaf label."""
     hist = [0] * num_leaves

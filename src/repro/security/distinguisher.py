@@ -109,6 +109,71 @@ def observable_trace(
     return observer
 
 
+def shard_rrwp_rate(stream: list[int], k: int) -> float:
+    """RRWP-k lifted to the inter-shard link: how often a dispatch slot
+    re-addresses a shard already addressed within the last ``k`` slots.
+
+    This is the shard-level analogue of the paper's Read-Recent-Written-
+    Path counter: under an *unpadded* dispatch (each request goes only
+    to its owning shard) the rate tracks the workload's shard-locality —
+    a cyclic hot set concentrated on one shard re-addresses it back to
+    back, a scan spreads out — so two same-length request sequences
+    become distinguishable.  Under the padded round schedule every slot
+    stream is the fixed round-robin ``0,1,...,N-1,0,...`` whatever the
+    requests are, and the rate collapses to a workload-independent
+    constant.
+    """
+    recent: deque[int] = deque(maxlen=k)
+    hits = 0
+    for shard in stream:
+        if shard in recent:
+            hits += 1
+        recent.append(shard)
+    if not stream:
+        return 0.0
+    return hits / len(stream)
+
+
+def shard_trace_advantage(
+    stream_a: list[int],
+    stream_b: list[int],
+    num_shards: int,
+    window: int = 64,
+) -> float:
+    """Distinguishing advantage between two inter-shard slot streams.
+
+    The adversary's best simple test: chop both streams into aligned
+    windows, compare per-shard dispatch-count distributions, and report
+    the worst total-variation distance seen in any window (plus a
+    length mismatch, which is a distinguisher all by itself — a scheme
+    that goes quiet on a dead shard changes the stream length).
+
+    Returns a value in ``[0, 1]``: exactly ``0.0`` iff the streams are
+    the same length and window-for-window identically distributed — the
+    padded scheme's acceptance bar for clean vs crash-and-recover runs.
+    """
+    if len(stream_a) != len(stream_b):
+        return 1.0
+    worst = 0.0
+    for start in range(0, len(stream_a), window):
+        counts_a = [0] * num_shards
+        counts_b = [0] * num_shards
+        chunk_a = stream_a[start:start + window]
+        chunk_b = stream_b[start:start + window]
+        for shard in chunk_a:
+            counts_a[shard] += 1
+        for shard in chunk_b:
+            counts_b[shard] += 1
+        size = len(chunk_a)
+        if size == 0:
+            continue
+        tv = 0.5 * sum(
+            abs(a - b) for a, b in zip(counts_a, counts_b)
+        ) / size
+        worst = max(worst, tv)
+    return worst
+
+
 def distinguishing_gap(
     factory: ControllerFactory,
     num_blocks: int,

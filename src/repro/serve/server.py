@@ -31,15 +31,31 @@ Robustness is the design center, not an afterthought:
   between two ORAM accesses; ``client-disconnect``/``slow-client`` are
   driven by the load generator and exercised against this server in the
   ``serve-smoke`` CI job.
+* **sharded backends** — the server accepts any bridge-compatible
+  engine; handing it a
+  :class:`~repro.shard.supervisor.ShardSupervisor` turns it into the
+  fleet frontend of DESIGN.md §11: requests for a dead shard are shed
+  with ``retry_after`` at admission, work already admitted when its
+  shard dies is *parked* and re-dispatched after the background
+  recovery (so the accounting identity
+  ``admitted == served + expired + abandoned`` holds fleet-wide), and
+  an unrecoverable fleet (:class:`~repro.shard.supervisor.FleetFailed`)
+  exits ``EXIT_SERVE_FAILED`` like any other crash.
 """
 
 from __future__ import annotations
 
 import asyncio
 import signal
+from collections import deque
 from dataclasses import dataclass
 
-from repro.faults.injector import FaultInjector, ServerCrashed
+from repro.faults.injector import (
+    FaultInjector,
+    FleetFailed,
+    ServerCrashed,
+    ShardUnavailable,
+)
 from repro.obs.events import EventBus
 from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
 from repro.oram.tiny import Observer
@@ -79,6 +95,9 @@ class ServeSettings:
         retry_after_ms: Hint returned with shed responses.
         checkpoint_every: Snapshot the bridged state every N served
             accesses (0 disables; needs a checkpointer).
+        heartbeat_s: Sharded backends only — interval of the idle
+            liveness sweep (:meth:`ShardSupervisor.check_health`); the
+            second half of the heartbeat + access-timeout ladder.
     """
 
     host: str = "127.0.0.1"
@@ -91,6 +110,7 @@ class ServeSettings:
     default_deadline_ms: float | None = 1_000.0
     retry_after_ms: float = 50.0
     checkpoint_every: int = 0
+    heartbeat_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.max_clients < 1:
@@ -123,6 +143,12 @@ class OramServer:
             checkpoint before accepting clients.
         observer: Adversary-view callback, as in batch runs.
         bus: Observability event bus.
+        bridge: A pre-built access engine to serve instead of a private
+            :class:`OramServeBridge` — in practice a
+            :class:`~repro.shard.supervisor.ShardSupervisor` (anything
+            exposing ``check_health`` is treated as a supervised fleet:
+            the server starts it, runs its heartbeat sweep, parks work
+            for dead shards, and closes it at drain).
 
     Attributes:
         dispatch_gate: Test seam — clearing this event pauses the
@@ -142,9 +168,13 @@ class OramServer:
         restore: bool = False,
         observer: Observer | None = None,
         bus: EventBus | None = None,
+        bridge=None,
     ) -> None:
         self.settings = settings if settings is not None else ServeSettings()
-        self.bridge = OramServeBridge(config, seed, bus=bus, observer=observer)
+        if bridge is None:
+            bridge = OramServeBridge(config, seed, bus=bus, observer=observer)
+        self.bridge = bridge
+        self._sharded = hasattr(bridge, "check_health")
         self.registry = registry if registry is not None else MetricsRegistry()
         self.injector = injector
         self.checkpointer = checkpointer
@@ -171,6 +201,7 @@ class OramServer:
                 "accepted", "admitted", "served", "shed", "expired",
                 "abandoned", "errors", "sessions_opened", "sessions_closed",
                 "sessions_refused", "checkpoints_saved", "restored",
+                "shed_shard_down", "parked", "requeued",
             )
         }
 
@@ -189,6 +220,11 @@ class OramServer:
         self.dispatch_gate.set()
         self.crashed: BaseException | None = None
         self.address: tuple[str, int] | None = None
+        # Sharded-backend state: work admitted before its shard died
+        # waits here (keyed by shard) for the recovery task to requeue it.
+        self._parked: dict[int, deque] = {}
+        self._recover_tasks: dict[int, asyncio.Task] = {}
+        self._heartbeat: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     def _count(self, name: str) -> None:
@@ -207,6 +243,13 @@ class OramServer:
         out["serve/queue_depth"] = self._queue.qsize()
         out["serve/sessions"] = len(self._sessions)
         out["serve/oram_accesses"] = self.bridge.served
+        if self._sharded:
+            statuses = self.bridge.shard_status()
+            out["serve/shards"] = len(statuses)
+            out["serve/shards_up"] = sum(1 for s in statuses if s == "up")
+            out["serve/parked"] = sum(
+                len(items) for items in self._parked.values()
+            )
         for q in (50, 95, 99):
             out[f"serve/latency_wall_ms/p{q}"] = self.h_wall.percentile(q)
             out[f"serve/latency_cycles/p{q}"] = self.h_cycles.percentile(q)
@@ -215,7 +258,17 @@ class OramServer:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Restore state (if asked), bind the socket, start dispatching."""
-        if self.restore and self.checkpointer is not None:
+        loop = asyncio.get_running_loop()
+        if self._sharded:
+            if not getattr(self.bridge, "_started", True):
+                # Spawning workers + replaying state can take a while;
+                # keep it off the event loop.
+                await loop.run_in_executor(
+                    None, self.bridge.start, self.restore
+                )
+                if self.restore:
+                    self._count("restored")
+        elif self.restore and self.checkpointer is not None:
             loaded = self.checkpointer.load_latest()
             if loaded is not None:
                 _, state, _ = loaded
@@ -226,9 +279,13 @@ class OramServer:
         )
         sock = self._server.sockets[0]
         self.address = sock.getsockname()[:2]
-        self._dispatcher = asyncio.get_running_loop().create_task(
+        self._dispatcher = loop.create_task(
             self._dispatch_loop(), name="serve-dispatcher"
         )
+        if self._sharded and self.settings.heartbeat_s > 0:
+            self._heartbeat = loop.create_task(
+                self._heartbeat_loop(), name="serve-heartbeat"
+            )
 
     async def run(self, install_signal_handlers: bool = True, on_started=None) -> int:
         """Serve until drained; returns the process exit code.
@@ -274,9 +331,18 @@ class OramServer:
         asyncio.get_running_loop().create_task(self._queue.put(_DRAIN))
 
     async def _shutdown(self) -> None:
-        if self.checkpointer is not None and self.crashed is None:
+        if self._heartbeat is not None:
+            self._heartbeat.cancel()
+        for task in list(self._recover_tasks.values()):
+            task.cancel()
+        if (
+            not self._sharded
+            and self.checkpointer is not None
+            and self.crashed is None
+        ):
             # Final snapshot so a subsequent --restore resumes from the
             # exact drained state regardless of the interval phase.
+            # (Sharded fleets snapshot per shard inside the supervisor.)
             self.checkpointer.save(
                 self.bridge.served, self.bridge.snapshot_state()
             )
@@ -289,6 +355,10 @@ class OramServer:
             await self._server.wait_closed()
         if self._dispatcher is not None:
             self._dispatcher.cancel()
+        if self._sharded:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.bridge.close
+            )
 
     # ------------------------------------------------------------------
     # Admission: the per-client read loop
@@ -439,6 +509,22 @@ class OramServer:
                 release_window=True,
             )
             return
+        if self._sharded and self.bridge.addr_unavailable(session.map_addr(addr)):
+            # Degraded-mode shed: the owning shard is down, so the
+            # request is refused *before* admission — it never enters
+            # the accounting identity, and the client's retry-with-
+            # backoff loop naturally outlives the recovery window.
+            self._count("shed")
+            self._count("shed_shard_down")
+            session.send(
+                _resp(
+                    req_id,
+                    protocol.STATUS_RETRY_AFTER,
+                    retry_after_ms=self.settings.retry_after_ms,
+                ),
+                release_window=True,
+            )
+            return
         if self._queue.qsize() >= self.settings.shed_highwater:
             self._count("shed")
             session.send(
@@ -488,22 +574,40 @@ class OramServer:
                 if item is _DRAIN:
                     break
                 await self.dispatch_gate.wait()
-                self._serve_item(item, loop)
+                await self._serve_item(item, loop)
             # Drain phase: everything admitted before the sentinel has
             # been consumed above; anything that raced in behind it is
-            # still completed — admitted work is never dropped.
-            while not self._queue.empty():
-                item = self._queue.get_nowait()
-                if item is _DRAIN:
+            # still completed — admitted work is never dropped.  With a
+            # sharded backend that includes *parked* work: the drain
+            # waits out in-flight recoveries so every admitted request
+            # is still served, expired, or abandoned before exit.
+            while True:
+                while not self._queue.empty():
+                    item = self._queue.get_nowait()
+                    if item is _DRAIN:
+                        continue
+                    await self.dispatch_gate.wait()
+                    await self._serve_item(item, loop)
+                if self.crashed is not None:
+                    break
+                pending = [
+                    t for t in self._recover_tasks.values() if not t.done()
+                ]
+                if pending:
+                    await asyncio.wait(pending)
                     continue
-                await self.dispatch_gate.wait()
-                self._serve_item(item, loop)
-        except ServerCrashed as crash:
+                if any(self._parked.values()):
+                    for shard, items in self._parked.items():
+                        if items:
+                            self._ensure_recovery(shard)
+                    continue
+                break
+        except (ServerCrashed, FleetFailed) as crash:
             self.crashed = crash
         finally:
             self._drained.set()
 
-    def _serve_item(
+    async def _serve_item(
         self,
         item: tuple,
         loop: asyncio.AbstractEventLoop,
@@ -523,7 +627,24 @@ class OramServer:
             return
         if self.injector is not None:
             self.injector.before_serve_access(self.bridge.served)
-        access = self.bridge.access(addr, op, payload)
+        if self._sharded:
+            try:
+                # Fleet access rounds block on worker pipes; keep the
+                # event loop free to admit and shed while they run.
+                access = await loop.run_in_executor(
+                    None, self.bridge.access, addr, op, payload
+                )
+            except ShardUnavailable as down:
+                # The owning shard died after this request was admitted:
+                # park it (window and accounting slot intact) until the
+                # recovery task requeues it — served exactly once, just
+                # later.
+                self._count("parked")
+                self._parked.setdefault(down.shard, deque()).append(item)
+                self._ensure_recovery(down.shard)
+                return
+        else:
+            access = self.bridge.access(addr, op, payload)
         wall_ms = (loop.time() - admit_t) * 1000.0
         self.h_wall.observe(wall_ms)
         self.h_cycles.observe(access.latency_cycles)
@@ -546,13 +667,71 @@ class OramServer:
     def _maybe_checkpoint(self) -> None:
         every = self.settings.checkpoint_every
         if (
-            self.checkpointer is None
+            self._sharded
+            or self.checkpointer is None
             or every <= 0
             or self.bridge.served % every != 0
         ):
             return
         self.checkpointer.save(self.bridge.served, self.bridge.snapshot_state())
         self._count("checkpoints_saved")
+
+    # ------------------------------------------------------------------
+    # Sharded backends: liveness sweep + background recovery
+    # ------------------------------------------------------------------
+    async def _heartbeat_loop(self) -> None:
+        """Idle liveness sweep: catch shard deaths between requests.
+
+        The per-access pipe timeout detects deaths under load; this
+        catches a worker that died while its shard had no traffic, so
+        the admission-time shed starts answering ``retry_after`` (and
+        the recovery starts) without waiting for an unlucky request to
+        trip over the corpse.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.settings.heartbeat_s)
+            try:
+                await loop.run_in_executor(None, self.bridge.check_health)
+            except Exception:  # noqa: BLE001 - the sweep must survive
+                continue
+            # Sweep *all* currently-dead shards, not just ones the ping
+            # discovered: a shard that died executing a padding slot was
+            # marked dead without raising to any request (the round's
+            # real access succeeded elsewhere), and admission sheds its
+            # traffic from then on — so no request ever trips over it to
+            # start the recovery.
+            for shard in self.bridge.dead_shards():
+                self._ensure_recovery(shard)
+
+    def _ensure_recovery(self, shard: int) -> None:
+        """Start (at most one) background recovery task for a shard."""
+        task = self._recover_tasks.get(shard)
+        if task is not None and not task.done():
+            return
+        self._recover_tasks[shard] = asyncio.get_running_loop().create_task(
+            self._recover_shard(shard), name=f"serve-recover-{shard}"
+        )
+
+    async def _recover_shard(self, shard: int) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, self.bridge.recover, shard)
+        except FleetFailed as failure:
+            # Unrecoverable: park nothing further, crash the fleet.
+            # Parked work is dropped like any in-flight work on a crash;
+            # the exit code tells the operator the state is suspect.
+            self.crashed = failure
+            self.request_drain("fleet failure")
+            return
+        items = self._parked.pop(shard, None)
+        if items:
+            for item in items:
+                self._count("requeued")
+                # Parked items held their admission slot conceptually;
+                # an await (not put_nowait) absorbs a momentarily full
+                # queue without dropping admitted work.
+                await self._queue.put(item)
 
 
 def _resp(req_id: int, status: str, **extra: object) -> dict[str, object]:

@@ -61,6 +61,21 @@ class Checkpointer:
         self.skipped = 0
 
     # ------------------------------------------------------------------
+    def scoped(self, subdir: str, key_extra: dict[str, object]) -> "Checkpointer":
+        """A child checkpointer in ``subdir`` with an extended run key.
+
+        The sharded fleet uses one of these per shard: every shard
+        snapshots into its own subdirectory under the fleet's state
+        root, and its run key is the fleet key plus the scoping fields
+        (e.g. ``{"shard": 3}``), so shard 3's recovery can never load
+        shard 2's snapshot even if files are copied around.
+        """
+        child = Checkpointer(
+            self.directory / subdir, every=self.every, keep=self.keep
+        )
+        child.run_key = dict(self.run_key or {}, **key_extra)
+        return child
+
     def path_for(self, access_index: int) -> Path:
         """File path of the checkpoint taken after ``access_index`` accesses."""
         return self.directory / f"ckpt-{access_index:010d}.json"

@@ -9,7 +9,10 @@ composes each benchmark's *memory behaviour* out of four primitives
 * ``hot_cold``      — skewed reuse of a small hot set (h264ref-style);
 * ``phases``        — time-multiplexing of other primitives (hmmer-style);
 * ``zipf``          — heavy-tailed ranked popularity with optional hotspot
-  rotation (cloud key-value traffic; feeds ``repro load``).
+  rotation (cloud key-value traffic; feeds ``repro load``);
+* ``tenant_mix``    — per-tenant address strips with a skewed tenant
+  popularity (multi-tenant serving; stresses the sharded backend's
+  placement and padding).
 
 Every primitive is driven by a caller-supplied :class:`random.Random`, so
 a (workload, seed) pair is fully deterministic.
@@ -252,6 +255,58 @@ def zipf(
         if hotspot_interval > 0 and i > 0 and i % hotspot_interval == 0:
             offset = rng.randrange(region)
         addr = base + (sample(rng) + offset) % region
+        op = "write" if rand() < write_frac else "read"
+        append(MemoryRequest(addr=addr, op=op, work=work, dependent=dependent))
+    return out
+
+
+def tenant_mix(
+    rng: Random,
+    n: int,
+    base: int,
+    region: int,
+    tenants: int = 8,
+    tenant_skew: float = 1.1,
+    alpha: float = 1.2,
+    churn_interval: int = 0,
+    work: int = 20,
+    write_frac: float = 0.15,
+    dependent: bool = False,
+) -> list[MemoryRequest]:
+    """Multi-tenant serving traffic over per-tenant address strips.
+
+    The region is split into ``tenants`` contiguous equal strips.  Each
+    request first draws a *tenant* from a Zipf(``tenant_skew``) law over
+    tenant ranks (a few tenants dominate, the tail trickles), then an
+    address inside that tenant's strip from a Zipf(``alpha``) law — so
+    the traffic is skewed at both granularities, exactly the shape a
+    consistent-hash placement has to absorb: contiguous strips make a
+    naive range partition hot-spot on one shard, while the hash ring
+    scatters every strip across the whole fleet.
+
+    ``churn_interval > 0`` rotates the tenant popularity ranking by a
+    seeded offset every that many requests (a tenant's launch-day spike
+    going quiet as another's begins), defeating placements tuned to one
+    static hot tenant.
+    """
+    if tenants < 1:
+        raise ValueError(f"tenants must be positive, got {tenants}")
+    if region < tenants:
+        raise ValueError(
+            f"region {region} too small for {tenants} tenant strips"
+        )
+    strip = region // tenants
+    tenant_sampler = ZipfSampler(tenants, tenant_skew)
+    addr_sampler = ZipfSampler(strip, alpha)
+    out: list[MemoryRequest] = []
+    offset = 0
+    rand = rng.random
+    append = out.append
+    for i in range(n):
+        if churn_interval > 0 and i > 0 and i % churn_interval == 0:
+            offset = rng.randrange(tenants)
+        tenant = (tenant_sampler.sample(rng) + offset) % tenants
+        addr = base + tenant * strip + addr_sampler.sample(rng)
         op = "write" if rand() < write_frac else "read"
         append(MemoryRequest(addr=addr, op=op, work=work, dependent=dependent))
     return out

@@ -43,6 +43,7 @@ from repro.workloads.generator import (
     phases,
     pointer_chase,
     stream,
+    tenant_mix,
     zipf,
 )
 
@@ -200,6 +201,18 @@ def _gcc(rng: Random, n: int, space: int) -> list[MemoryRequest]:
     return out[:n]
 
 
+def _tenants(rng: Random, n: int, space: int) -> list[MemoryRequest]:
+    # Multi-tenant serving: eight contiguous tenant strips with a skewed
+    # tenant ranking that churns over time.  This is the stress shape for
+    # the sharded backend (`repro serve --shards N`): a range partition
+    # would hot-spot whichever shard owns the popular strip, while the
+    # consistent-hash ring scatters every strip across the fleet.
+    region = _region(space, 0.6, minimum=128)
+    return tenant_mix(rng, n, 0, region, tenants=8, tenant_skew=1.1,
+                      alpha=1.2, churn_interval=2048, work=20,
+                      write_frac=0.15)
+
+
 def _zipf(rng: Random, n: int, space: int) -> list[MemoryRequest]:
     # Cloud key-value traffic: Zipf(1.2) over half the address space with
     # slow hotspot rotation (trending keys).  This is the default address
@@ -245,6 +258,10 @@ WORKLOADS: dict[str, Workload] = {
         "zipf", "heavy-tailed cloud key-value skew with hotspot rotation",
         "high", _zipf,
     ),
+    "tenants": Workload(
+        "tenants", "multi-tenant strip skew with churn (sharded serving)",
+        "high", _tenants,
+    ),
 }
 
 
@@ -261,5 +278,5 @@ def workload_names() -> list[str]:
     """The paper's ten benchmarks (figure order) plus the cloud extras."""
     return [
         "mcf", "libquantum", "omnetpp", "hmmer", "sjeng",
-        "h264ref", "namd", "astar", "bzip2", "gcc", "zipf",
+        "h264ref", "namd", "astar", "bzip2", "gcc", "zipf", "tenants",
     ]

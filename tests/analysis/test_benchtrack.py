@@ -71,6 +71,25 @@ class TestMeasureAndHistory:
             for name in entry["counters"]
         )
 
+    def test_measure_sharded_entry_shape(self):
+        config = SystemConfig.dynamic(3, oram=OramConfig(levels=6))
+        entry = benchtrack.measure_sharded(
+            config, "tenants", 24, seed=1, repeats=1, shards=2
+        )
+        assert entry["shards"] == 2
+        assert entry["key"] == benchtrack.sharded_bench_key(
+            config, "tenants", 24, 1, 2
+        )
+        # A sharded run must never share a fingerprint with the
+        # single-backend measurement of the same shape.
+        assert entry["key"] != benchtrack.bench_key(config, "tenants", 24, 1)
+        assert len(entry["wall_s"]) == 1
+        assert all(name.startswith("fleet/") for name in entry["counters"])
+        assert entry["counters"]["fleet/rounds"] == 24
+        assert entry["counters"]["fleet/accesses_real"] == 24
+        # Padded dispatch: one dummy on the non-owning shard per round.
+        assert entry["counters"]["fleet/accesses_dummy"] == 24
+
     def test_history_append_and_find(self, tmp_path):
         history = benchtrack.BenchHistory(tmp_path, host="ci-box")
         assert history.load() == []

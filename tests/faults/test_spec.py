@@ -14,6 +14,9 @@ from repro.faults import (
     FaultSpecError,
     PosmapCorrupt,
     ServerCrash,
+    ShardCheckpointCorrupt,
+    ShardCrash,
+    ShardHang,
     SlowClient,
     StashPressure,
     WorkerCrash,
@@ -33,6 +36,9 @@ ALL_SPECS = [
     ClientDisconnect(at_request=4),
     SlowClient(at_request=2, stall_s=0.25),
     ServerCrash(at_access=100, mode="exit"),
+    ShardCrash(shard=1, at_access=40, mode="exit"),
+    ShardHang(shard=2, at_access=8, hang_s=0.2),
+    ShardCheckpointCorrupt(shard=0, mode="garbage"),
 ]
 
 
@@ -49,6 +55,9 @@ class TestRegistry:
             "client-disconnect",
             "slow-client",
             "server-crash",
+            "shard-crash",
+            "shard-hang",
+            "shard-checkpoint-corrupt",
         }
 
     def test_kinds_match_classes(self):
@@ -76,6 +85,10 @@ class TestDictRoundTrip:
             CacheCorruption(mode="shred")
         with pytest.raises(FaultSpecError):
             ServerCrash(mode="gently")
+        with pytest.raises(FaultSpecError):
+            ShardCrash(mode="vaporize")
+        with pytest.raises(FaultSpecError):
+            ShardCheckpointCorrupt(mode="shred")
 
 
 class TestParseSpec:

@@ -7,6 +7,7 @@ import pytest
 from repro.obs.aggregate import (
     TelemetryAggregator,
     TelemetryMergeError,
+    merge_labeled_snapshots,
     merge_snapshot,
     snapshot_registry,
 )
@@ -43,6 +44,38 @@ class TestSnapshot:
         reg = MetricsRegistry()
         merge_snapshot(reg, {"schema": 999, "counters": {"c": 5}})
         assert reg.to_dict()["counters"] == {}
+
+
+class TestMergeLabeled:
+    def test_breakdown_plus_rollup(self):
+        target = MetricsRegistry()
+        merged = merge_labeled_snapshots(
+            target,
+            {
+                0: snapshot_registry(make_registry(counter=5)),
+                1: snapshot_registry(make_registry(counter=7)),
+            },
+            label="shard",
+            rollup_prefix="fleet/",
+        )
+        assert merged == 2
+        assert target.counter("shard/0/c/events").value == 5
+        assert target.counter("shard/1/c/events").value == 7
+        assert target.counter("fleet/c/events").value == 12
+
+    def test_iteration_order_is_deterministic(self):
+        snaps = {
+            1: snapshot_registry(make_registry(counter=1)),
+            0: snapshot_registry(make_registry(counter=2)),
+        }
+        a = MetricsRegistry()
+        merge_labeled_snapshots(a, snaps, label="w", rollup_prefix="all/")
+        b = MetricsRegistry()
+        merge_labeled_snapshots(
+            b, dict(reversed(list(snaps.items()))), label="w",
+            rollup_prefix="all/",
+        )
+        assert a.to_dict() == b.to_dict()
 
 
 class TestMergeSemantics:

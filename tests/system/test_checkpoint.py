@@ -118,6 +118,36 @@ class _KillingBackend:
         self.inner.restore_state(state)
 
 
+class TestScoped:
+    def test_scoped_child_nests_directory_and_key(self, tmp_path):
+        root = Checkpointer(tmp_path, every=10, keep=3)
+        root.run_key = {"run": "fleet", "seed": 1}
+        child = root.scoped("shard-2", {"shard": 2})
+        assert child.directory == tmp_path / "shard-2"
+        assert child.run_key == {"run": "fleet", "seed": 1, "shard": 2}
+        # The parent's key is not mutated by the child's extras.
+        assert root.run_key == {"run": "fleet", "seed": 1}
+
+    def test_scoped_children_are_isolated(self, tmp_path):
+        root = Checkpointer(tmp_path, every=10)
+        root.run_key = {"run": "fleet"}
+        a = root.scoped("shard-0", {"shard": 0})
+        b = root.scoped("shard-1", {"shard": 1})
+        a.save(10, {"who": "a"})
+        b.save(20, {"who": "b"})
+        assert a.load_latest()[1] == {"who": "a"}
+        assert b.load_latest()[1] == {"who": "b"}
+
+    def test_scoped_key_guards_cross_shard_reads(self, tmp_path):
+        root = Checkpointer(tmp_path, every=10)
+        root.run_key = {"run": "fleet"}
+        root.scoped("shard-0", {"shard": 0}).save(10, {"who": "a"})
+        # A reader scoped to the same directory but a different shard
+        # identity must refuse the foreign snapshot.
+        impostor = root.scoped("shard-0", {"shard": 1})
+        assert impostor.load_latest() is None
+
+
 class TestSimulatorResume:
     @pytest.mark.parametrize("kill_at", [7, 23, 41])
     def test_killed_run_resumes_bit_identical(self, tmp_path, kill_at):

@@ -16,8 +16,9 @@ def miss_trace(name, n=20000, seed=1):
 
 class TestRegistry:
     def test_registry_matches_names(self):
-        # The paper's ten benchmarks plus the cloud-serving zipf workload.
-        assert len(workload_names()) == 11
+        # The paper's ten benchmarks plus the cloud-serving zipf and
+        # multi-tenant tenants workloads.
+        assert len(workload_names()) == 12
         assert set(workload_names()) == set(WORKLOADS)
 
     def test_unknown_name_raises_with_hint(self):
