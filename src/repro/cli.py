@@ -58,6 +58,7 @@ from repro.obs.events import SweepPointFailed, SweepPointFinished
 from repro.obs import (
     AdversaryTraceWriter,
     EventBus,
+    FlightRecorder,
     JsonlLogger,
     MetricsCollector,
     MetricsRegistry,
@@ -65,9 +66,13 @@ from repro.obs import (
     ProgressReporter,
     SpanTracer,
     TimelineBuilder,
+    is_postmortem,
+    load_postmortem_traces,
     load_traces,
     parse_sample_spec,
+    parse_slo_spec,
     profile_run,
+    render_prometheus,
     run_metadata,
 )
 from repro.oram.config import OramConfig
@@ -325,9 +330,15 @@ def _write_sweep_metrics(registry, args, workloads, configs) -> None:
         seed=args.seed,
         jobs=args.jobs,
     )
-    with open(args.metrics, "w") as stream:
-        registry.write_json(stream, **meta)
-    print(f"wrote merged sweep metrics (JSON): {args.metrics}")
+    if args.metrics:
+        with open(args.metrics, "w") as stream:
+            registry.write_json(stream, **meta)
+        print(f"wrote merged sweep metrics (JSON): {args.metrics}")
+    if getattr(args, "metrics_prom", None):
+        with open(args.metrics_prom, "w") as stream:
+            stream.write(render_prometheus(registry))
+        print(f"wrote merged sweep metrics (Prometheus text): "
+              f"{args.metrics_prom}")
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -368,7 +379,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         bus.subscribe(progress, SweepPointFinished)
         bus.subscribe(failure, SweepPointFailed)
 
-    registry = MetricsRegistry() if args.metrics else None
+    registry = (
+        MetricsRegistry()
+        if args.metrics or getattr(args, "metrics_prom", None) else None
+    )
     runner = SweepRunner(
         jobs=args.jobs,
         cache=cache,
@@ -561,7 +575,14 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 
 def cmd_trace_analyze(args: argparse.Namespace) -> int:
-    traces = load_traces(args.file)
+    # Flight-recorder post-mortems carry raw bus events, not span trees;
+    # rebuild whatever complete request spans the crash window holds.
+    if is_postmortem(args.file):
+        traces = load_postmortem_traces(args.file)
+        print(f"post-mortem dump: rebuilt {len(traces)} complete span "
+              f"trace(s) from the flight-recorder ring")
+    else:
+        traces = load_traces(args.file)
     if args.json:
         import json
 
@@ -652,6 +673,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         Checkpointer(args.checkpoint_dir)
         if args.checkpoint_dir and not sharded else None
     )
+    slo = None
+    if args.slo:
+        try:
+            slo = parse_slo_spec(args.slo)
+        except ValueError as exc:
+            raise SystemExit(f"bad --slo spec: {exc}")
     settings = ServeSettings(
         host=args.host,
         port=args.port,
@@ -663,6 +690,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.default_deadline_ms,
         retry_after_ms=args.retry_after_ms,
         checkpoint_every=args.checkpoint_every,
+        slo=slo,
+        slo_window_s=args.slo_window_s,
+        slo_fatal=args.slo_fatal,
+        metrics_port=args.metrics_port,
     )
     registry = MetricsRegistry()
     open_files = []
@@ -673,6 +704,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         observer = AdversaryTraceWriter(stream)
         observer.logger.write_record(
             run_metadata(config, mode="serve", seed=args.seed)
+        )
+    # The observability plane only materializes when asked for: without
+    # these flags no bus is created, so the serving hot path constructs
+    # zero event objects and stays bit-identical to a bare run.
+    bus = None
+    flightrec = None
+    if args.flight_recorder or slo is not None:
+        bus = EventBus()
+    if args.flight_recorder:
+        flightrec = FlightRecorder(
+            bus, capacity=args.flight_capacity,
+            directory=args.flight_recorder,
         )
     supervisor = None
     shard_trace = None
@@ -697,6 +740,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             ),
             injector=injector,
             trace=shard_trace,
+            bus=bus,
         )
     server = OramServer(
         config,
@@ -708,6 +752,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         restore=args.restore,
         observer=observer,
         bridge=supervisor,
+        bus=bus,
+        flight_recorder=flightrec,
     )
 
     def announce(srv) -> None:
@@ -733,6 +779,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
     stats = server.stats_snapshot()
     for key in sorted(stats):
         print(f"  {key}: {stats[key]}")
+    if server.slo is not None:
+        snap = server.slo.snapshot()
+        print(f"slo: {snap['state']} after {snap['rolls']} window(s), "
+              f"{snap['breaches']} breach(es)")
+        for key, detail in sorted(snap["violations"].items()):
+            print(f"  violated {key}: {detail['value']:g} > "
+                  f"{detail['threshold']:g}")
+    if server.postmortem_path is not None:
+        print(f"wrote flight-recorder post-mortem (JSONL): "
+              f"{server.postmortem_path} -- replay with "
+              f"'repro trace analyze {server.postmortem_path}'")
+    if args.metrics_prom:
+        # Rendered before the fleet merge below mutates `registry`, or
+        # a sharded run would double-count its shard/<k>/ instruments.
+        with open(args.metrics_prom, "w") as stream:
+            stream.write(render_prometheus(server.export_registry()))
+        print(f"wrote metrics (Prometheus text): {args.metrics_prom}")
     if supervisor is not None:
         report = supervisor.fleet_report()
         print("fleet report:")
@@ -793,12 +856,31 @@ def cmd_load(args: argparse.Namespace) -> int:
         print("fired faults (deterministic for this plan+seed):")
         for entry in injector.fired():
             print(f"  {entry}")
-    if args.report:
-        with open(args.report, "w") as stream:
+    for path in (args.report, args.report_json):
+        if not path:
+            continue
+        with open(path, "w") as stream:
             json.dump(report, stream, indent=2, sort_keys=True)
             stream.write("\n")
-        print(f"wrote load report (JSON): {args.report}")
+        print(f"wrote load report (JSON): {path}")
     return EXIT_OK if report["served"] > 0 else EXIT_SERVE_FAILED
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import TopSettings, parse_addr, run_top
+
+    try:
+        host, port = parse_addr(args.addr)
+        settings = TopSettings(
+            host=host, port=port,
+            interval_s=args.interval, count=args.count,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    try:
+        return asyncio.run(run_top(settings))
+    except KeyboardInterrupt:
+        return EXIT_OK
 
 
 def cmd_workloads(_args: argparse.Namespace) -> int:
@@ -982,10 +1064,17 @@ def make_parser() -> argparse.ArgumentParser:
              "as JSON; rollups are bit-identical to a --jobs 1 run",
     )
     sweep_p.add_argument(
+        "--metrics-prom", metavar="FILE",
+        help="also write the merged telemetry registry as Prometheus "
+             "text format (worker/<n>/ breakdowns become labeled "
+             "series); requires --metrics",
+    )
+    sweep_p.add_argument(
         "--live", action="store_true",
         help="render a throttled single-line progress display "
-             "(done/total, cache hits, retries, pts/s, ETA); silently "
-             "off when stdout is not a TTY",
+             "(done/total, cache hits, retries, pts/s, ETA); degrades "
+             "to heavily throttled plain progress lines when stdout "
+             "is not a TTY",
     )
     sweep_p.add_argument(
         "--progress-jsonl", metavar="FILE",
@@ -1169,7 +1258,53 @@ def make_parser() -> argparse.ArgumentParser:
                          help="insecure baseline: send each request only "
                               "to its owning shard (leaks shard-locality; "
                               "exists for the distinguisher tests)")
+    serve_p.add_argument("--slo", metavar="SPEC",
+                         help="rolling SLO thresholds as 'key=value,...', "
+                              "e.g. p99_ms=50,shed_rate=0.05; evaluated "
+                              "per --slo-window-s window and surfaced in "
+                              "the wire 'stats'/'health' replies")
+    serve_p.add_argument("--slo-window-s", type=float, default=1.0,
+                         metavar="S",
+                         help="width of one SLO evaluation window")
+    serve_p.add_argument("--slo-fatal", action="store_true",
+                         help="drain once the SLO state machine enters "
+                              "'breached' and exit "
+                              "7 (EXIT_SLO_BREACH) instead of riding "
+                              "out the degradation")
+    serve_p.add_argument("--metrics-port", type=int, default=None,
+                         metavar="PORT",
+                         help="serve live Prometheus text at "
+                              "http://HOST:PORT/metrics (and newline-JSON "
+                              "at /metrics.json); 0 picks an ephemeral "
+                              "port")
+    serve_p.add_argument("--metrics-prom", metavar="FILE",
+                         help="write the final merged registry as "
+                              "Prometheus text format on exit")
+    serve_p.add_argument("--flight-recorder", metavar="DIR",
+                         help="keep a bounded in-memory ring of bus "
+                              "events and dump it to DIR as a "
+                              "timestamped post-mortem JSONL on crash, "
+                              "SLO breach, or drain")
+    serve_p.add_argument("--flight-capacity", type=int, default=4096,
+                         metavar="N",
+                         help="flight-recorder ring size (older events "
+                              "are evicted, never reallocated)")
     serve_p.set_defaults(fn=cmd_serve)
+
+    top_p = sub.add_parser(
+        "top",
+        help="live terminal view of a running 'repro serve': polls the "
+             "wire 'stats' snapshot and renders queue pressure, latency "
+             "percentiles, shard health, and SLO state",
+    )
+    top_p.add_argument("addr", nargs="?", default="127.0.0.1:7700",
+                       metavar="HOST:PORT",
+                       help="server address (default 127.0.0.1:7700)")
+    top_p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                       help="seconds between polls")
+    top_p.add_argument("--count", type=int, default=0, metavar="N",
+                       help="stop after N polls (0 = until interrupted)")
+    top_p.set_defaults(fn=cmd_top)
 
     load_p = sub.add_parser(
         "load",
@@ -1208,6 +1343,12 @@ def make_parser() -> argparse.ArgumentParser:
                              "the schedule completes")
     load_p.add_argument("--report", metavar="FILE",
                         help="also write the report as JSON")
+    load_p.add_argument("--report-json", metavar="FILE",
+                        help="write the report as JSON to FILE; its "
+                             "'latency' block has the same schema as the "
+                             "server's wire 'stats' latency section, so "
+                             "client- and server-observed latency diff "
+                             "directly")
     load_p.add_argument("--inject", action="append", default=[],
                         metavar="SPEC",
                         help="client-side fault spec, e.g. "

@@ -24,6 +24,10 @@ constant                      code  meaning
                                     exhausted -- a degraded-mode recovery that
                                     drains cleanly still exits 0), or ``load``
                                     finished with zero served requests
+``EXIT_SLO_BREACH``              7  ``serve --slo-fatal`` drained because the
+                                    rolling SLO monitor entered ``breached``;
+                                    the drain itself was clean (admitted work
+                                    completed, post-mortem dumped)
 ``EXIT_INTERRUPTED``           130  Ctrl-C; completed sweep points are flushed
                                     and resumable
 ============================  ====  ===============================================
@@ -36,6 +40,7 @@ EXIT_SWEEP_FAILED = 3
 EXIT_BENCH_REGRESSION = 4
 EXIT_TRACE_INVALID = 5
 EXIT_SERVE_FAILED = 6
+EXIT_SLO_BREACH = 7
 EXIT_INTERRUPTED = 130
 
 #: code -> one-line description, for ``--help`` epilogs and docs.
@@ -45,6 +50,7 @@ EXIT_CODES: dict[int, str] = {
     EXIT_BENCH_REGRESSION: "bench --compare detected a perf regression",
     EXIT_TRACE_INVALID: "trace analyze found an invalid span tree",
     EXIT_SERVE_FAILED: "serve aborted before a clean drain / load served zero",
+    EXIT_SLO_BREACH: "serve --slo-fatal drained on a breached SLO",
     EXIT_INTERRUPTED: "interrupted by Ctrl-C (sweeps stay resumable)",
 }
 
@@ -54,6 +60,7 @@ __all__ = [
     "EXIT_INTERRUPTED",
     "EXIT_OK",
     "EXIT_SERVE_FAILED",
+    "EXIT_SLO_BREACH",
     "EXIT_SWEEP_FAILED",
     "EXIT_TRACE_INVALID",
 ]

@@ -15,7 +15,13 @@ reports about itself.  The components:
 * :mod:`repro.obs.aggregate` — cross-process telemetry snapshots and the
   per-worker/rollup merge used by parallel sweeps;
 * :mod:`repro.obs.progress` — live sweep progress (TTY status line and
-  machine-readable JSONL stream).
+  machine-readable JSONL stream);
+* :mod:`repro.obs.slo` — rolling windowed SLO evaluation driving the
+  serving layer's healthy/degraded/breached state machine;
+* :mod:`repro.obs.export` — Prometheus text-format / newline-JSON
+  metrics rendering and the ``--metrics-port`` scrape endpoint;
+* :mod:`repro.obs.flightrec` — the bounded crash flight recorder whose
+  post-mortem dumps ``repro trace analyze`` replays.
 
 Observability is strictly opt-in: with no subscribers attached the
 instrumented hot paths reduce to one ``if not bus._subs`` check and no
@@ -40,6 +46,9 @@ from repro.obs.events import (
     PathReadFinished,
     PathReadStarted,
     RequestCompleted,
+    ServeRequestServed,
+    ShardRecovered,
+    SloStateChanged,
     SlotAligned,
     SpanFinished,
     SpanStarted,
@@ -50,6 +59,18 @@ from repro.obs.events import (
     SweepPointStarted,
     event_from_dict,
     event_to_dict,
+)
+from repro.obs.export import (
+    MetricsEndpoint,
+    render_json_lines,
+    render_prometheus,
+)
+from repro.obs.flightrec import (
+    FlightRecorder,
+    is_postmortem,
+    load_postmortem,
+    load_postmortem_traces,
+    traces_from_events,
 )
 from repro.obs.log import (
     AdversaryTraceWriter,
@@ -64,6 +85,7 @@ from repro.obs.progress import (
     ProgressReporter,
     SweepProgress,
 )
+from repro.obs.slo import SloMonitor, parse_slo_spec
 from repro.obs.spans import (
     SPAN_PHASES,
     Span,
@@ -87,9 +109,11 @@ __all__ = [
     "DuplicationPlaced",
     "EventBus",
     "EvictionPerformed",
+    "FlightRecorder",
     "HotAddressTouched",
     "JsonlLogger",
     "MetricsCollector",
+    "MetricsEndpoint",
     "MetricsRegistry",
     "PartitionAdjusted",
     "PathReadFinished",
@@ -99,6 +123,10 @@ __all__ = [
     "ProgressReporter",
     "RequestCompleted",
     "SPAN_PHASES",
+    "ServeRequestServed",
+    "ShardRecovered",
+    "SloMonitor",
+    "SloStateChanged",
     "SlotAligned",
     "Span",
     "SpanFinished",
@@ -116,14 +144,21 @@ __all__ = [
     "event_from_dict",
     "event_to_dict",
     "exclusive_by_phase",
+    "is_postmortem",
     "load_events",
+    "load_postmortem",
+    "load_postmortem_traces",
     "load_traces",
     "merge_snapshot",
     "parse_sample_spec",
+    "parse_slo_spec",
     "profile_run",
+    "render_json_lines",
+    "render_prometheus",
     "render_tree",
     "run_metadata",
     "snapshot_registry",
     "top_slowest",
+    "traces_from_events",
     "validate_trace",
 ]

@@ -322,6 +322,59 @@ class SpanFinished:
 
 
 @dataclass(slots=True, frozen=True)
+class ServeRequestServed:
+    """The serving frontend completed one admitted client request.
+
+    Emitted by :class:`~repro.serve.server.OramServer` after the ORAM
+    access returns, carrying both clocks: ``wall_ms`` is queue-to-reply
+    host time, ``latency_cycles`` the bridge's simulated access latency.
+    ``ts`` is the server's monotone progress stamp (served-access
+    ordinal for sharded fleets, simulated cycles otherwise).
+    """
+
+    addr: int
+    op: str
+    served_from: str
+    wall_ms: float
+    latency_cycles: float
+    ts: float
+
+
+@dataclass(slots=True, frozen=True)
+class ShardRecovered:
+    """A dead shard finished respawn + replay and rejoined the fleet.
+
+    ``respawns`` is the shard's cumulative respawn count after this
+    recovery; ``replayed`` the number of intent-log entries replayed to
+    catch the fresh worker up.  ``ts`` is the supervisor's dispatch-round
+    ordinal at recovery time.
+    """
+
+    shard: int
+    respawns: int
+    replayed: int
+    ts: float
+
+
+@dataclass(slots=True, frozen=True)
+class SloStateChanged:
+    """The rolling SLO monitor's state machine transitioned.
+
+    ``previous``/``state`` are ``healthy`` / ``degraded`` / ``breached``;
+    ``window`` is the roll ordinal the transition was evaluated at;
+    ``violations`` is a compact ``key=value>threshold`` list (empty on a
+    recovery transition).  ``ts`` is the monitor clock (host seconds
+    under the server, an injected fake in tests).
+    """
+
+    previous: str
+    state: str
+    window: int
+    violations: str
+    ts: float
+
+
+@dataclass(slots=True, frozen=True)
 class CheckpointSaved:
     """The simulator persisted an intra-run checkpoint."""
 
@@ -361,6 +414,9 @@ EVENT_TYPES: tuple[type, ...] = (
     PosmapRepaired,
     SpanStarted,
     SpanFinished,
+    ServeRequestServed,
+    ShardRecovered,
+    SloStateChanged,
     CheckpointSaved,
     CheckpointRestored,
 )

@@ -158,17 +158,57 @@ class Histogram:
                 return lo + (hi - lo) * min(1.0, max(0.0, frac))
         return self.bounds[-1]
 
-    def to_dict(self) -> dict[str, object]:
+    def export(self) -> dict[str, object]:
+        """Exact lossless export: bucket state plus ``count``/``sum``.
+
+        Everything here is raw accumulator state — no percentile
+        re-interpolation — so a snapshot shipped over the wire (the
+        server ``stats`` latency block, the Prometheus exporter, the
+        load generator's ``--report-json``) reconstructs via
+        :meth:`from_export` with zero drift.
+        """
         return {
-            "bounds": self.bounds,
-            "counts": self.counts,
-            "total": self.total,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.total,
             "sum": self.sum,
-            "mean": self.mean,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
         }
+
+    @classmethod
+    def from_export(cls, payload: dict[str, object]) -> Histogram:
+        """Rebuild a histogram from :meth:`export` (or ``summary``) output."""
+        hist = cls([float(b) for b in payload["bounds"]])
+        counts = [int(c) for c in payload["counts"]]
+        if len(counts) != len(hist.counts):
+            raise ValueError(
+                f"expected {len(hist.counts)} counts "
+                f"(bounds + overflow), got {len(counts)}"
+            )
+        hist.counts = counts
+        hist.total = int(payload["count"])
+        hist.sum = float(payload["sum"])
+        return hist
+
+    def summary(self) -> dict[str, object]:
+        """The exact export plus derived mean/percentiles (incl. p99.9).
+
+        This is the one latency-block schema shared by the server's
+        ``stats`` reply, the load generator's report, and the JSON
+        exporter; the percentile keys are conveniences layered over the
+        exact bucket state, never a substitute for it.
+        """
+        out = self.export()
+        out["mean"] = self.mean
+        out["p50"] = self.percentile(50)
+        out["p95"] = self.percentile(95)
+        out["p99"] = self.percentile(99)
+        out["p99.9"] = self.percentile(99.9)
+        return out
+
+    def to_dict(self) -> dict[str, object]:
+        out = self.summary()
+        out["total"] = self.total  # legacy alias of "count"
+        return out
 
 
 class MetricsRegistry:

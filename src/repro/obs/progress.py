@@ -10,10 +10,14 @@ subscribers:
 
 * :class:`ProgressReporter` — a throttled, TTY-aware single status line
   (done/total, cache-hit rate, retries, failures, points/sec, ETA)
-  behind ``python -m repro sweep --live``.  When the output stream is
-  not a TTY, :meth:`ProgressReporter.attach` refuses to subscribe, so a
-  redirected/CI run pays *zero* overhead — no subscriber, no event
-  construction (the bus short-circuits on ``_subs``).
+  behind ``python -m repro sweep --live``.  On a TTY the line is
+  ``\\r``-rewritten in place.  When the output stream is *not* a TTY
+  (redirected/CI), ``--live`` no longer refuses: the reporter degrades
+  to a heavily throttled plain-line mode — whole status lines separated
+  by newlines, repainted at most every ``plain_interval_s`` seconds —
+  after a one-time warning on stderr.  Runs without ``--live`` still
+  pay zero overhead: no subscriber, no event construction (the bus
+  short-circuits on ``_subs``).
 * :class:`ProgressJsonlWriter` — one JSON object per resolved point
   (``--progress-jsonl``), with monotonically non-decreasing ``done``
   counts, for CI dashboards and scripts.
@@ -154,7 +158,12 @@ class ProgressReporter:
         min_interval_s: Minimum seconds between repaints; point
             resolutions and failures always repaint.
         clock: Injectable monotonic clock (tests).
-        force: Subscribe even when ``stream`` is not a TTY (tests).
+        force: Treat ``stream`` as a TTY even when it is not (tests).
+        plain_interval_s: Repaint throttle used by the off-TTY plain
+            mode, where every paint is a whole new line; deliberately
+            much coarser than ``min_interval_s``.
+        warn_stream: Where the one-time plain-mode warning goes
+            (default ``sys.stderr``).
     """
 
     def __init__(
@@ -163,28 +172,49 @@ class ProgressReporter:
         min_interval_s: float = 0.1,
         clock: Clock = time.monotonic,
         force: bool = False,
+        plain_interval_s: float = 5.0,
+        warn_stream: IO[str] | None = None,
     ) -> None:
         self.stream = stream if stream is not None else sys.stdout
-        self.min_interval_s = min_interval_s
         self.progress = SweepProgress(clock=clock)
         self._clock = clock
         self._last_paint: float | None = None
         self._painted = False
+        self._dirty = False
         self._width = 0
-        self.enabled = force or bool(
-            getattr(self.stream, "isatty", lambda: False)()
+        self._warn_stream = warn_stream
+        self.plain = not (
+            force or bool(getattr(self.stream, "isatty", lambda: False)())
+        )
+        self.min_interval_s = (
+            max(min_interval_s, plain_interval_s) if self.plain
+            else min_interval_s
         )
 
     # ------------------------------------------------------------------
     def attach(self, bus: EventBus) -> bool:
-        """Subscribe to the sweep events; no-op (False) off-TTY."""
-        if not self.enabled:
-            return False
+        """Subscribe to the sweep events.
+
+        Always subscribes; off-TTY the reporter switches to plain-line
+        mode and warns once on stderr instead of refusing (so ``--live``
+        in a redirected/CI run still shows progress).
+        """
+        if self.plain:
+            warn = (
+                self._warn_stream if self._warn_stream is not None
+                else sys.stderr
+            )
+            warn.write(
+                "sweep --live: output is not a TTY; falling back to "
+                f"plain progress lines (every >= {self.min_interval_s:g}s)\n"
+            )
+            warn.flush()
         bus.subscribe(self.on_event, *SWEEP_EVENT_TYPES)
         return True
 
     def on_event(self, event: object) -> None:
         resolved = self.progress.on_event(event)
+        self._dirty = True
         done = self.progress.total and self.progress.done >= self.progress.total
         if resolved or done:
             self._paint(flush_through_throttle=bool(done))
@@ -195,6 +225,12 @@ class ProgressReporter:
 
     def close(self) -> None:
         """Finish the status line with a newline (if anything painted)."""
+        if self.plain:
+            # Plain mode ends every paint with a newline already; just
+            # make sure the final state made it out past the throttle.
+            if self._dirty:
+                self._paint(flush_through_throttle=True)
+            return
         if self._painted:
             self.stream.write("\n")
             self.stream.flush()
@@ -210,11 +246,15 @@ class ProgressReporter:
         if not flush_through_throttle and not self._due():
             return
         line = self.progress.render()
-        pad = " " * max(0, self._width - len(line))
-        self.stream.write("\r" + line + pad)
+        if self.plain:
+            self.stream.write(line + "\n")
+        else:
+            pad = " " * max(0, self._width - len(line))
+            self.stream.write("\r" + line + pad)
         self.stream.flush()
         self._width = len(line)
         self._painted = True
+        self._dirty = False
         self._last_paint = self._clock()
 
 

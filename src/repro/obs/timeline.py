@@ -55,6 +55,9 @@ from repro.obs.events import (
     PosmapRepaired,
     RecoveryFailed,
     RequestCompleted,
+    ServeRequestServed,
+    ShardRecovered,
+    SloStateChanged,
     SlotAligned,
     SpanFinished,
     SpanStarted,
@@ -127,6 +130,9 @@ class TimelineBuilder:
             PosmapRepaired: self._on_posmap_repaired,
             CheckpointSaved: self._on_checkpoint,
             CheckpointRestored: self._on_checkpoint,
+            ServeRequestServed: self._on_serve_request,
+            ShardRecovered: self._on_shard_recovered,
+            SloStateChanged: self._on_slo_state,
         }
         missing = [cls for cls in EVENT_TYPES if cls not in self._handlers]
         if missing:
@@ -469,6 +475,38 @@ class TimelineBuilder:
             event.ts,
             {"access_index": event.access_index, "path": event.path},
             cat="recovery",
+        )
+
+    def _on_serve_request(self, event: ServeRequestServed) -> None:
+        self._instant(
+            PID_ORAM,
+            TID_SCHEDULER,
+            f"served {event.op} {event.addr} [{event.served_from}]",
+            event.ts,
+            {"addr": event.addr, "wall_ms": event.wall_ms,
+             "latency_cycles": event.latency_cycles},
+            cat="serve",
+        )
+
+    def _on_shard_recovered(self, event: ShardRecovered) -> None:
+        self._instant(
+            PID_ORAM,
+            TID_RECOVERY,
+            f"shard {event.shard} recovered",
+            event.ts,
+            {"shard": event.shard, "respawns": event.respawns,
+             "replayed": event.replayed},
+            cat="recovery",
+        )
+
+    def _on_slo_state(self, event: SloStateChanged) -> None:
+        self._instant(
+            PID_ORAM,
+            TID_RECOVERY,
+            f"SLO {event.previous} -> {event.state}",
+            event.ts,
+            {"window": event.window, "violations": event.violations},
+            cat="slo",
         )
 
     def _match_read(self, finished: PathReadFinished) -> float:

@@ -351,6 +351,9 @@ class LoadGenerator:
         for q in (50, 95, 99):
             out[f"latency_ms_p{q}"] = self.latency.percentile(q)
         out["latency_ms_mean"] = self.latency.mean
+        # Same shape as the server's ``stats`` latency block, so one
+        # consumer can diff client-observed vs server-observed latency.
+        out["latency"] = {"wall_ms": self.latency.summary()}
         return out
 
 

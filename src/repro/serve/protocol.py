@@ -10,7 +10,8 @@ Client → server::
     {"type": "req", "id": 7, "op": "read", "addr": 12, "deadline_ms": 250}
     {"type": "req", "id": 8, "op": "write", "addr": 3, "value": "v1"}
     {"type": "digest"}           # ORAM state digest (bit-identity tests)
-    {"type": "stats"}            # serve counters snapshot
+    {"type": "stats"}            # versioned admin snapshot
+    {"type": "health"}           # cheap liveness/SLO-state probe
     {"type": "shutdown"}         # request a graceful drain
     {"type": "bye"}              # close this session
 
@@ -20,8 +21,31 @@ Server → client::
     {"type": "resp", "id": 7, "status": "ok", "latency_ms": ..., ...}
     {"type": "resp", "id": 9, "status": "retry_after", "retry_after_ms": 50}
     {"type": "digest", "digest": "..."}
-    {"type": "stats", "counters": {...}}
+    {"type": "stats", "schema": 1, "counters": {...}, "queue": {...},
+     "latency": {...}, "sessions": {...}, "shards": [...], "slo": ...}
+    {"type": "health", "schema": 1, "state": "healthy", "draining": false,
+     "shards": 2, "shards_up": 2, "slo": ...}
     {"type": "error", "error": "..."}
+
+The ``stats`` reply is versioned by :data:`STATS_SCHEMA` (any client
+can introspect a live server without touching its files):
+
+* ``counters`` — the flat ``serve/*`` counter map (legacy key; PR 8
+  clients that only read this keep working);
+* ``queue`` — ``depth`` / ``capacity`` / ``shed_highwater`` /
+  ``high_water`` (the max depth ever observed);
+* ``latency`` — ``wall_ms`` and ``cycles`` blocks, each the exact
+  histogram export (``bounds``/``counts``/``count``/``sum``) plus
+  interpolated ``p50/p95/p99/p99.9`` and ``mean``;
+* ``sessions`` — open-session detail (id, inflight, responses sent);
+* ``shards`` — per-shard ``status``/``respawns``/``intents`` for a
+  sharded backend (absent otherwise);
+* ``slo`` — the rolling :class:`~repro.obs.slo.SloMonitor` snapshot,
+  ``null`` when no ``--slo`` thresholds are set.
+
+``health`` answers with only the state machine (``healthy`` /
+``degraded`` / ``breached``, plus ``draining`` and shard liveness), so
+orchestration probes stay cheap under overload.
 
 Response statuses (the overload model's observable alphabet):
 
@@ -43,6 +67,10 @@ import json
 #: Longest accepted line (a line past this aborts the offending session,
 #: never the server).
 MAX_LINE_BYTES = 64 * 1024
+
+#: Version of the ``stats``/``health`` reply payloads.  Bumped when a
+#: documented section changes shape; additive keys do not bump it.
+STATS_SCHEMA = 1
 
 STATUS_OK = "ok"
 STATUS_RETRY_AFTER = "retry_after"

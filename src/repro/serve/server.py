@@ -31,6 +31,16 @@ Robustness is the design center, not an afterthought:
   between two ORAM accesses; ``client-disconnect``/``slow-client`` are
   driven by the load generator and exercised against this server in the
   ``serve-smoke`` CI job.
+* **runtime observability plane** — the ``stats``/``health`` wire
+  messages answer with a versioned snapshot (queue depth + high-water
+  mark, counters, exact latency histograms, per-shard liveness, SLO
+  state); ``--slo`` arms a rolling :class:`~repro.obs.slo.SloMonitor`
+  whose ``breached`` transitions dump the
+  :class:`~repro.obs.flightrec.FlightRecorder` post-mortem (and, under
+  ``--slo-fatal``, drain with ``EXIT_SLO_BREACH``); ``--metrics-port``
+  serves live Prometheus/JSON scrapes.  All of it is opt-in: an
+  unmonitored serve constructs no event objects and stays bit-identical
+  to the uninstrumented path.
 * **sharded backends** — the server accepts any bridge-compatible
   engine; handing it a
   :class:`~repro.shard.supervisor.ShardSupervisor` turns it into the
@@ -56,8 +66,11 @@ from repro.faults.injector import (
     ServerCrashed,
     ShardUnavailable,
 )
-from repro.obs.events import EventBus
+from repro.obs.events import EventBus, ServeRequestServed
+from repro.obs.export import MetricsEndpoint
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.slo import STATE_HEALTHY, SloMonitor
 from repro.oram.tiny import Observer
 from repro.serialize import payload_to_jsonable
 from repro.serve import protocol
@@ -98,6 +111,14 @@ class ServeSettings:
         heartbeat_s: Sharded backends only — interval of the idle
             liveness sweep (:meth:`ShardSupervisor.check_health`); the
             second half of the heartbeat + access-timeout ladder.
+        slo: Parsed SLO thresholds (``--slo``); ``None`` disables the
+            rolling monitor entirely.
+        slo_window_s: Width of one SLO window (the roll cadence).
+        slo_windows: Ring width evaluated on every roll.
+        slo_fatal: A ``breached`` transition triggers a graceful drain
+            and the process exits ``EXIT_SLO_BREACH``.
+        metrics_port: Bind a Prometheus/JSON scrape endpoint on this
+            port (0 = ephemeral; ``None`` disables).
     """
 
     host: str = "127.0.0.1"
@@ -111,12 +132,25 @@ class ServeSettings:
     retry_after_ms: float = 50.0
     checkpoint_every: int = 0
     heartbeat_s: float = 0.5
+    slo: dict[str, float] | None = None
+    slo_window_s: float = 1.0
+    slo_windows: int = 8
+    slo_fatal: bool = False
+    metrics_port: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_clients < 1:
             raise ValueError(f"max_clients must be >= 1, got {self.max_clients}")
         if self.queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.slo_window_s <= 0:
+            raise ValueError(
+                f"slo_window_s must be > 0, got {self.slo_window_s}"
+            )
+        if self.slo_windows < 1:
+            raise ValueError(
+                f"slo_windows must be >= 1, got {self.slo_windows}"
+            )
         if self.shed_highwater is None:
             self.shed_highwater = max(1, (self.queue_depth * 3) // 4)
         if not 1 <= self.shed_highwater <= self.queue_depth:
@@ -149,6 +183,9 @@ class OramServer:
             exposing ``check_health`` is treated as a supervised fleet:
             the server starts it, runs its heartbeat sweep, parks work
             for dead shards, and closes it at drain).
+        flight_recorder: A :class:`~repro.obs.flightrec.FlightRecorder`
+            already subscribed to ``bus``; dumped on crash, SLO breach,
+            and drain.
 
     Attributes:
         dispatch_gate: Test seam — clearing this event pauses the
@@ -169,12 +206,18 @@ class OramServer:
         observer: Observer | None = None,
         bus: EventBus | None = None,
         bridge=None,
+        flight_recorder: FlightRecorder | None = None,
     ) -> None:
         self.settings = settings if settings is not None else ServeSettings()
         if bridge is None:
             bridge = OramServeBridge(config, seed, bus=bus, observer=observer)
         self.bridge = bridge
         self._sharded = hasattr(bridge, "check_health")
+        # The serve-layer emission bus: the explicit one, else whatever
+        # the bridge already carries (None stays None — every emission
+        # site is guarded, so an unmonitored run constructs no events).
+        self.bus = bus if bus is not None else getattr(bridge, "bus", None)
+        self.flightrec = flight_recorder
         self.registry = registry if registry is not None else MetricsRegistry()
         self.injector = injector
         self.checkpointer = checkpointer
@@ -226,6 +269,24 @@ class OramServer:
         self._recover_tasks: dict[int, asyncio.Task] = {}
         self._heartbeat: asyncio.Task | None = None
 
+        # Observability plane: queue high-water mark, rolling SLO
+        # monitor, scrape endpoint, flight-recorder dump bookkeeping.
+        self.queue_highwater = 0
+        self.slo: SloMonitor | None = None
+        if self.settings.slo:
+            self.slo = SloMonitor(
+                self.settings.slo,
+                window_s=self.settings.slo_window_s,
+                windows=self.settings.slo_windows,
+                bus=self.bus,
+            )
+        self.slo_breached = False
+        self._slo_task: asyncio.Task | None = None
+        self._metrics_endpoint: MetricsEndpoint | None = None
+        self.metrics_address: tuple[str, int] | None = None
+        self.postmortem_path = None
+        self._flight_dumped = False
+
     # ------------------------------------------------------------------
     def _count(self, name: str) -> None:
         self._counters[name].inc()
@@ -254,6 +315,59 @@ class OramServer:
             out[f"serve/latency_wall_ms/p{q}"] = self.h_wall.percentile(q)
             out[f"serve/latency_cycles/p{q}"] = self.h_cycles.percentile(q)
         return out
+
+    def stats_payload(self) -> dict[str, object]:
+        """The versioned ``stats`` wire payload (protocol docstring).
+
+        ``counters`` keeps the flat legacy map; the structured sections
+        (queue, latency, sessions, shards, slo) are what ``repro top``
+        and CI introspection consume.  Latency blocks are the *exact*
+        histogram export, so a client can merge or re-derive any
+        percentile without interpolation drift.
+        """
+        payload: dict[str, object] = {
+            "schema": protocol.STATS_SCHEMA,
+            "counters": self.stats_snapshot(),
+            "queue": {
+                "depth": self._queue.qsize(),
+                "capacity": self.settings.queue_depth,
+                "shed_highwater": self.settings.shed_highwater,
+                "high_water": self.queue_highwater,
+            },
+            "latency": {
+                "wall_ms": self.h_wall.summary(),
+                "cycles": self.h_cycles.summary(),
+            },
+            "sessions": {
+                "open": len(self._sessions),
+                "detail": [
+                    s.info() for s in self._sessions.values()
+                ],
+            },
+            "oram_accesses": self.bridge.served,
+            "draining": self._draining,
+            "slo": self.slo.snapshot() if self.slo is not None else None,
+        }
+        if self._sharded:
+            payload["shards"] = self.bridge.shard_stats()
+            payload["recoveries"] = self.bridge.recoveries
+        return payload
+
+    def health_payload(self) -> dict[str, object]:
+        """The cheap ``health`` probe reply."""
+        state = self.slo.state if self.slo is not None else STATE_HEALTHY
+        payload: dict[str, object] = {
+            "schema": protocol.STATS_SCHEMA,
+            "state": state,
+            "draining": self._draining,
+            "crashed": self.crashed is not None,
+            "slo": self.slo.snapshot() if self.slo is not None else None,
+        }
+        if self._sharded:
+            statuses = self.bridge.shard_status()
+            payload["shards"] = len(statuses)
+            payload["shards_up"] = sum(1 for s in statuses if s == "up")
+        return payload
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -286,6 +400,17 @@ class OramServer:
             self._heartbeat = loop.create_task(
                 self._heartbeat_loop(), name="serve-heartbeat"
             )
+        if self.settings.metrics_port is not None:
+            self._metrics_endpoint = MetricsEndpoint(
+                self.export_registry,
+                host=self.settings.host,
+                port=self.settings.metrics_port,
+            )
+            self.metrics_address = await self._metrics_endpoint.start()
+        if self.slo is not None:
+            self._slo_task = loop.create_task(
+                self._slo_loop(), name="serve-slo"
+            )
 
     async def run(self, install_signal_handlers: bool = True, on_started=None) -> int:
         """Serve until drained; returns the process exit code.
@@ -311,7 +436,13 @@ class OramServer:
                     pass
         await self._drained.wait()
         await self._shutdown()
-        return EXIT_SERVE_FAILED if self.crashed is not None else EXIT_OK
+        if self.crashed is not None:
+            return EXIT_SERVE_FAILED
+        if self.slo_breached and self.settings.slo_fatal:
+            from repro.exit_codes import EXIT_SLO_BREACH
+
+            return EXIT_SLO_BREACH
+        return EXIT_OK
 
     def request_drain(self, reason: str = "") -> None:
         """Begin the graceful drain (idempotent).
@@ -333,6 +464,10 @@ class OramServer:
     async def _shutdown(self) -> None:
         if self._heartbeat is not None:
             self._heartbeat.cancel()
+        if self._slo_task is not None:
+            self._slo_task.cancel()
+        if self._metrics_endpoint is not None:
+            await self._metrics_endpoint.close()
         for task in list(self._recover_tasks.values()):
             task.cancel()
         if (
@@ -359,6 +494,18 @@ class OramServer:
             await asyncio.get_running_loop().run_in_executor(
                 None, self.bridge.close
             )
+        # The post-mortem is the last act, so it captures the full
+        # drain/crash event tail.  An SLO-breach dump already covers a
+        # clean drain after a non-fatal breach; a crash always dumps.
+        if self.flightrec is not None and (
+            self.crashed is not None or not self._flight_dumped
+        ):
+            reason = (
+                "crash"
+                if self.crashed is not None
+                else (self.drain_reason or "drain").replace(" ", "-")
+            )
+            self._flight_dump(reason)
 
     # ------------------------------------------------------------------
     # Admission: the per-client read loop
@@ -468,7 +615,12 @@ class OramServer:
                 )
             elif kind == "stats":
                 session.send(
-                    {"type": "stats", "counters": self.stats_snapshot()},
+                    {"type": "stats", **self.stats_payload()},
+                    release_window=True,
+                )
+            elif kind == "health":
+                session.send(
+                    {"type": "health", **self.health_payload()},
                     release_window=True,
                 )
             elif kind == "shutdown":
@@ -516,6 +668,8 @@ class OramServer:
             # backoff loop naturally outlives the recovery window.
             self._count("shed")
             self._count("shed_shard_down")
+            if self.slo is not None:
+                self.slo.observe_shed()
             session.send(
                 _resp(
                     req_id,
@@ -527,6 +681,8 @@ class OramServer:
             return
         if self._queue.qsize() >= self.settings.shed_highwater:
             self._count("shed")
+            if self.slo is not None:
+                self.slo.observe_shed()
             session.send(
                 _resp(
                     req_id,
@@ -551,6 +707,8 @@ class OramServer:
             self._queue.put_nowait(item)
         except asyncio.QueueFull:
             self._count("shed")
+            if self.slo is not None:
+                self.slo.observe_shed()
             session.send(
                 _resp(
                     req_id,
@@ -561,7 +719,12 @@ class OramServer:
             )
             return
         self._count("admitted")
-        self.registry.gauge("serve/queue_depth").set(self._queue.qsize())
+        depth = self._queue.qsize()
+        if depth > self.queue_highwater:
+            self.queue_highwater = depth
+        if self.slo is not None:
+            self.slo.observe_queue_depth(depth)
+        self.registry.gauge("serve/queue_depth").set(depth)
 
     # ------------------------------------------------------------------
     # Dispatch: the single consumer feeding the ORAM bridge
@@ -652,6 +815,21 @@ class OramServer:
         self.registry.counter(
             f"serve/served_from/{access.served_from}"
         ).inc()
+        if self.slo is not None:
+            self.slo.observe_served(wall_ms, access.latency_cycles)
+        bus = self.bus
+        if bus is not None and bus._subs:
+            bus.emit(
+                ServeRequestServed(
+                    addr=addr,
+                    op=op,
+                    served_from=access.served_from,
+                    wall_ms=wall_ms,
+                    latency_cycles=access.latency_cycles,
+                    ts=float(self.bridge.served)
+                    if self._sharded else self.bridge.clock,
+                )
+            )
         response = _resp(
             req_id,
             protocol.STATUS_OK,
@@ -675,6 +853,52 @@ class OramServer:
             return
         self.checkpointer.save(self.bridge.served, self.bridge.snapshot_state())
         self._count("checkpoints_saved")
+
+    # ------------------------------------------------------------------
+    # Observability plane: scrape registry, SLO roll loop, post-mortem
+    # ------------------------------------------------------------------
+    def export_registry(self) -> MetricsRegistry:
+        """A merged scrape-time registry: serve/* plus shard breakdowns.
+
+        Built fresh per call (the ``--metrics-port`` provider), so the
+        endpoint never aliases live instruments and a sharded backend's
+        ``shard/<k>/...`` + ``fleet/...`` rollups are re-merged from the
+        current per-shard registries on every scrape.
+        """
+        from repro.obs.aggregate import merge_snapshot, snapshot_registry
+
+        merged = MetricsRegistry()
+        merge_snapshot(merged, snapshot_registry(self.registry))
+        if self._sharded:
+            self.bridge.export_metrics(merged)
+        return merged
+
+    async def _slo_loop(self) -> None:
+        """Roll the SLO window on its cadence; act on transitions."""
+        while True:
+            await asyncio.sleep(self.settings.slo_window_s)
+            transition = self.slo.roll()
+            if transition is None:
+                continue
+            self.registry.counter("serve/slo_transitions").inc()
+            if transition != "breached":
+                continue
+            self.registry.counter("serve/slo_breaches").inc()
+            self._flight_dump("slo-breach")
+            if self.settings.slo_fatal:
+                self.slo_breached = True
+                self.request_drain("slo breach")
+
+    def _flight_dump(self, reason: str) -> None:
+        """Write the flight-recorder post-mortem (best effort)."""
+        if self.flightrec is None:
+            return
+        try:
+            self.postmortem_path = self.flightrec.dump(reason)
+            self._flight_dumped = True
+        except OSError:
+            # A full disk must not turn a clean drain into a crash.
+            pass
 
     # ------------------------------------------------------------------
     # Sharded backends: liveness sweep + background recovery

@@ -61,7 +61,9 @@ class Session:
         self.space = space
         self.writer = writer
         self.window = asyncio.Semaphore(window)
+        self.window_size = window
         self.closed = False
+        self.sent = 0
         self._outbox: asyncio.Queue = asyncio.Queue()
         self._writer_task: asyncio.Task | None = None
         transport = writer.transport
@@ -79,6 +81,17 @@ class Session:
     def map_addr(self, addr: int) -> int:
         """Client-relative address → shared ORAM address."""
         return self.base + addr
+
+    def info(self) -> dict[str, object]:
+        """JSON-safe per-session detail for the ``stats`` reply."""
+        return {
+            "id": self.session_id,
+            "slot": self.slot,
+            "space": self.space,
+            "inflight": self.window_size - self.window._value,
+            "outbox": self._outbox.qsize(),
+            "sent": self.sent,
+        }
 
     def send(self, message: dict[str, object], release_window: bool = False) -> None:
         """Queue one response line; never blocks the caller.
@@ -104,6 +117,7 @@ class Session:
             try:
                 writer.write(encode(message))
                 await writer.drain()
+                self.sent += 1
             except (ConnectionError, RuntimeError, OSError):
                 # Peer vanished mid-write: drop the session; queued
                 # permits are released as their items are consumed.

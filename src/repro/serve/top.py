@@ -1,0 +1,206 @@
+"""``repro top``: a live terminal view of a serving frontend.
+
+Connects to a running ``repro serve`` over the normal wire protocol,
+polls the versioned ``stats`` snapshot on an interval, and renders
+queue pressure, throughput counters, latency percentiles, per-shard
+health, and the SLO state machine as one screenful — the operator's
+answer to "what is the server doing right now" without touching its
+files or logs.
+
+Rendering is a pure function (:func:`render_stats`) over the wire
+payload, so the display is unit-tested without a server; the poll loop
+is the only I/O.  On a TTY each poll repaints in place (ANSI
+home+clear); off-TTY every frame is appended, keeping piped output
+usable.  ``--count`` bounds the number of polls (CI and tests); the
+default polls until interrupted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import sys
+from dataclasses import dataclass
+
+from repro.exit_codes import EXIT_OK, EXIT_SERVE_FAILED
+from repro.serve import protocol
+
+_BAR_WIDTH = 30
+
+
+@dataclass(slots=True)
+class TopSettings:
+    host: str = "127.0.0.1"
+    port: int = 7700
+    interval_s: float = 1.0
+    count: int = 0  # 0 = poll until interrupted
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError(f"interval must be > 0, got {self.interval_s}")
+        if self.count < 0:
+            raise ValueError(f"count must be >= 0, got {self.count}")
+
+
+def parse_addr(text: str) -> tuple[str, int]:
+    """``host:port`` (or bare ``:port`` / ``port``) → ``(host, port)``."""
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        host, port = "", text
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise ValueError(f"bad server address {text!r}; want host:port") from None
+
+
+def _bar(value: float, limit: float, width: int = _BAR_WIDTH) -> str:
+    limit = max(limit, 1.0)
+    filled = min(width, round(width * value / limit))
+    return "#" * filled + "." * (width - filled)
+
+
+def _latency_line(name: str, block: dict[str, object]) -> str:
+    return (
+        f"  {name:<10} n={block.get('count', 0):<8} "
+        f"p50={block.get('p50', 0.0):>10.2f}  "
+        f"p95={block.get('p95', 0.0):>10.2f}  "
+        f"p99={block.get('p99', 0.0):>10.2f}  "
+        f"p99.9={block.get('p99.9', 0.0):>10.2f}  "
+        f"mean={block.get('mean', 0.0):>10.2f}"
+    )
+
+
+def render_stats(payload: dict[str, object], poll: int = 0) -> str:
+    """One frame of the display from a ``stats`` wire payload."""
+    counters = payload.get("counters", {})
+    queue = payload.get("queue", {})
+    latency = payload.get("latency", {})
+    sessions = payload.get("sessions", {})
+    slo = payload.get("slo")
+    lines = []
+    state = "draining" if payload.get("draining") else "serving"
+    slo_state = slo["state"] if isinstance(slo, dict) else "-"
+    lines.append(
+        f"repro top  |  poll {poll}  |  {state}  |  slo: {slo_state}  |  "
+        f"schema {payload.get('schema', '?')}"
+    )
+    depth = queue.get("depth", 0)
+    capacity = queue.get("capacity", 0)
+    lines.append(
+        f"queue  [{_bar(float(depth), float(capacity))}] "
+        f"{depth}/{capacity}  shed@{queue.get('shed_highwater', '?')}  "
+        f"hwm={queue.get('high_water', 0)}"
+    )
+    lines.append(
+        "work   "
+        f"accepted={counters.get('serve/accepted', 0)}  "
+        f"admitted={counters.get('serve/admitted', 0)}  "
+        f"served={counters.get('serve/served', 0)}  "
+        f"shed={counters.get('serve/shed', 0)}  "
+        f"expired={counters.get('serve/expired', 0)}  "
+        f"abandoned={counters.get('serve/abandoned', 0)}"
+    )
+    lines.append(
+        "conns  "
+        f"open={sessions.get('open', 0)}  "
+        f"opened={counters.get('serve/sessions_opened', 0)}  "
+        f"refused={counters.get('serve/sessions_refused', 0)}  "
+        f"oram_accesses={payload.get('oram_accesses', 0)}"
+    )
+    lines.append("latency")
+    if isinstance(latency.get("wall_ms"), dict):
+        lines.append(_latency_line("wall_ms", latency["wall_ms"]))
+    if isinstance(latency.get("cycles"), dict):
+        lines.append(_latency_line("cycles", latency["cycles"]))
+    shards = payload.get("shards")
+    if isinstance(shards, list):
+        lines.append(
+            f"shards ({len(shards)}, "
+            f"recoveries={payload.get('recoveries', 0)})"
+        )
+        for shard in shards:
+            lines.append(
+                f"  shard {shard.get('shard')}: "
+                f"{shard.get('status', '?'):<10} "
+                f"respawns={shard.get('respawns', 0)}  "
+                f"deaths={shard.get('deaths', 0)}  "
+                f"intents={shard.get('intents', 0)}  "
+                f"replayed={shard.get('replayed', 0)}"
+            )
+    if isinstance(slo, dict):
+        lines.append(
+            f"slo    state={slo['state']}  rolls={slo.get('rolls', 0)}  "
+            f"breaches={slo.get('breaches', 0)}"
+        )
+        values = slo.get("values", {})
+        for key, threshold in sorted(slo.get("thresholds", {}).items()):
+            value = values.get(key, 0.0)
+            mark = "BREACH" if value > threshold else "ok"
+            lines.append(
+                f"  {key:<12} {value:>12.4f} / {threshold:<12g} {mark}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+async def _poll_once(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> dict[str, object]:
+    writer.write(protocol.encode({"type": "stats"}))
+    await writer.drain()
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        message = protocol.decode(line)
+        if message["type"] == "stats":
+            return message
+        if message["type"] == "error":
+            raise ConnectionError(f"server error: {message.get('error')}")
+
+
+async def run_top(settings: TopSettings, stream=None) -> int:
+    """Poll ``stats`` and render frames until done; returns exit code."""
+    out = stream if stream is not None else sys.stdout
+    tty = getattr(out, "isatty", lambda: False)()
+    try:
+        reader, writer = await asyncio.open_connection(
+            settings.host, settings.port
+        )
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"top: cannot connect to {settings.host}:{settings.port}: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_SERVE_FAILED
+    try:
+        writer.write(protocol.encode({"type": "hello", "client": "repro-top"}))
+        await writer.drain()
+        welcome = protocol.decode(await reader.readline())
+        if welcome["type"] != "welcome":
+            print(
+                f"top: refused: {welcome.get('error', welcome)}",
+                file=sys.stderr,
+            )
+            return EXIT_SERVE_FAILED
+        poll = 0
+        while True:
+            payload = await _poll_once(reader, writer)
+            poll += 1
+            frame = render_stats(payload, poll)
+            if tty:
+                out.write("\x1b[H\x1b[2J" + frame)
+            else:
+                out.write(frame + "\n")
+            out.flush()
+            if settings.count and poll >= settings.count:
+                return EXIT_OK
+            await asyncio.sleep(settings.interval_s)
+    except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+        print(f"top: connection lost: {exc}", file=sys.stderr)
+        return EXIT_SERVE_FAILED
+    finally:
+        with contextlib.suppress(ConnectionError, OSError, RuntimeError):
+            writer.write(protocol.encode({"type": "bye"}))
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()

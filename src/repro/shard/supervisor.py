@@ -54,6 +54,7 @@ from repro.faults.injector import (
     ShardDied,
     ShardUnavailable,
 )
+from repro.obs.events import EventBus, ShardRecovered
 from repro.obs.metrics import MetricsRegistry
 from repro.serialize import SCHEMA_VERSION, stable_hash
 from repro.serve.scheduler_bridge import ServedAccess
@@ -176,6 +177,9 @@ class ShardSupervisor:
             ``process`` mode its plan is also shipped to every worker.
         trace: Inter-shard dispatch observer, called ``(round, shard)``
             for every slot the adversary would see on the shard links.
+        bus: Observability event bus; a completed recovery emits
+            :class:`~repro.obs.events.ShardRecovered` (behind the usual
+            zero-overhead subscriber guard).
 
     Attributes:
         served: Completed *real* accesses (the fleet's serve ordinal).
@@ -190,12 +194,14 @@ class ShardSupervisor:
         settings: ShardSettings | None = None,
         injector: FaultInjector | None = None,
         trace=None,
+        bus: EventBus | None = None,
     ) -> None:
         self.config = config
         self.seed = seed
         self.settings = settings if settings is not None else ShardSettings()
         self.injector = injector
         self.trace = trace
+        self.bus = bus
         self.state_dir = Path(state_dir)
         self.ring = HashRing.fit(
             self.settings.num_shards,
@@ -541,7 +547,7 @@ class ShardSupervisor:
                     pass
             try:
                 st.handle = self._spawn(shard)
-                self._rebuild(st)
+                replayed = self._rebuild(st)
             except ShardDied:
                 # Died again during recovery: burn another respawn.
                 continue
@@ -554,10 +560,23 @@ class ShardSupervisor:
             self.recoveries += 1
             st.ckpt.save(st.log.length, st.handle.snapshot())
             st.count("checkpoints_saved")
+            bus = self.bus
+            if bus is not None and bus._subs:
+                bus.emit(
+                    ShardRecovered(
+                        shard=shard,
+                        respawns=st.respawns,
+                        replayed=replayed,
+                        ts=float(self.rounds),
+                    )
+                )
             return
 
-    def _rebuild(self, st: _ShardState) -> None:
-        """Snapshot restore + suffix replay (shared by recover/start)."""
+    def _rebuild(self, st: _ShardState) -> int:
+        """Snapshot restore + suffix replay (shared by recover/start).
+
+        Returns the number of intent-log entries replayed.
+        """
         start = 0
         loaded = st.ckpt.load_latest()
         if loaded is not None:
@@ -565,9 +584,11 @@ class ShardSupervisor:
             st.handle.restore(state)
             start = index
         entries = st.log.entries_from(start)
-        if entries:
-            count, _ = st.handle.replay(entries, None)
-            st.count("replayed", count)
+        if not entries:
+            return 0
+        count, _ = st.handle.replay(entries, None)
+        st.count("replayed", count)
+        return count
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -590,6 +611,39 @@ class ShardSupervisor:
         )
         registry.counter("fleet/rounds").inc(self.rounds)
         registry.counter("fleet/recoveries").inc(self.recoveries)
+
+    def shard_stats(self) -> list[dict[str, object]]:
+        """Per-shard liveness/respawn detail for the wire ``stats`` reply.
+
+        One JSON-safe dict per shard: lifecycle ``status``, cumulative
+        ``respawns``, ``deaths``, logged ``intents``, and the split of
+        executed real/dummy/virtual slots — everything an operator (or
+        ``repro top``) needs to see a crash-and-recover window without
+        touching the state directory.
+        """
+        with self._lock:
+            out = []
+            for st in self._shards:
+                counters = st.registry._counters
+                out.append(
+                    {
+                        "shard": st.index,
+                        "status": st.status,
+                        "respawns": st.respawns,
+                        "deaths": counters["deaths"].value
+                        if "deaths" in counters else 0,
+                        "intents": st.log.length if st.log else 0,
+                        "real": counters["accesses_real"].value
+                        if "accesses_real" in counters else 0,
+                        "dummy": counters["accesses_dummy"].value
+                        if "accesses_dummy" in counters else 0,
+                        "virtual": counters["virtual_slots"].value
+                        if "virtual_slots" in counters else 0,
+                        "replayed": counters["replayed"].value
+                        if "replayed" in counters else 0,
+                    }
+                )
+            return out
 
     def fleet_report(self) -> dict[str, object]:
         """Human-facing summary for the CLI's end-of-serve printout."""

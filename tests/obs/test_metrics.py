@@ -172,8 +172,29 @@ class TestHistogramPercentiles:
 
     def test_to_dict_includes_percentiles(self):
         payload = self.make([15.0] * 4).to_dict()
-        assert {"p50", "p95", "p99"} <= set(payload)
+        assert {"p50", "p95", "p99", "p99.9"} <= set(payload)
         assert payload["p50"] == pytest.approx(15.0)
+
+    def test_p999_resolves_tail_above_p99(self):
+        hist = self.make([5.0] * 995 + [25.0] * 5)
+        assert hist.percentile(99.9) >= hist.percentile(99)
+
+    def test_export_roundtrip_is_exact(self):
+        from repro.obs.metrics import Histogram
+
+        hist = self.make([5.0, 15.0, 25.0, 100.0])
+        clone = Histogram.from_export(hist.export())
+        assert clone.export() == hist.export()
+        assert clone.export()["sum"] == 145.0  # exact, not bucket-derived
+        assert clone.percentile(95) == hist.percentile(95)
+
+    def test_from_export_validates_counts_length(self):
+        from repro.obs.metrics import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram.from_export(
+                {"bounds": [1.0, 2.0], "counts": [1], "count": 1, "sum": 0.5}
+            )
 
     def test_dummy_latency_histogram_populated_under_tp(self):
         metrics, _ = run_with_collector(tp=True)

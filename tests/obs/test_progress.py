@@ -81,15 +81,38 @@ class TestSweepProgress:
 
 
 class TestProgressReporter:
-    def test_attach_refuses_off_tty(self):
+    def test_off_tty_degrades_to_plain_lines_with_warning(self):
         stream = io.StringIO()  # isatty() -> False
+        warn = io.StringIO()
+        clock = FakeClock()
         bus = EventBus()
-        reporter = ProgressReporter(stream)
-        assert reporter.attach(bus) is False
-        assert not bus.active
+        reporter = ProgressReporter(stream, clock=clock, warn_stream=warn)
+        assert reporter.plain is True
+        assert reporter.attach(bus) is True
+        assert bus.active
+        assert "not a TTY" in warn.getvalue()
         bus.emit(finished(0))
+        clock.advance(60.0)
+        bus.emit(finished(1))
         reporter.close()
-        assert stream.getvalue() == ""
+        out = stream.getvalue()
+        assert "\r" not in out  # plain mode: whole lines only
+        lines = out.splitlines()
+        assert "[1/4]" in lines[0]
+        assert "[2/4]" in lines[-1]
+
+    def test_plain_mode_throttles_heavily(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        bus = EventBus()
+        reporter = ProgressReporter(stream, clock=clock,
+                                    warn_stream=io.StringIO())
+        reporter.attach(bus)
+        for i in range(20):
+            bus.emit(finished(i, total=40))  # no clock advance: throttled
+        assert len(stream.getvalue().splitlines()) == 1
+        reporter.close()  # final state flushes through the throttle
+        assert "[20/40]" in stream.getvalue().splitlines()[-1]
 
     def test_forced_reporter_paints_and_closes(self):
         stream = io.StringIO()

@@ -1,0 +1,155 @@
+"""Rolling SLO monitor: spec parsing, window roll, state machine."""
+
+import pytest
+
+from repro.obs.events import EventBus, SloStateChanged
+from repro.obs.slo import (
+    STATE_BREACHED,
+    STATE_DEGRADED,
+    STATE_HEALTHY,
+    SloMonitor,
+    parse_slo_spec,
+)
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.t = start
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestParseSloSpec:
+    def test_parses_keys_and_values(self):
+        spec = parse_slo_spec("p99_ms=50,shed_rate=0.05,queue_depth=100")
+        assert spec == {"p99_ms": 50.0, "shed_rate": 0.05,
+                        "queue_depth": 100.0}
+
+    def test_whitespace_tolerant(self):
+        assert parse_slo_spec(" p50_ms = 5 ") == {"p50_ms": 5.0}
+
+    @pytest.mark.parametrize("bad", [
+        "", "p99_ms", "p99_ms=", "p99_ms=abc", "p99_ms=-1",
+        "nonsense_key=1",
+    ])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_slo_spec(bad)
+
+
+def make_monitor(thresholds, bus=None, **kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("window_s", 1.0)
+    kwargs.setdefault("windows", 4)
+    monitor = SloMonitor(thresholds, bus=bus, clock=clock, **kwargs)
+    return monitor, clock
+
+
+class TestStateMachine:
+    def test_starts_healthy_and_stays_on_good_windows(self):
+        monitor, _ = make_monitor({"p99_ms": 1000.0})
+        for _ in range(5):
+            monitor.observe_served(1.0, 100.0)
+            assert monitor.roll() is None
+        assert monitor.state == STATE_HEALTHY
+        assert monitor.transitions == 0
+
+    def test_degraded_then_breached_then_recovers(self):
+        monitor, _ = make_monitor(
+            {"p99_ms": 5.0}, breach_after=3, recover_after=2,
+        )
+        # Window 1-2 violate: healthy -> degraded (one transition).
+        monitor.observe_served(50.0, 100.0)
+        assert monitor.roll() == STATE_DEGRADED
+        monitor.observe_served(50.0, 100.0)
+        assert monitor.roll() is None
+        assert monitor.state == STATE_DEGRADED
+        # Third consecutive bad window crosses breach_after.
+        monitor.observe_served(50.0, 100.0)
+        assert monitor.roll() == STATE_BREACHED
+        assert monitor.breaches == 1
+        # Breached is sticky through the first clean window...
+        monitor.roll()
+        assert monitor.state == STATE_BREACHED
+        # ...until recover_after clean windows in a row.  The ring still
+        # holds bad windows, so "clean" means the merged view recovered:
+        # roll enough empty windows to push the bad ones out.
+        for _ in range(6):
+            monitor.roll()
+            if monitor.state == STATE_HEALTHY:
+                break
+        assert monitor.state == STATE_HEALTHY
+
+    def test_empty_windows_do_not_violate(self):
+        monitor, _ = make_monitor({"p99_ms": 5.0, "shed_rate": 0.1})
+        for _ in range(4):
+            assert monitor.roll() is None
+        assert monitor.state == STATE_HEALTHY
+
+    def test_shed_rate_violation(self):
+        monitor, _ = make_monitor({"shed_rate": 0.25}, breach_after=1)
+        monitor.observe_served(1.0, 1.0)
+        for _ in range(3):
+            monitor.observe_shed()
+        assert monitor.roll() == STATE_BREACHED
+        value, threshold = monitor.violations()["shed_rate"]
+        assert value == 0.75
+        assert threshold == 0.25
+
+    def test_queue_depth_gauge_is_peak_over_ring(self):
+        monitor, _ = make_monitor({"queue_depth": 10.0})
+        monitor.observe_queue_depth(4)
+        monitor.observe_queue_depth(12)
+        monitor.observe_queue_depth(2)
+        monitor.roll()
+        assert monitor.values()["queue_depth"] == 12.0
+        assert "queue_depth" in monitor.violations()
+
+
+class TestBusEmission:
+    def test_transitions_emit_events_when_subscribed(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, SloStateChanged)
+        monitor, _ = make_monitor({"p99_ms": 5.0}, bus=bus, breach_after=1)
+        monitor.observe_served(50.0, 1.0)
+        monitor.roll()
+        assert len(seen) == 1
+        event = seen[0]
+        assert event.previous == STATE_HEALTHY
+        assert event.state == STATE_BREACHED
+        assert "p99_ms" in event.violations
+
+    def test_no_subscribers_means_no_event_objects(self):
+        bus = EventBus()
+        monitor, _ = make_monitor({"p99_ms": 5.0}, bus=bus, breach_after=1)
+        monitor.observe_served(50.0, 1.0)
+        assert monitor.roll() == STATE_BREACHED  # transition still happens
+
+
+class TestSnapshot:
+    def test_snapshot_shape_is_json_safe(self):
+        import json
+
+        monitor, _ = make_monitor({"p99_ms": 5.0, "shed_rate": 0.5})
+        monitor.observe_served(50.0, 1.0)
+        monitor.roll()
+        snap = json.loads(json.dumps(monitor.snapshot()))
+        assert snap["state"] == STATE_DEGRADED
+        assert snap["thresholds"]["p99_ms"] == 5.0
+        assert snap["violations"]["p99_ms"]["value"] > 5.0
+        assert snap["rolls"] == 1
+        assert {"values", "window_s", "windows", "transitions",
+                "breaches"} <= set(snap)
+
+    def test_wall_and_cycle_percentiles_tracked_separately(self):
+        monitor, _ = make_monitor({"p99_ms": 1e9, "p99_cycles": 1e9})
+        monitor.observe_served(2.0, 800.0)
+        monitor.roll()
+        values = monitor.values()
+        assert 0 < values["p99_ms"] < 10
+        assert values["p99_cycles"] > 100

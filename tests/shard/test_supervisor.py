@@ -237,3 +237,74 @@ class TestProcessMode:
         assert crashed.shard_digests() == clean.shard_digests()
         clean.close()
         crashed.close()
+
+
+class TestObservability:
+    def test_shard_stats_reports_recovery_detail(self, tmp_path):
+        sup = make_sup(
+            tmp_path,
+            injector=crash_injector("shard-crash:shard=1,at_access=20"),
+            degraded="deny",
+        )
+        drive(sup, 40)
+        stats = sup.shard_stats()
+        assert [s["shard"] for s in stats] == [0, 1, 2]
+        assert all(s["status"] == "up" for s in stats)
+        crashed = stats[1]
+        assert crashed["respawns"] == 1
+        assert crashed["deaths"] == 1
+        assert crashed["replayed"] > 0
+        healthy = stats[0]
+        assert healthy["respawns"] == 0
+        # Padded dispatch: every shard logged one intent per round.
+        assert len({s["intents"] for s in stats}) == 1
+        assert crashed["real"] + crashed["dummy"] == crashed["intents"]
+        sup.close()
+
+    def test_recovery_emits_shard_recovered_event(self, tmp_path):
+        from repro.obs.events import EventBus, ShardRecovered
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, ShardRecovered)
+        sup = ShardSupervisor(
+            small_config(), seed=SEED, state_dir=tmp_path,
+            settings=ShardSettings(
+                num_shards=3, checkpoint_every=16, degraded="deny",
+            ),
+            injector=crash_injector("shard-crash:shard=1,at_access=20"),
+            bus=bus,
+        )
+        sup.start()
+        drive(sup, 40)
+        assert len(seen) == 1
+        event = seen[0]
+        assert event.shard == 1
+        assert event.respawns == 1
+        assert event.replayed > 0
+        sup.close()
+
+    def test_no_bus_subscribers_is_zero_overhead(self, tmp_path):
+        from repro.obs.events import EventBus
+
+        # An unmonitored supervisor (bus=None) must behave identically
+        # to one with an idle bus -- digests are the witness.
+        plain = make_sup(
+            tmp_path / "plain",
+            injector=crash_injector("shard-crash:shard=1,at_access=20"),
+            degraded="deny",
+        )
+        drive(plain, 40)
+        monitored = ShardSupervisor(
+            small_config(), seed=SEED, state_dir=tmp_path / "monitored",
+            settings=ShardSettings(
+                num_shards=3, checkpoint_every=16, degraded="deny",
+            ),
+            injector=crash_injector("shard-crash:shard=1,at_access=20"),
+            bus=EventBus(),
+        )
+        monitored.start()
+        drive(monitored, 40)
+        assert monitored.shard_digests() == plain.shard_digests()
+        plain.close()
+        monitored.close()

@@ -204,11 +204,14 @@ class TestSweepTelemetryFlags:
         assert done == sorted(done)
         assert records[-1]["done"] == records[-1]["total"] == 2
 
-    def test_sweep_live_is_noop_off_tty(self, tmp_path, capsys):
-        # pytest's captured stdout is not a TTY, so --live must neither
-        # subscribe nor paint; the plain per-point lines stay.
+    def test_sweep_live_off_tty_degrades_to_plain_lines(self, tmp_path,
+                                                        capsys):
+        # pytest's captured stdout is not a TTY, so --live degrades to
+        # throttled plain progress lines (no \r repaints) after a
+        # one-time warning on stderr.
         code = main(self.SWEEP_ARGS + ["--no-cache", "--live"])
         assert code == 0
-        out = capsys.readouterr().out
-        assert "\r" not in out
-        assert "mcf/Tiny" in out
+        captured = capsys.readouterr()
+        assert "\r" not in captured.out
+        assert "not a TTY" in captured.err
+        assert "[2/2]" in captured.out  # final plain progress line
